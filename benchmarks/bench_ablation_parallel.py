@@ -1,0 +1,27 @@
+"""Ablation bench: parallel HeapInit (Algorithm 3 line 11).
+
+The paper initialises the heap "for each node u in parallel" (64
+threads). In CPython the fork-based pool pays a per-call cost that only
+amortises on larger graphs; this ablation records the trade-off and
+pins the correctness property (identical output at any worker count).
+"""
+
+import pytest
+
+from repro.core.lightweight import lightweight
+
+
+@pytest.mark.parametrize("workers", (1, 2, 4))
+def test_heapinit_workers(benchmark, fbp, workers):
+    result = benchmark.pedantic(
+        lightweight, args=(fbp, 4), kwargs={"workers": workers},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["size"] = result.size
+
+
+def test_worker_count_is_output_invariant(fbp):
+    base = lightweight(fbp, 4, workers=1).sorted_cliques()
+    for workers in (2, 4):
+        assert lightweight(fbp, 4, workers=workers).sorted_cliques() == base

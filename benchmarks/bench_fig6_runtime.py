@@ -1,0 +1,51 @@
+"""Figure 6 bench: running time of each static algorithm vs k.
+
+The paper's finding: HG is fastest and k-insensitive; GC pays clique
+storage; L/LP sit between, growing with the clique count; OPT only
+survives on toys. Each benchmark times one (dataset, k, method) cell.
+"""
+
+import pytest
+
+from repro.core.api import find_disjoint_cliques
+
+KS = (3, 4, 5, 6)
+
+
+@pytest.mark.parametrize("method", ("hg", "gc", "l", "lp"))
+@pytest.mark.parametrize("k", KS)
+def test_ftb_methods(benchmark, ftb, k, method):
+    result = benchmark(find_disjoint_cliques, ftb, k, method)
+    benchmark.extra_info["size"] = result.size
+
+
+@pytest.mark.parametrize("method", ("hg", "lp"))
+@pytest.mark.parametrize("k", KS)
+def test_hst_methods(benchmark, hst, k, method):
+    result = benchmark.pedantic(
+        find_disjoint_cliques, args=(hst, k, method), rounds=2, iterations=1
+    )
+    benchmark.extra_info["size"] = result.size
+
+
+@pytest.mark.parametrize("k", (3, 4))
+def test_opt_on_tiny(benchmark, k):
+    from repro.graph import datasets
+
+    swallow = datasets.load("Swallow")
+    result = benchmark(find_disjoint_cliques, swallow, k, "opt")
+    benchmark.extra_info["size"] = result.size
+
+
+@pytest.mark.parametrize("k", (3, 6))
+def test_shape_hg_fastest(hst, k):
+    """Sanity on the headline shape: HG beats LP in time on each cell."""
+    import time
+
+    start = time.perf_counter()
+    find_disjoint_cliques(hst, k, "hg")
+    hg_time = time.perf_counter() - start
+    start = time.perf_counter()
+    find_disjoint_cliques(hst, k, "lp")
+    lp_time = time.perf_counter() - start
+    assert hg_time < lp_time * 1.5  # HG never meaningfully slower

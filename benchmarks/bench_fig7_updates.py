@@ -1,0 +1,76 @@
+"""Figure 7 bench: average update latency per workload vs k.
+
+The paper's finding: single-update maintenance is micro/millisecond
+scale — orders of magnitude below rebuild — and grows with k.
+"""
+
+import pytest
+
+from repro.dynamic import DynamicDisjointCliques
+from repro.dynamic.workload import deletion_workload, mixed_workload
+
+COUNT = 60
+
+
+@pytest.mark.parametrize("k", (3, 4))
+def test_deletion_latency(benchmark, hst, k):
+    updates = deletion_workload(hst, COUNT, seed=11)
+
+    def setup():
+        return (DynamicDisjointCliques(hst, k),), {}
+
+    def run(dyn):
+        dyn.apply(updates)
+
+    benchmark.pedantic(run, setup=setup, rounds=2, iterations=1)
+    benchmark.extra_info["updates_per_round"] = COUNT
+
+
+@pytest.mark.parametrize("k", (3, 4))
+def test_insertion_latency(benchmark, hst, k):
+    deletions = deletion_workload(hst, COUNT, seed=11)
+    insertions = [("insert", u, v) for _, u, v in deletions]
+
+    def setup():
+        dyn = DynamicDisjointCliques(hst, k)
+        dyn.apply(deletions)
+        return (dyn,), {}
+
+    def run(dyn):
+        dyn.apply(insertions)
+
+    benchmark.pedantic(run, setup=setup, rounds=2, iterations=1)
+    benchmark.extra_info["updates_per_round"] = COUNT
+
+
+@pytest.mark.parametrize("k", (3, 4))
+def test_mixed_latency(benchmark, hst, k):
+    start_graph, updates = mixed_workload(hst, COUNT, seed=12)
+
+    def setup():
+        return (DynamicDisjointCliques(start_graph, k),), {}
+
+    def run(dyn):
+        dyn.apply(updates)
+
+    benchmark.pedantic(run, setup=setup, rounds=2, iterations=1)
+    benchmark.extra_info["updates_per_round"] = 2 * COUNT
+
+
+def test_update_beats_rebuild_by_orders_of_magnitude(hst):
+    """One maintained update must cost << one rebuild (paper: the OR
+    rebuild equals ~millions of update operations)."""
+    import time
+
+    updates = deletion_workload(hst, COUNT, seed=13)
+    dyn = DynamicDisjointCliques(hst, 4)
+    start = time.perf_counter()
+    dyn.apply(updates)
+    per_update = (time.perf_counter() - start) / COUNT
+
+    from repro.core.api import find_disjoint_cliques
+
+    start = time.perf_counter()
+    find_disjoint_cliques(dyn.graph.snapshot(), 4, "lp")
+    rebuild = time.perf_counter() - start
+    assert rebuild > 30 * per_update

@@ -1,0 +1,38 @@
+"""Table I bench: per-k clique counting on the dataset registry.
+
+Regenerates the dataset-statistics table; the benchmark target is the
+counting kernel (node scores are computed by the same enumeration).
+"""
+
+import pytest
+
+from repro.cliques import count_cliques
+
+KS = (3, 4, 5, 6)
+
+
+@pytest.mark.parametrize("k", KS)
+def test_count_cliques_ftb(benchmark, ftb, k):
+    count = benchmark(count_cliques, ftb, k)
+    benchmark.extra_info["clique_count"] = count
+    assert count >= 0
+
+
+@pytest.mark.parametrize("k", KS)
+def test_count_cliques_hst(benchmark, hst, k):
+    count = benchmark(count_cliques, hst, k)
+    benchmark.extra_info["clique_count"] = count
+
+
+@pytest.mark.parametrize("k", (3, 4))
+def test_count_cliques_fbp(benchmark, fbp, k):
+    count = benchmark(count_cliques, fbp, k)
+    benchmark.extra_info["clique_count"] = count
+
+
+def test_table1_rows_are_stable(ftb, hst):
+    """The registry is seeded: Table I cells must be bit-stable."""
+    assert ftb.n == 115 and ftb.m == 517
+    assert count_cliques(ftb, 3) == 424
+    assert count_cliques(ftb, 4) == 188
+    assert hst.n == 1858

@@ -1,0 +1,58 @@
+"""Table III bench: peak memory per algorithm.
+
+The paper's finding: HG and LP stay O(n+m); GC's footprint scales with
+the clique count and eventually OOMs. Peaks are measured with
+tracemalloc around a single solve.
+"""
+
+import tracemalloc
+
+import pytest
+
+from repro.core.api import find_disjoint_cliques
+from repro.errors import OutOfMemoryError
+
+
+def peak_mb(fn) -> float:
+    tracemalloc.start()
+    fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak / (1024 * 1024)
+
+
+@pytest.mark.parametrize("method", ("hg", "gc", "lp"))
+def test_memory_profile_hst(benchmark, hst, method):
+    peak = benchmark.pedantic(
+        peak_mb,
+        args=(lambda: find_disjoint_cliques(hst, 4, method),),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["peak_mb"] = round(peak, 2)
+
+
+def test_gc_memory_dominates_lp(fb):
+    """On the clique-rich FB dataset at k=3, GC's stored cliques must
+    cost several times LP's O(n+m) working set."""
+    gc_peak = peak_mb(lambda: find_disjoint_cliques(fb, 3, "gc"))
+    lp_peak = peak_mb(lambda: find_disjoint_cliques(fb, 3, "lp"))
+    hg_peak = peak_mb(lambda: find_disjoint_cliques(fb, 3, "hg"))
+    assert gc_peak > 2 * lp_peak
+    assert hg_peak <= lp_peak * 1.5 + 1
+
+
+def test_gc_ooms_under_budget(fb):
+    """With the default clique budget, GC must OOM on FB at k=5 (420K
+    cliques > 250K budget) — the paper's Table III outcome."""
+    from repro.bench.harness import DEFAULT_CLIQUE_BUDGET
+
+    with pytest.raises(OutOfMemoryError):
+        find_disjoint_cliques(fb, 5, "gc", max_cliques=DEFAULT_CLIQUE_BUDGET)
+
+
+def test_lp_survives_where_gc_dies(benchmark, fb):
+    result = benchmark.pedantic(
+        find_disjoint_cliques, args=(fb, 5, "lp"), rounds=1, iterations=1
+    )
+    assert result.size > 0

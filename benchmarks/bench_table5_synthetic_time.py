@@ -1,0 +1,50 @@
+"""Table V bench: runtime scalability on synthetic Watts-Strogatz graphs.
+
+The paper's finding: runtimes grow with density; HG stays k-insensitive
+while GC/LP track the clique count. Scaled from the paper's n=1M to
+n=400 here (pure-Python substrate; see DESIGN.md §4).
+"""
+
+import pytest
+
+from repro.core.api import find_disjoint_cliques
+from repro.graph.generators import watts_strogatz
+
+N = 400
+
+
+@pytest.fixture(scope="module")
+def ws_graphs():
+    return {deg: watts_strogatz(N, deg, 0.3, seed=7) for deg in (8, 16, 32)}
+
+
+@pytest.mark.parametrize("degree", (8, 16, 32))
+@pytest.mark.parametrize("method", ("hg", "lp"))
+def test_ws_k3(benchmark, ws_graphs, degree, method):
+    result = benchmark.pedantic(
+        find_disjoint_cliques, args=(ws_graphs[degree], 3, method),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["size"] = result.size
+
+
+@pytest.mark.parametrize("method", ("hg", "gc", "lp"))
+def test_ws_degree16_k4(benchmark, ws_graphs, method):
+    result = benchmark.pedantic(
+        find_disjoint_cliques, args=(ws_graphs[16], 4, method),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["size"] = result.size
+
+
+def test_hg_runtime_k_insensitive(ws_graphs):
+    """HG's cost must stay nearly flat in k (paper Table V)."""
+    import time
+
+    g = ws_graphs[16]
+    times = []
+    for k in (3, 4, 5, 6):
+        start = time.perf_counter()
+        find_disjoint_cliques(g, k, "hg")
+        times.append(time.perf_counter() - start)
+    assert max(times) < 10 * min(times)

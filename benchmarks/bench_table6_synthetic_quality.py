@@ -1,0 +1,44 @@
+"""Table VI bench: |S| on synthetic Watts-Strogatz graphs.
+
+The paper's finding: |S| shrinks as k grows and grows with density;
+GC and LP agree (Theorem 4) and differ from HG by a few percent.
+"""
+
+import pytest
+
+from repro.core.api import find_disjoint_cliques
+from repro.graph.generators import watts_strogatz
+
+N = 400
+
+
+@pytest.fixture(scope="module")
+def ws16():
+    return watts_strogatz(N, 16, 0.3, seed=7)
+
+
+@pytest.mark.parametrize("k", (3, 4, 5))
+def test_sizes_per_k(benchmark, ws16, k):
+    lp = benchmark.pedantic(
+        find_disjoint_cliques, args=(ws16, k, "lp"), rounds=1, iterations=1
+    )
+    hg = find_disjoint_cliques(ws16, k, "hg")
+    gc = find_disjoint_cliques(ws16, k, "gc")
+    benchmark.extra_info.update(
+        {"hg": hg.size, "gc_delta": gc.size - hg.size, "lp_delta": lp.size - hg.size}
+    )
+    assert gc.size == lp.size  # Theorem 4 under the shared clique key
+
+
+def test_size_decreases_with_k(ws16):
+    sizes = [find_disjoint_cliques(ws16, k, "lp").size for k in (3, 4, 5, 6)]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_size_increases_with_density():
+    sparse = watts_strogatz(N, 8, 0.3, seed=7)
+    dense = watts_strogatz(N, 32, 0.3, seed=7)
+    assert (
+        find_disjoint_cliques(dense, 4, "lp").size
+        > find_disjoint_cliques(sparse, 4, "lp").size
+    )

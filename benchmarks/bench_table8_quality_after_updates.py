@@ -1,0 +1,57 @@
+"""Table VIII bench: |S| drift after update streams vs rebuild.
+
+The paper's finding: after 10K-scale update workloads the maintained
+solution stays within a fraction of a percent of a from-scratch rebuild
+(and occasionally beats it thanks to swap local search).
+"""
+
+import pytest
+
+from repro.core.api import find_disjoint_cliques
+from repro.dynamic import DynamicDisjointCliques
+from repro.dynamic.workload import deletion_workload, mixed_workload
+
+COUNT = 80
+
+
+@pytest.mark.parametrize("k", (3, 4))
+def test_drift_after_deletions(benchmark, hst, k):
+    updates = deletion_workload(hst, COUNT, seed=21)
+
+    def run():
+        dyn = DynamicDisjointCliques(hst, k)
+        dyn.apply(updates)
+        return dyn
+
+    dyn = benchmark.pedantic(run, rounds=1, iterations=1)
+    rebuilt = find_disjoint_cliques(dyn.graph.snapshot(), k, "lp")
+    drift = dyn.size - rebuilt.size
+    benchmark.extra_info.update({"maintained": dyn.size, "rebuilt": rebuilt.size, "drift": drift})
+    assert abs(drift) <= max(3, rebuilt.size // 20)
+
+
+@pytest.mark.parametrize("k", (3, 4))
+def test_drift_after_mixed(benchmark, hst, k):
+    start_graph, updates = mixed_workload(hst, COUNT, seed=22)
+
+    def run():
+        dyn = DynamicDisjointCliques(start_graph, k)
+        dyn.apply(updates)
+        return dyn
+
+    dyn = benchmark.pedantic(run, rounds=1, iterations=1)
+    rebuilt = find_disjoint_cliques(dyn.graph.snapshot(), k, "lp")
+    drift = dyn.size - rebuilt.size
+    benchmark.extra_info.update({"maintained": dyn.size, "rebuilt": rebuilt.size, "drift": drift})
+    assert abs(drift) <= max(3, rebuilt.size // 20)
+
+
+def test_insertions_never_shrink_solution(hst):
+    """Edge insertions can only help: |S| must be monotone under the
+    insertion workload (paper: sizes increase slightly)."""
+    deletions = deletion_workload(hst, COUNT, seed=23)
+    dyn = DynamicDisjointCliques(hst, 3)
+    dyn.apply(deletions)
+    before = dyn.size
+    dyn.apply([("insert", u, v) for _, u, v in deletions])
+    assert dyn.size >= before

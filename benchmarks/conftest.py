@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Each ``bench_*`` file regenerates one of the paper's tables or figures
+(see DESIGN.md §5). Benchmarks run at reduced scale so the whole suite
+finishes in minutes; the full-scale artefacts for EXPERIMENTS.md come
+from ``python -m repro.bench.experiments all``.
+"""
+
+import pytest
+
+from repro.graph import datasets
+
+
+@pytest.fixture(scope="session")
+def ftb():
+    """Tiny Football-like dataset (115 nodes)."""
+    return datasets.load("FTB")
+
+
+@pytest.fixture(scope="session")
+def hst():
+    """Small Hamsterster-like dataset (1.9K nodes)."""
+    return datasets.load("HST")
+
+
+@pytest.fixture(scope="session")
+def fb():
+    """Dense clique-rich Facebook-like dataset (1.2K nodes)."""
+    return datasets.load("FB")
+
+
+@pytest.fixture(scope="session")
+def fbp():
+    """Medium FBPages-like dataset (4K nodes)."""
+    return datasets.load("FBP")

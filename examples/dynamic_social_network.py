@@ -1,0 +1,86 @@
+"""Dynamic maintenance under a live friendship stream (paper Section V).
+
+Real social graphs change constantly — the paper reports that at least
+1% of all edges churn per day in the Tencent MOBA network. This example
+maintains a disjoint 4-clique teaming under a mixed update stream and
+compares against periodically rebuilding from scratch:
+
+* per-update latency (microseconds) vs full rebuild latency,
+* |S| drift between the maintained and rebuilt solutions.
+
+Run:  python examples/dynamic_social_network.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import find_disjoint_cliques
+from repro.dynamic import DynamicDisjointCliques
+from repro.graph.generators import powerlaw_cluster
+
+K = 4
+UPDATES = 400
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    graph = powerlaw_cluster(2500, 8, 0.5, seed=23)
+    print(f"social network: {graph.n} nodes, {graph.m} edges, k={K}")
+
+    start = time.perf_counter()
+    dyn = DynamicDisjointCliques(graph, K)
+    build_seconds = time.perf_counter() - start
+    print(
+        f"initial solve + index build: {build_seconds:.2f}s, "
+        f"|S|={dyn.size}, index={dyn.index_size} candidates\n"
+    )
+
+    # Mixed stream: ~1% of edges churn; deletions interleaved with
+    # re-insertions of previously deleted edges (friendships reforming).
+    edges = list(graph.edges())
+    picks = list(rng.choice(len(edges), size=UPDATES // 2, replace=False))
+    deleted: list[tuple[int, int]] = []
+    latencies = []
+    checkpoint_every = UPDATES // 4
+    for step in range(1, UPDATES + 1):
+        if step % 2 or not deleted:
+            u, v = edges[picks.pop()]
+            op = "delete"
+        else:
+            u, v = deleted.pop(0)
+            op = "insert"
+        start = time.perf_counter()
+        if op == "delete":
+            dyn.delete_edge(u, v)
+            deleted.append((u, v))
+        else:
+            dyn.insert_edge(u, v)
+        latencies.append(time.perf_counter() - start)
+
+        if step % checkpoint_every == 0:
+            snapshot = dyn.graph.snapshot()
+            start = time.perf_counter()
+            rebuilt = find_disjoint_cliques(snapshot, K, method="lp")
+            rebuild_seconds = time.perf_counter() - start
+            print(
+                f"after {step:4d} updates: maintained |S|={dyn.size:4d} "
+                f"(rebuild {rebuilt.size:4d}, drift {dyn.size - rebuilt.size:+d}); "
+                f"rebuild cost {rebuild_seconds * 1000:.0f}ms"
+            )
+
+    lat = np.array(latencies)
+    print(
+        f"\nupdate latency: mean={lat.mean() * 1e6:.0f}us  "
+        f"p50={np.percentile(lat, 50) * 1e6:.0f}us  "
+        f"p99={np.percentile(lat, 99) * 1e6:.0f}us"
+    )
+    print(
+        f"one rebuild costs the same as "
+        f"~{build_seconds / lat.mean():,.0f} maintained updates"
+    )
+    print(f"swap stats: {dyn.stats}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Roommate allocation on a preference graph (paper application [7]).
+
+Dorm rooms have ``k`` beds. Students name the peers they are willing to
+share a room with, forming an undirected *preference graph* (an edge
+means mutual acceptance). A perfect room is a k-clique — everyone in it
+accepts everyone else — so maximising the number of fully-compatible
+rooms is exactly the maximum disjoint k-clique problem.
+
+This example allocates rooms with the paper's LP solver, compares
+against the greedy HG baseline and a naive first-fit, and reports the
+compatibility statistics of the resulting allocation.
+
+Run:  python examples/roommate_allocation.py
+"""
+
+import numpy as np
+
+from repro import Graph, find_disjoint_cliques
+from repro.graph.generators import planted_partition
+
+ROOM_SIZE = 3  # beds per room
+
+
+def preference_graph(n_students: int, seed: int) -> Graph:
+    """Synthetic preferences: friend circles plus sparse cross links."""
+    return planted_partition(
+        n_students, communities=n_students // 12, p_in=0.55, p_out=0.02, seed=seed
+    )
+
+
+def first_fit_rooms(graph: Graph) -> list[list[int]]:
+    """Naive baseline: walk students in id order, room with any two
+    mutually-acceptable unassigned friends if possible."""
+    assigned: set[int] = set()
+    rooms: list[list[int]] = []
+    for u in range(graph.n):
+        if u in assigned:
+            continue
+        friends = [v for v in sorted(graph.neighbors(u)) if v not in assigned]
+        placed = False
+        for i, a in enumerate(friends):
+            for b in friends[i + 1 :]:
+                if graph.has_edge(a, b):
+                    rooms.append([u, a, b])
+                    assigned |= {u, a, b}
+                    placed = True
+                    break
+            if placed:
+                break
+    return rooms
+
+
+def clique_rooms(graph: Graph, method: str) -> list[list[int]]:
+    """Rooms from a disjoint k-clique packing."""
+    result = find_disjoint_cliques(graph, ROOM_SIZE, method=method)
+    return [sorted(c) for c in result.cliques]
+
+
+def allocation_report(graph: Graph, rooms: list[list[int]], label: str) -> None:
+    """Print perfect-room count and average intra-room compatibility."""
+    perfect = sum(1 for room in rooms if graph.is_clique(room))
+    pairs = sum(
+        1
+        for room in rooms
+        for i, a in enumerate(room)
+        for b in room[i + 1 :]
+        if graph.has_edge(a, b)
+    )
+    total_pairs = sum(len(r) * (len(r) - 1) // 2 for r in rooms)
+    housed = sum(len(r) for r in rooms)
+    compat = 100 * pairs / total_pairs if total_pairs else 0.0
+    print(
+        f"{label:<12} rooms={len(rooms):4d} perfect={perfect:4d} "
+        f"housed={housed:4d}/{graph.n} compatibility={compat:5.1f}%"
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    graph = preference_graph(600, seed=int(rng.integers(1 << 30)))
+    print(
+        f"preference graph: {graph.n} students, {graph.m} mutual acceptances, "
+        f"rooms of {ROOM_SIZE}\n"
+    )
+    allocation_report(graph, first_fit_rooms(graph), "first-fit")
+    allocation_report(graph, clique_rooms(graph, "hg"), "HG packing")
+    allocation_report(graph, clique_rooms(graph, "lp"), "LP packing")
+
+    # Any students the packing leaves out get grouped from the residual
+    # graph (the paper's iterative residual recipe).
+    lp_rooms = clique_rooms(graph, "lp")
+    covered = {u for room in lp_rooms for u in room}
+    residual = graph.remove_nodes(covered)
+    pairs = find_disjoint_cliques(residual, 2, method="lp")
+    print(
+        f"\nresidual round: {pairs.size} compatible pairs found for the "
+        f"{graph.n - len(covered)} students left over"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Teaming event simulation — the paper's motivating application (Fig. 1).
+
+In the Tencent MOBA teaming event, every player joins a team of up to
+``k = 4`` members; teams whose members are all mutual friends (a
+4-clique, 6 intra-team edges) convert best — 25.6% better than 5-edge
+teams. This example simulates that pipeline end to end:
+
+1. generate a social network,
+2. build teams three ways — random assignment, greedy HG packing, and
+   the paper's LP packing (remaining players are packed iteratively on
+   the residual graph, as the introduction describes),
+3. simulate conversion with probability increasing in intra-team edge
+   count (calibrated so 6-edge teams beat 5-edge teams by ~25.6%),
+4. report conversion per strategy and the Figure 1(b)-style histogram.
+
+Run:  python examples/teaming_event.py
+"""
+
+import numpy as np
+
+from repro import Graph, find_disjoint_cliques
+from repro.graph.generators import powerlaw_cluster
+
+TEAM_SIZE = 4
+# Conversion probability by intra-team edge count (0..6 edges for k=4);
+# 0.58 / 0.73 reproduces the paper's "6-edge teams win by 25.6%".
+CONVERSION_BY_EDGES = {0: 0.18, 1: 0.24, 2: 0.31, 3: 0.38, 4: 0.47, 5: 0.58, 6: 0.73}
+
+
+def intra_team_edges(graph: Graph, team: list[int]) -> int:
+    """Number of friendship edges inside a team."""
+    return sum(
+        1
+        for i, u in enumerate(team)
+        for v in team[i + 1 :]
+        if graph.has_edge(u, v)
+    )
+
+
+def teams_by_random(graph: Graph, rng: np.random.Generator) -> list[list[int]]:
+    """Baseline: random assignment into teams of TEAM_SIZE."""
+    players = rng.permutation(graph.n).tolist()
+    return [players[i : i + TEAM_SIZE] for i in range(0, graph.n, TEAM_SIZE)]
+
+
+def teams_by_packing(graph: Graph, method: str) -> list[list[int]]:
+    """Disjoint k-clique packing, then iterative residual packing.
+
+    Exactly the paper's deployment recipe: pack 4-cliques, remove the
+    covered players, re-pack the residual graph with smaller cliques
+    (k=3, then matched pairs), and finally group leftovers arbitrarily.
+    """
+    teams: list[list[int]] = []
+    covered: set[int] = set()
+    residual = graph
+    for k in (4, 3, 2):
+        result = find_disjoint_cliques(residual, k, method=method)
+        for clique in result.cliques:
+            teams.append(sorted(clique))
+            covered |= clique
+        residual = residual.remove_nodes(covered)
+    leftovers = [u for u in range(graph.n) if u not in covered]
+    for i in range(0, len(leftovers), TEAM_SIZE):
+        teams.append(leftovers[i : i + TEAM_SIZE])
+    return teams
+
+
+def simulate_conversion(
+    graph: Graph, teams: list[list[int]], rng: np.random.Generator
+) -> tuple[float, dict[int, tuple[int, float]]]:
+    """Per-player conversion simulation; returns (rate, by-edge-count stats)."""
+    converted = 0
+    players = 0
+    by_edges: dict[int, list[int]] = {e: [] for e in CONVERSION_BY_EDGES}
+    for team in teams:
+        edges = intra_team_edges(graph, team)
+        p = CONVERSION_BY_EDGES.get(min(edges, 6), 0.18)
+        wins = int(rng.binomial(len(team), p))
+        converted += wins
+        players += len(team)
+        if len(team) == TEAM_SIZE:
+            by_edges[edges].append(wins / len(team))
+    stats = {
+        e: (len(rates), float(np.mean(rates)) if rates else 0.0)
+        for e, rates in by_edges.items()
+    }
+    return converted / players, stats
+
+
+def main() -> None:
+    rng = np.random.default_rng(2025)
+    graph = powerlaw_cluster(2000, 8, 0.55, seed=9)
+    print(f"social network: {graph.n} players, {graph.m} friendships\n")
+
+    strategies = {
+        "random teams": teams_by_random(graph, rng),
+        "HG packing": teams_by_packing(graph, "hg"),
+        "LP packing": teams_by_packing(graph, "lp"),
+    }
+    print(f"{'strategy':<14} {'teams':>6} {'full 4-cliques':>15} {'conversion':>11}")
+    for name, teams in strategies.items():
+        full = sum(
+            1
+            for t in teams
+            if len(t) == TEAM_SIZE and intra_team_edges(graph, t) == 6
+        )
+        rate, by_edges = simulate_conversion(graph, teams, rng)
+        print(f"{name:<14} {len(teams):>6} {full:>15} {100 * rate:>10.1f}%")
+
+    print("\nFigure 1(b) reproduction (LP packing, 4-player teams):")
+    _, by_edges = simulate_conversion(graph, strategies["LP packing"], rng)
+    print(f"{'intra-team edges':>17} {'teams':>7} {'conversion':>11}")
+    for edges in sorted(by_edges):
+        count, rate = by_edges[edges]
+        bar = "#" * int(40 * rate)
+        print(f"{edges:>17} {count:>7} {100 * rate:>10.1f}% {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — maximum sets of disjoint k-cliques in large graphs.
+
+A full reproduction of "Finding Near-Optimal Maximum Set of Disjoint
+k-Cliques in Real-World Social Networks" (ICDE 2025): the static
+algorithms HG / GC / L / LP and the exact baseline OPT, the dynamic
+candidate-index maintenance with swap operations, every substrate they
+depend on (clique listing, clique graph, exact MIS, blossom matching),
+and a benchmark harness regenerating the paper's tables and figures.
+
+Quickstart
+----------
+>>> from repro import Graph, find_disjoint_cliques
+>>> g = Graph.from_edges([(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)])
+>>> result = find_disjoint_cliques(g, k=3, method="lp")
+>>> result.size
+2
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.dynamic import DynamicGraph
+from repro.core.api import METHODS, find_disjoint_cliques
+from repro.core.result import CliqueSetResult, is_maximal, is_valid, verify_solution
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "DynamicGraph",
+    "find_disjoint_cliques",
+    "METHODS",
+    "CliqueSetResult",
+    "verify_solution",
+    "is_valid",
+    "is_maximal",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Solution-quality analysis: certified bounds and method comparison."""
+
+from repro.analysis.bounds import (
+    OptimumBounds,
+    approximation_certificate,
+    optimum_upper_bounds,
+)
+from repro.analysis.compare import MethodComparison, compare_methods
+
+__all__ = [
+    "OptimumBounds",
+    "optimum_upper_bounds",
+    "approximation_certificate",
+    "compare_methods",
+    "MethodComparison",
+]

@@ -1,0 +1,36 @@
+"""Benchmark harness: budgets, table rendering, experiment runners."""
+
+from repro.bench.harness import (
+    BENCH_SCALE,
+    DEFAULT_CLIQUE_BUDGET,
+    DEFAULT_TIME_BUDGET,
+    CellOutcome,
+    run_cell,
+    run_cell_subprocess,
+    scaled,
+)
+from repro.bench.plotting import ascii_log_chart, sparkline
+from repro.bench.tables import (
+    format_count,
+    format_micros,
+    format_seconds,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "CellOutcome",
+    "run_cell",
+    "run_cell_subprocess",
+    "scaled",
+    "BENCH_SCALE",
+    "DEFAULT_TIME_BUDGET",
+    "DEFAULT_CLIQUE_BUDGET",
+    "format_count",
+    "format_seconds",
+    "format_micros",
+    "render_table",
+    "render_series",
+    "ascii_log_chart",
+    "sparkline",
+]

@@ -1,0 +1,157 @@
+"""Budgeted experiment execution with OOT/OOM outcomes.
+
+The paper reports ``OOT`` when an algorithm exceeds 24 hours and ``OOM``
+when it exceeds 504 GB. At laptop scale we keep the same semantics with
+configurable budgets: every experiment cell runs through
+:func:`run_cell`, which measures wall time and peak traced memory and
+converts budget violations into markers instead of results.
+
+Two enforcement layers:
+
+* cooperative — solvers accept ``time_budget`` / ``max_cliques`` and
+  raise :class:`OutOfTimeError` / :class:`OutOfMemoryError` themselves;
+* harness-side — a subprocess runner (:func:`run_cell_subprocess`) kills
+  cells that cannot self-interrupt.
+
+Environment knobs (read once at import):
+
+``REPRO_BENCH_TIME_BUDGET``   per-cell seconds (default 60)
+``REPRO_BENCH_CLIQUE_BUDGET`` stored-clique cap for GC/OPT (default 250000)
+``REPRO_BENCH_SCALE``         workload scale multiplier (default 1.0)
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import OutOfMemoryError, OutOfTimeError
+
+DEFAULT_TIME_BUDGET = float(os.environ.get("REPRO_BENCH_TIME_BUDGET", "60"))
+DEFAULT_CLIQUE_BUDGET = int(os.environ.get("REPRO_BENCH_CLIQUE_BUDGET", "250000"))
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+OOT = "OOT"
+OOM = "OOM"
+
+
+@dataclass
+class CellOutcome:
+    """One experiment cell: a value or an OOT/OOM marker, plus costs.
+
+    Attributes
+    ----------
+    value:
+        The cell's payload (solver result, count, ...) or ``None`` when
+        ``marker`` is set.
+    marker:
+        ``None``, ``"OOT"`` or ``"OOM"``.
+    seconds:
+        Wall-clock time spent (also set for budget violations).
+    peak_mb:
+        Peak tracemalloc memory in MiB (0 when tracing was off).
+    """
+
+    value: Any = None
+    marker: str | None = None
+    seconds: float = 0.0
+    peak_mb: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell produced a real value."""
+        return self.marker is None
+
+    def display(self, fmt: Callable[[Any], str] = str) -> str:
+        """Marker or formatted value, for table rendering."""
+        return self.marker if self.marker else fmt(self.value)
+
+
+def run_cell(
+    fn: Callable[[], Any],
+    time_budget: float | None = None,
+    trace_memory: bool = False,
+) -> CellOutcome:
+    """Run ``fn`` in-process, translating budget errors into markers.
+
+    Cooperative only: ``fn`` (or the solver inside it) is responsible for
+    honouring ``time_budget`` via :class:`OutOfTimeError`. The harness
+    additionally marks the cell OOT when the measured wall time exceeds
+    the budget even if ``fn`` returned a value — mirroring the paper's
+    "runtime above the limit is reported as OOT".
+    """
+    if trace_memory:
+        tracemalloc.start()
+    start = time.perf_counter()
+    outcome = CellOutcome()
+    try:
+        outcome.value = fn()
+    except OutOfTimeError:
+        outcome.marker = OOT
+    except (OutOfMemoryError, MemoryError):
+        outcome.marker = OOM
+    outcome.seconds = time.perf_counter() - start
+    if trace_memory:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        outcome.peak_mb = peak / (1024 * 1024)
+    if outcome.marker is None and time_budget is not None:
+        if outcome.seconds > time_budget:
+            outcome.marker = OOT
+            outcome.value = None
+    return outcome
+
+
+def _subprocess_target(fn, queue) -> None:  # pragma: no cover - child process
+    try:
+        queue.put(("ok", fn()))
+    except OutOfTimeError:
+        queue.put(("oot", None))
+    except (OutOfMemoryError, MemoryError):
+        queue.put(("oom", None))
+    except Exception as exc:  # surfaced in the parent
+        queue.put(("err", repr(exc)))
+
+
+def run_cell_subprocess(fn: Callable[[], Any], time_budget: float) -> CellOutcome:
+    """Run ``fn`` in a forked child, hard-killing it at the budget.
+
+    The child must return a picklable value. Use for cells that cannot
+    honour budgets cooperatively (e.g. deep recursions in OPT).
+    """
+    ctx = multiprocessing.get_context("fork")
+    queue: multiprocessing.Queue = ctx.Queue()
+    proc = ctx.Process(target=_subprocess_target, args=(fn, queue))
+    start = time.perf_counter()
+    proc.start()
+    proc.join(time_budget)
+    outcome = CellOutcome(seconds=time.perf_counter() - start)
+    if proc.is_alive():
+        proc.terminate()
+        proc.join()
+        outcome.marker = OOT
+        return outcome
+    if queue.empty():
+        # Child died without reporting (typically the OOM killer).
+        outcome.marker = OOM
+        return outcome
+    status, payload = queue.get()
+    if status == "ok":
+        outcome.value = payload
+    elif status == "oot":
+        outcome.marker = OOT
+    elif status == "oom":
+        outcome.marker = OOM
+    else:
+        raise RuntimeError(f"experiment cell failed: {payload}")
+    return outcome
+
+
+def scaled(value: int, minimum: int = 1) -> int:
+    """Scale a workload size by ``REPRO_BENCH_SCALE`` (floor ``minimum``)."""
+    return max(minimum, int(round(value * BENCH_SCALE)))

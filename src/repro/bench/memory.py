@@ -1,0 +1,59 @@
+"""Memory accounting helpers for the space-consumption experiments.
+
+Table III reports per-algorithm memory. In CPython the honest equivalents
+are (a) tracemalloc peaks around the solver call — what the harness's
+``trace_memory`` flag records — and (b) deep object sizes of the data
+structures an algorithm keeps alive, which this module estimates with a
+recursive ``sys.getsizeof`` walk (shared objects counted once).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Iterable
+
+import numpy as np
+
+
+def deep_sizeof(obj: Any) -> int:
+    """Approximate total bytes reachable from ``obj`` (shared counted once)."""
+    seen: set[int] = set()
+    stack = [obj]
+    total = 0
+    while stack:
+        current = stack.pop()
+        oid = id(current)
+        if oid in seen:
+            continue
+        seen.add(oid)
+        if isinstance(current, np.ndarray):
+            total += current.nbytes + sys.getsizeof(current)
+            continue
+        total += sys.getsizeof(current)
+        if isinstance(current, dict):
+            stack.extend(current.keys())
+            stack.extend(current.values())
+        elif isinstance(current, (list, tuple, set, frozenset)):
+            stack.extend(current)
+        elif hasattr(current, "__dict__"):
+            stack.append(vars(current))
+        elif hasattr(current, "__slots__"):
+            for slot in current.__slots__:
+                if hasattr(current, slot):
+                    stack.append(getattr(current, slot))
+    return total
+
+
+def mb(num_bytes: int) -> float:
+    """Bytes to MiB."""
+    return num_bytes / (1024 * 1024)
+
+
+def graph_footprint_mb(graph) -> float:
+    """Deep size of a graph object in MiB."""
+    return mb(deep_sizeof(graph))
+
+
+def solution_footprint_mb(cliques: Iterable[frozenset[int]]) -> float:
+    """Deep size of a clique list in MiB."""
+    return mb(deep_sizeof(list(cliques)))

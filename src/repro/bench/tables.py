@@ -1,0 +1,82 @@
+"""Paper-style plain-text table and series rendering.
+
+The experiment runners produce row dictionaries; these helpers lay them
+out as aligned monospace tables (for the Table I-VIII reproductions) or
+as small ASCII line-series blocks (for the Figure 6/7 reproductions),
+so ``EXPERIMENTS.md`` and the bench logs read like the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_count(value: Any) -> str:
+    """Format large counts the way the paper's Table I does (K/M/B/T)."""
+    if not isinstance(value, (int, float)):
+        return str(value)
+    number = float(value)
+    for threshold, suffix in ((1e12, "T"), (1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if abs(number) >= threshold:
+            scaled = number / threshold
+            return f"{scaled:.3g}{suffix}"
+    if number == int(number):
+        return str(int(number))
+    return f"{number:.3g}"
+
+
+def format_seconds(value: Any) -> str:
+    """Human-friendly duration (ms below 1s, else seconds)."""
+    if not isinstance(value, (int, float)):
+        return str(value)
+    if value < 1.0:
+        return f"{value * 1000:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def format_micros(value: Any) -> str:
+    """Microsecond latency formatting for the update benchmarks."""
+    if not isinstance(value, (int, float)):
+        return str(value)
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    return format_seconds(value)
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    note: str = "",
+) -> str:
+    """Render an aligned monospace table with a title rule."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    rule = "-+-".join("-" * w for w in widths)
+    out = [f"== {title} ==", line(list(columns)), rule]
+    out += [line(row) for row in str_rows]
+    if note:
+        out.append(f"   note: {note}")
+    return "\n".join(out)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    fmt=format_seconds,
+) -> str:
+    """Render figure data as one row per series (x values as columns)."""
+    columns = [x_label] + [str(x) for x in x_values]
+    rows = []
+    for name, values in series.items():
+        rows.append([name] + [v if isinstance(v, str) else fmt(v) for v in values])
+    return render_table(title, columns, rows)

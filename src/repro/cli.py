@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``        pack disjoint k-cliques in a dataset or edge-list file
+``stats``        dataset statistics (Table I row for one graph)
+``compare``      run several methods side by side with certificates
+``dynamic``      apply an update workload and report latency and drift
+``experiments``  regenerate the paper's tables/figures (delegates to
+                 :mod:`repro.bench.experiments`)
+``datasets``     list the registered datasets
+
+Examples
+--------
+::
+
+    python -m repro solve --dataset FTB --k 4 --method lp
+    python -m repro solve --input my.edges --k 3 --output teams.txt
+    python -m repro stats --dataset HST --ks 3 4 5
+    python -m repro compare --dataset FB --k 5 --methods hg lp
+    python -m repro dynamic --dataset HST --k 4 --workload mixed --count 100
+    python -m repro experiments table1 fig7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.graph import datasets
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list
+
+
+def _load_graph(args) -> Graph:
+    if args.dataset:
+        return datasets.load(args.dataset)
+    if args.input:
+        graph, _ = read_edge_list(Path(args.input))
+        return graph
+    raise SystemExit("error: provide --dataset NAME or --input FILE")
+
+
+def _add_graph_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", help="registered dataset name (see 'datasets')")
+    parser.add_argument("--input", help="edge-list file (u v per line)")
+
+
+def cmd_solve(args) -> int:
+    graph = _load_graph(args)
+    start = time.perf_counter()
+    from repro.core.api import find_disjoint_cliques
+
+    result = find_disjoint_cliques(graph, args.k, method=args.method)
+    elapsed = time.perf_counter() - start
+    print(
+        f"graph n={graph.n} m={graph.m} | k={args.k} method={args.method} | "
+        f"|S|={result.size} coverage={100 * result.coverage(graph.n):.1f}% "
+        f"time={elapsed:.3f}s"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            for clique in result.sorted_cliques():
+                fh.write(" ".join(map(str, clique)) + "\n")
+        print(f"wrote {result.size} cliques to {args.output}")
+    elif args.show:
+        for clique in result.sorted_cliques()[: args.show]:
+            print("  " + " ".join(map(str, clique)))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    graph = _load_graph(args)
+    from repro.cliques.counting import clique_profile
+    from repro.graph.kcore import core_numbers
+    from repro.bench.tables import format_count
+
+    profile = clique_profile(graph, ks=tuple(args.ks))
+    cores = core_numbers(graph)
+    print(f"n={graph.n} m={graph.m} max_degree={graph.max_degree()} "
+          f"degeneracy={int(cores.max()) if graph.n else 0}")
+    for k, count in profile.items():
+        print(f"  {k}-cliques: {format_count(count)}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    graph = _load_graph(args)
+    from repro.analysis.compare import compare_methods
+
+    rows = compare_methods(graph, args.k, methods=args.methods)
+    print(f"{'method':<8} {'|S|':>7} {'time':>9} {'coverage':>9} {'certificate':>12}")
+    for row in rows:
+        cert = "inf" if row.certificate == float("inf") else f"{row.certificate:.3f}"
+        print(
+            f"{row.method:<8} {row.size:>7} {row.seconds:>8.3f}s "
+            f"{100 * row.coverage:>8.1f}% {cert:>12}"
+        )
+    return 0
+
+
+def cmd_dynamic(args) -> int:
+    graph = _load_graph(args)
+    from repro.core.api import find_disjoint_cliques
+    from repro.dynamic.maintainer import DynamicDisjointCliques
+    from repro.dynamic.workload import (
+        deletion_workload,
+        insertion_workload,
+        mixed_workload,
+    )
+
+    count = min(args.count, graph.m // 4)
+    if args.workload == "deletion":
+        start_graph, updates = graph, deletion_workload(graph, count, seed=args.seed)
+    elif args.workload == "insertion":
+        removed = insertion_workload(graph, count, seed=args.seed)
+        start_graph = graph.remove_edges([(u, v) for _, u, v in removed])
+        updates = removed
+    else:
+        start_graph, updates = mixed_workload(graph, count, seed=args.seed)
+
+    build_start = time.perf_counter()
+    dyn = DynamicDisjointCliques(start_graph, args.k)
+    build = time.perf_counter() - build_start
+    apply_start = time.perf_counter()
+    dyn.apply(updates)
+    per_update = (time.perf_counter() - apply_start) / len(updates)
+    rebuilt = find_disjoint_cliques(dyn.graph.snapshot(), args.k, method="lp")
+    print(
+        f"workload={args.workload} updates={len(updates)} | build={build:.2f}s "
+        f"mean-update={per_update * 1e6:.1f}us | |S|={dyn.size} "
+        f"(rebuild {rebuilt.size}, drift {dyn.size - rebuilt.size:+d}) | "
+        f"index={dyn.index_size}"
+    )
+    return 0
+
+
+def cmd_datasets(_args) -> int:
+    for spec in datasets.specs():
+        print(f"{spec.name:<10} [{spec.tier:<6}] {spec.description}")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.bench.experiments import main as experiments_main
+
+    return experiments_main(args.artefacts or ["all"])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Maximum sets of disjoint k-cliques (ICDE 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="pack disjoint k-cliques")
+    _add_graph_args(p)
+    p.add_argument("--k", type=int, default=4)
+    p.add_argument("--method", default="lp", choices=["hg", "gc", "l", "lp", "opt"])
+    p.add_argument("--output", help="write cliques to a file")
+    p.add_argument("--show", type=int, default=0, help="print first N cliques")
+    p.set_defaults(fn=cmd_solve)
+
+    p = sub.add_parser("stats", help="graph statistics")
+    _add_graph_args(p)
+    p.add_argument("--ks", type=int, nargs="+", default=[3, 4, 5, 6])
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("compare", help="compare solver methods")
+    _add_graph_args(p)
+    p.add_argument("--k", type=int, default=4)
+    p.add_argument("--methods", nargs="+", default=["hg", "lp"])
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("dynamic", help="run an update workload")
+    _add_graph_args(p)
+    p.add_argument("--k", type=int, default=4)
+    p.add_argument(
+        "--workload", default="mixed", choices=["deletion", "insertion", "mixed"]
+    )
+    p.add_argument("--count", type=int, default=100)
+    p.add_argument("--seed", type=int, default=11)
+    p.set_defaults(fn=cmd_dynamic)
+
+    p = sub.add_parser("datasets", help="list registered datasets")
+    p.set_defaults(fn=cmd_datasets)
+
+    p = sub.add_parser("experiments", help="regenerate tables/figures")
+    p.add_argument("artefacts", nargs="*", help="e.g. table1 fig6 (default: all)")
+    p.set_defaults(fn=cmd_experiments)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. piping into `head`
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

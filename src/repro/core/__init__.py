@@ -1,0 +1,38 @@
+"""The paper's algorithms: HG, GC, L/LP, OPT, plus result types and scores."""
+
+from repro.core.api import METHODS, find_disjoint_cliques
+from repro.core.basic import basic_framework
+from repro.core.exact import exact_optimum
+from repro.core.exact_bb import exact_optimum_bb
+from repro.core.lightweight import lightweight
+from repro.core.result import (
+    CliqueSetResult,
+    canonicalize,
+    is_maximal,
+    is_valid,
+    verify_solution,
+)
+from repro.core.residual import ResidualPacking, iterative_residual_packing
+from repro.core.scores import clique_key, clique_score, compute_scores, degree_bounds
+from repro.core.store_all import store_all_cliques
+
+__all__ = [
+    "find_disjoint_cliques",
+    "METHODS",
+    "basic_framework",
+    "store_all_cliques",
+    "lightweight",
+    "exact_optimum",
+    "exact_optimum_bb",
+    "CliqueSetResult",
+    "verify_solution",
+    "is_valid",
+    "is_maximal",
+    "canonicalize",
+    "clique_score",
+    "clique_key",
+    "compute_scores",
+    "degree_bounds",
+    "iterative_residual_packing",
+    "ResidualPacking",
+]

@@ -1,0 +1,90 @@
+"""Unified solver entry point.
+
+:func:`find_disjoint_cliques` dispatches on a method tag matching the
+paper's competitor names:
+
+==========  ============================================================
+tag         algorithm
+==========  ============================================================
+``hg``      Algorithm 1, basic greedy framework
+``gc``      Algorithm 2, stored cliques in ascending clique-score order
+``l``       Algorithm 3 without score pruning
+``lp``      Algorithm 3 with score pruning (the paper's headline method)
+``opt``     exact: clique graph + exact MIS (blossom matching for k = 2)
+``opt-bb``  exact: direct branch-and-bound over cliques (cross-check)
+==========  ============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.core.basic import basic_framework
+from repro.core.exact import exact_optimum
+from repro.core.exact_bb import exact_optimum_bb
+from repro.core.lightweight import lightweight
+from repro.core.result import CliqueSetResult
+from repro.core.store_all import store_all_cliques
+
+METHODS = ("hg", "gc", "l", "lp", "opt", "opt-bb")
+
+
+def find_disjoint_cliques(
+    graph: Graph,
+    k: int,
+    method: str = "lp",
+    **kwargs,
+) -> CliqueSetResult:
+    """Find a (near-)maximum set of pairwise disjoint k-cliques.
+
+    Parameters
+    ----------
+    graph:
+        Input undirected graph (:class:`repro.graph.Graph`; use
+        ``DynamicGraph.snapshot()`` for dynamic graphs).
+    k:
+        Clique size, ``>= 2``. The paper's applications use 3-6.
+    method:
+        One of ``"hg" | "gc" | "l" | "lp" | "opt"`` (default ``"lp"``).
+    **kwargs:
+        Forwarded to the specific solver: ``order`` (hg/gc), ``prune``
+        rejected (implied by l/lp), ``time_budget``/``max_cliques`` (gc/
+        opt), ``listing_order`` (l/lp).
+
+    Returns
+    -------
+    CliqueSetResult
+
+    Examples
+    --------
+    >>> from repro.graph.generators import planted_clique_packing
+    >>> g, planted = planted_clique_packing(4, 3, seed=7)
+    >>> result = find_disjoint_cliques(g, k=3, method="lp")
+    >>> result.size
+    4
+    """
+    if not isinstance(graph, Graph):
+        raise InvalidParameterError(
+            f"graph must be a repro Graph, got {type(graph).__name__}; "
+            "call .snapshot() on DynamicGraph first"
+        )
+    dispatch: dict[str, Callable[..., CliqueSetResult]] = {
+        "hg": lambda: basic_framework(graph, k, **kwargs),
+        "gc": lambda: store_all_cliques(graph, k, **kwargs),
+        "l": lambda: lightweight(graph, k, prune=False, **kwargs),
+        "lp": lambda: lightweight(graph, k, prune=True, **kwargs),
+        "opt": lambda: exact_optimum(graph, k, **kwargs),
+        "opt-bb": lambda: exact_optimum_bb(graph, k, **kwargs),
+    }
+    key = method.lower()
+    if key not in dispatch:
+        raise InvalidParameterError(
+            f"unknown method {method!r}; expected one of {METHODS}"
+        )
+    if "prune" in kwargs:
+        raise InvalidParameterError(
+            "pass method='l' or method='lp' instead of a prune= keyword"
+        )
+    return dispatch[key]()

@@ -1,0 +1,263 @@
+"""Algorithm 3 — the lightweight implementation (paper tags ``L``/``LP``).
+
+Produces the same solution as Algorithm 2 (Theorem 4) with ``O(n + m)``
+space:
+
+1. Compute node scores during one clique enumeration (no storage).
+2. Orient the graph by ascending node score (ties by id).
+3. For each DAG root ``u``, find the *minimum-key* k-clique inside its
+   out-neighbourhood (procedure ``FindMin``) and push it into a heap.
+4. Repeatedly pop the globally minimal clique. If all its nodes are
+   still valid it joins the solution and its nodes are removed; if it is
+   stale but its root survives, the root's local minimum is recomputed
+   over the remaining valid nodes and re-pushed.
+
+``LP`` additionally prunes ``FindMin`` branches whose partial score plus
+the next node's score already reaches the best key's score — safe because
+every node in a k-clique has score >= 1, so completing any pruned branch
+strictly exceeds the current minimum (it can't even tie, hence the exact
+Theorem 4 equality is preserved; see ``tests/test_theorem4.py``).
+
+The heap key is the package-wide deterministic clique key
+``(clique score, sorted node tuple)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graph.dag import OrientedGraph
+from repro.graph.graph import Graph
+from repro.graph.ordering import by_score
+from repro.cliques.counting import node_scores
+from repro.core.result import CliqueSetResult
+from repro.core.scores import CliqueKey
+
+_INF_KEY: CliqueKey = (np.iinfo(np.int64).max, ())
+
+
+class _FindMin:
+    """Recursive local-minimum clique search with optional score pruning."""
+
+    __slots__ = ("out", "scores", "prune", "stats", "best_key", "best")
+
+    def __init__(
+        self,
+        out: list[set[int]],
+        scores: np.ndarray,
+        prune: bool,
+        stats: dict[str, float],
+    ) -> None:
+        self.out = out
+        self.scores = scores
+        self.prune = prune
+        self.stats = stats
+        self.best_key: CliqueKey = _INF_KEY
+        self.best: tuple[int, ...] | None = None
+
+    def search(self, root: int, k: int) -> tuple[CliqueKey, tuple[int, ...]] | None:
+        """Minimum-key k-clique rooted at ``root``, or ``None``."""
+        self.stats["findmin_calls"] += 1
+        self.best_key = _INF_KEY
+        self.best = None
+        candidates = self.out[root]
+        if len(candidates) >= k - 1:
+            self._walk([root], candidates, k - 1, int(self.scores[root]))
+        if self.best is None:
+            return None
+        return self.best_key, self.best
+
+    def _walk(
+        self, prefix: list[int], candidates: set[int], need: int, score_sum: int
+    ) -> None:
+        out = self.out
+        scores = self.scores
+        best_score = self.best_key[0]
+        if need == 1:
+            # Only reachable for k = 2 (greedy matching degenerate case).
+            for u in candidates:
+                total = score_sum + int(scores[u])
+                if total > best_score:
+                    continue
+                clique = tuple(sorted(prefix + [u]))
+                key = (total, clique)
+                if key < self.best_key:
+                    self.best_key = key
+                    self.best = clique
+                    best_score = total
+            return
+        if need == 2:
+            for u in sorted(candidates):
+                su = int(scores[u])
+                if self.prune and score_sum + su >= best_score:
+                    self.stats["branches_pruned"] += 1
+                    continue
+                for v in candidates & out[u]:
+                    total = score_sum + su + int(scores[v])
+                    if total > best_score:
+                        continue
+                    clique = tuple(sorted(prefix + [u, v]))
+                    key = (total, clique)
+                    if key < self.best_key:
+                        self.best_key = key
+                        self.best = clique
+                        best_score = total
+            return
+        for u in sorted(candidates):
+            su = int(scores[u])
+            if self.prune and score_sum + su >= best_score:
+                self.stats["branches_pruned"] += 1
+                continue
+            nxt = candidates & out[u]
+            if len(nxt) >= need - 1:
+                prefix.append(u)
+                self._walk(prefix, nxt, need - 1, score_sum + su)
+                prefix.pop()
+                best_score = self.best_key[0]
+
+
+# Copy-on-write state for forked HeapInit workers (Linux fork start
+# method: children inherit this without pickling the graph).
+_PARALLEL_STATE: dict | None = None
+
+
+def _heapinit_worker(chunk: list[int]):  # pragma: no cover - child process
+    state = _PARALLEL_STATE
+    finder = _FindMin(
+        state["out"], state["scores"], state["prune"],
+        {"findmin_calls": 0, "branches_pruned": 0},
+    )
+    k = state["k"]
+    found = []
+    for u in chunk:
+        if len(state["out"][u]) >= k - 1:
+            hit = finder.search(u, k)
+            if hit is not None:
+                found.append((hit[0], u, hit[1]))
+    return found
+
+
+def _parallel_heap_init(
+    out: list[set[int]],
+    scores: np.ndarray,
+    k: int,
+    prune: bool,
+    workers: int,
+    stats: dict[str, float],
+) -> list[tuple[CliqueKey, int, tuple[int, ...]]]:
+    """HeapInit across forked workers (Algorithm 3 line 11, 'in parallel').
+
+    Per-root local minima are independent, so the merged heap contents —
+    and therefore the final solution — are identical to the sequential
+    path; only wall-clock changes.
+    """
+    global _PARALLEL_STATE
+    n = len(out)
+    chunk_size = max(1, n // (workers * 4))
+    chunks = [list(range(i, min(i + chunk_size, n))) for i in range(0, n, chunk_size)]
+    _PARALLEL_STATE = {"out": out, "scores": scores, "prune": prune, "k": k}
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=workers) as pool:
+            parts = pool.map(_heapinit_worker, chunks)
+    finally:
+        _PARALLEL_STATE = None
+    heap = [entry for part in parts for entry in part]
+    stats["heap_pushes"] += len(heap)
+    stats["findmin_calls"] += sum(1 for _ in heap)  # lower bound in parallel mode
+    return heap
+
+
+def lightweight(
+    graph: Graph,
+    k: int,
+    prune: bool = True,
+    listing_order="degeneracy",
+    workers: int = 1,
+) -> CliqueSetResult:
+    """Compute a disjoint k-clique set with Algorithm 3.
+
+    Parameters
+    ----------
+    graph:
+        Input undirected graph.
+    k:
+        Clique size, ``>= 2``.
+    prune:
+        ``True`` → the paper's ``LP`` (score-driven pruning in FindMin);
+        ``False`` → plain ``L``. Both return identical solutions.
+    listing_order:
+        Orientation used only for the score-counting pass.
+    workers:
+        Processes for the HeapInit phase (the paper runs it in
+        parallel). ``1`` is sequential; ``0`` uses the CPU count.
+        Results are identical for any worker count.
+
+    Returns
+    -------
+    CliqueSetResult
+        Same solution as :func:`repro.core.store_all.store_all_cliques`
+        under the shared clique key (Theorem 4), with ``O(n+m)`` space.
+    """
+    if k < 2:
+        raise InvalidParameterError(f"k must be >= 2, got {k}")
+    scores = node_scores(graph, k, listing_order)
+    rank = by_score(graph, scores)
+    dag = OrientedGraph(graph, rank)
+    out = [set(s) for s in dag.out]
+
+    stats: dict[str, float] = {
+        "findmin_calls": 0,
+        "branches_pruned": 0,
+        "heap_pushes": 0,
+        "heap_pops": 0,
+        "stale_pops": 0,
+        "cliques_taken": 0,
+    }
+    finder = _FindMin(out, scores, prune, stats)
+    valid = [True] * graph.n
+
+    # HeapInit: one local-minimum clique per eligible root.
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    if workers > 1 and graph.n > workers:
+        heap = _parallel_heap_init(out, scores, k, prune, workers, stats)
+    else:
+        heap = []
+        for u in range(graph.n):
+            found = finder.search(u, k) if len(out[u]) >= k - 1 else None
+            if found is not None:
+                key, clique = found
+                heap.append((key, u, clique))
+                stats["heap_pushes"] += 1
+    heapq.heapify(heap)
+
+    solution: list[frozenset[int]] = []
+    while heap:
+        key, root, clique = heapq.heappop(heap)
+        stats["heap_pops"] += 1
+        if all(valid[v] for v in clique):
+            solution.append(frozenset(clique))
+            stats["cliques_taken"] += 1
+            for w in clique:
+                valid[w] = False
+            for w in clique:
+                for v in graph.neighbors(w):
+                    out[v].discard(w)
+                out[w].clear()
+            continue
+        stats["stale_pops"] += 1
+        if valid[root] and len(out[root]) >= k - 1:
+            found = finder.search(root, k)
+            if found is not None:
+                new_key, new_clique = found
+                heapq.heappush(heap, (new_key, root, new_clique))
+                stats["heap_pushes"] += 1
+
+    method = "lp" if prune else "l"
+    return CliqueSetResult(solution, k=k, method=method, stats=stats)

@@ -1,0 +1,109 @@
+"""Iterative residual packing — the paper's deployment recipe.
+
+The introduction describes how uncovered players are handled in the
+teaming event: after packing disjoint k-cliques, "the maximum set of
+disjoint dense-connected k nodes can be found iteratively in the
+residual graph which removes the already contained nodes, until all
+nodes are settled." This module implements that pipeline as a library
+feature: pack at the target k, then fall back through smaller clique
+sizes on the residual graph, and finally group leftovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.core.api import find_disjoint_cliques
+
+
+@dataclass
+class ResidualPacking:
+    """Outcome of :func:`iterative_residual_packing`.
+
+    Attributes
+    ----------
+    rounds:
+        One entry per packing round: ``(k, cliques)`` in the order run.
+    leftovers:
+        Nodes not covered by any round, grouped into chunks of the
+        target size when ``group_leftovers`` was requested (the final
+        groups are *not* cliques).
+    """
+
+    rounds: list[tuple[int, list[frozenset[int]]]] = field(default_factory=list)
+    leftovers: list[list[int]] = field(default_factory=list)
+
+    @property
+    def groups(self) -> list[list[int]]:
+        """All formed groups: clique rounds first, then leftover chunks."""
+        out = [sorted(c) for _, cliques in self.rounds for c in cliques]
+        out.extend(self.leftovers)
+        return out
+
+    @property
+    def covered_nodes(self) -> set[int]:
+        """Nodes covered by clique rounds (leftover chunks excluded)."""
+        return {u for _, cliques in self.rounds for c in cliques for u in c}
+
+    def coverage(self, n: int) -> float:
+        """Fraction of nodes inside genuine cliques."""
+        return len(self.covered_nodes) / n if n else 0.0
+
+    def round_sizes(self) -> dict[int, int]:
+        """Number of cliques found per k."""
+        return {k: len(cliques) for k, cliques in self.rounds}
+
+
+def iterative_residual_packing(
+    graph: Graph,
+    ks: Sequence[int] = (4, 3, 2),
+    method: str = "lp",
+    group_leftovers: bool = True,
+) -> ResidualPacking:
+    """Pack disjoint cliques at decreasing sizes until nodes run out.
+
+    Parameters
+    ----------
+    graph:
+        Input undirected graph.
+    ks:
+        Clique sizes to pack, in order (must be strictly decreasing and
+        all ``>= 2``). The first entry is the "team size" target.
+    method:
+        Static solver used for each round.
+    group_leftovers:
+        When true, nodes covered by no round are grouped into arbitrary
+        chunks of ``ks[0]`` (the teaming event assigns every player).
+
+    Returns
+    -------
+    ResidualPacking
+    """
+    ks = list(ks)
+    if not ks or any(k < 2 for k in ks):
+        raise InvalidParameterError(f"ks must be non-empty with all k >= 2, got {ks}")
+    if ks != sorted(ks, reverse=True) or len(set(ks)) != len(ks):
+        raise InvalidParameterError(f"ks must be strictly decreasing, got {ks}")
+
+    packing = ResidualPacking()
+    covered: set[int] = set()
+    residual = graph
+    for k in ks:
+        result = find_disjoint_cliques(residual, k, method=method)
+        if result.cliques:
+            packing.rounds.append((k, list(result.cliques)))
+            for clique in result.cliques:
+                covered |= clique
+            residual = graph.remove_nodes(covered)
+        else:
+            packing.rounds.append((k, []))
+    if group_leftovers:
+        leftover_nodes = [u for u in range(graph.n) if u not in covered]
+        size = ks[0]
+        packing.leftovers = [
+            leftover_nodes[i : i + size] for i in range(0, len(leftover_nodes), size)
+        ]
+    return packing

@@ -1,0 +1,21 @@
+"""Dynamic maintenance: candidate index, swaps, and the update maintainer."""
+
+from repro.dynamic.index import CandidateIndex, RefreshReport
+from repro.dynamic.maintainer import DynamicDisjointCliques
+from repro.dynamic.swap import select_disjoint, try_swap
+from repro.dynamic.workload import (
+    deletion_workload,
+    insertion_workload,
+    mixed_workload,
+)
+
+__all__ = [
+    "DynamicDisjointCliques",
+    "CandidateIndex",
+    "RefreshReport",
+    "try_swap",
+    "select_disjoint",
+    "deletion_workload",
+    "insertion_workload",
+    "mixed_workload",
+]

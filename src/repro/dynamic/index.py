@@ -1,0 +1,296 @@
+"""Candidate-clique index (Section V-B, Algorithm 5).
+
+A *free* node is one not covered by the solution ``S``. A *candidate*
+k-clique mixes at least one free node with at least one non-free node,
+and all its non-free nodes belong to the **same** clique of ``S`` (its
+*owner*) — the only shape a profitable swap can use. The index maintains
+exactly the set of all candidate cliques of the current graph, grouped by
+owner, with a per-node inverted index for O(1)-amortised invalidation.
+
+The full-build entry point (:meth:`CandidateIndex.build`) is the paper's
+Algorithm 5: for each owner clique ``C``, enumerate k-cliques inside
+``C ∪ N_F(C)`` (its nodes plus their free neighbours) and keep all but
+``C`` itself. Incremental maintenance goes through
+:meth:`refresh_nodes` (status changes) and
+:meth:`remove_candidates_with_edge` (structural edge deletions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SolutionError
+from repro.dynamic.local import (
+    cliques_through_edge,
+    cliques_through_node,
+    iter_cliques_within,
+)
+
+Clique = frozenset[int]
+
+
+@dataclass
+class RefreshReport:
+    """Outcome of a :meth:`CandidateIndex.refresh_nodes` pass.
+
+    Attributes
+    ----------
+    new_by_owner:
+        Candidates that entered the index and were not present before the
+        pass, grouped by owner id — the paper's trigger for re-queueing
+        owners into TrySwap.
+    all_free:
+        k-cliques discovered whose nodes are *all* free. These are not
+        candidates; the maintainer must absorb them into ``S`` to keep it
+        maximal.
+    removed:
+        Candidates dropped by the pass.
+    """
+
+    new_by_owner: dict[int, set[Clique]] = field(default_factory=dict)
+    all_free: set[Clique] = field(default_factory=set)
+    removed: set[Clique] = field(default_factory=set)
+
+
+class CandidateIndex:
+    """Exact candidate-clique index over a dynamic graph.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`repro.graph.dynamic.DynamicGraph` shared with the
+        maintainer (the index never mutates it).
+    k:
+        Clique size.
+    """
+
+    def __init__(self, graph, k: int) -> None:
+        self.graph = graph
+        self.k = k
+        self.solution: dict[int, Clique] = {}
+        self.owner_of: dict[int, int] = {}
+        self.cands_by_owner: dict[int, set[Clique]] = {}
+        self.cands_by_node: dict[int, set[Clique]] = {}
+        self.owner_of_cand: dict[Clique, int] = {}
+        self._next_owner = 0
+
+    # ------------------------------------------------------------------
+    # Solution bookkeeping
+    # ------------------------------------------------------------------
+    def is_free(self, u: int) -> bool:
+        """Whether node ``u`` is uncovered by the solution."""
+        return u not in self.owner_of
+
+    def add_solution_clique(self, clique: Clique) -> int:
+        """Register a clique of ``S``; returns its owner id."""
+        clique = frozenset(clique)
+        for u in clique:
+            if u in self.owner_of:
+                raise SolutionError(
+                    f"node {u} already belongs to solution clique "
+                    f"{sorted(self.solution[self.owner_of[u]])}"
+                )
+        owner = self._next_owner
+        self._next_owner += 1
+        self.solution[owner] = clique
+        for u in clique:
+            self.owner_of[u] = owner
+        self.cands_by_owner[owner] = set()
+        return owner
+
+    def remove_solution_clique(self, owner: int) -> Clique:
+        """Drop an owner from ``S``; its nodes become free.
+
+        The owner's candidate entries are removed; the caller is expected
+        to run :meth:`refresh_nodes` on the freed nodes afterwards.
+        """
+        clique = self.solution.pop(owner)
+        for u in clique:
+            del self.owner_of[u]
+        for cand in list(self.cands_by_owner.pop(owner, ())):
+            self._detach(cand)
+        return clique
+
+    # ------------------------------------------------------------------
+    # Candidate bookkeeping
+    # ------------------------------------------------------------------
+    def classify(self, clique: Clique) -> tuple[str, int | None]:
+        """Classify a k-clique: ``("candidate", owner)``, ``("all_free",
+        None)`` or ``("invalid", None)``."""
+        owners = {self.owner_of[u] for u in clique if u in self.owner_of}
+        if not owners:
+            return ("all_free", None)
+        if len(owners) == 1 and any(u not in self.owner_of for u in clique):
+            return ("candidate", owners.pop())
+        return ("invalid", None)
+
+    def add_candidate(self, clique: Clique, owner: int) -> bool:
+        """Insert a candidate; returns ``False`` if already present."""
+        if clique in self.owner_of_cand:
+            return False
+        self.owner_of_cand[clique] = owner
+        self.cands_by_owner.setdefault(owner, set()).add(clique)
+        for u in clique:
+            self.cands_by_node.setdefault(u, set()).add(clique)
+        return True
+
+    def _detach(self, cand: Clique) -> None:
+        """Remove a candidate from the node index and the global map."""
+        self.owner_of_cand.pop(cand, None)
+        for u in cand:
+            bucket = self.cands_by_node.get(u)
+            if bucket is not None:
+                bucket.discard(cand)
+                if not bucket:
+                    del self.cands_by_node[u]
+
+    def remove_candidate(self, cand: Clique) -> None:
+        """Remove a candidate from all structures."""
+        owner = self.owner_of_cand.get(cand)
+        if owner is not None:
+            self.cands_by_owner.get(owner, set()).discard(cand)
+        self._detach(cand)
+
+    def candidates_of(self, owner: int) -> set[Clique]:
+        """Live view of an owner's candidate set."""
+        return self.cands_by_owner.get(owner, set())
+
+    @property
+    def num_candidates(self) -> int:
+        """Total candidate cliques (the paper's "index size", Table VII)."""
+        return len(self.owner_of_cand)
+
+    def remove_candidates_with_edge(self, u: int, v: int) -> set[Clique]:
+        """Drop every candidate containing both endpoints (edge deleted)."""
+        doomed = self.cands_by_node.get(u, set()) & self.cands_by_node.get(v, set())
+        doomed = set(doomed)
+        for cand in doomed:
+            self.remove_candidate(cand)
+        return doomed
+
+    # ------------------------------------------------------------------
+    # Construction and refresh
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        """Algorithm 5: construct all candidates from scratch.
+
+        For each owner ``C``, enumerate the k-cliques of the subgraph
+        induced on ``B = C ∪ N_F(C)`` and register every one except ``C``
+        itself. Assumes ``S`` is maximal (no all-free clique exists);
+        violations raise :class:`SolutionError` because they indicate the
+        static solver handed over a non-maximal solution.
+        """
+        for owner, clique in self.solution.items():
+            free_neighbours = {
+                v
+                for u in clique
+                for v in self.graph.neighbors(u)
+                if v not in self.owner_of
+            }
+            pool = set(clique) | free_neighbours
+            for cand in iter_cliques_within(self.graph, pool, self.k):
+                if cand == clique:
+                    continue
+                kind, cand_owner = self.classify(cand)
+                if kind == "candidate" and cand_owner == owner:
+                    self.add_candidate(cand, owner)
+                elif kind == "all_free":
+                    raise SolutionError(
+                        f"solution is not maximal: free k-clique {sorted(cand)}"
+                    )
+
+    def refresh_nodes(self, dirty) -> RefreshReport:
+        """Re-derive all candidates touching ``dirty`` nodes.
+
+        Call after the free status of ``dirty`` changed (solution cliques
+        added/removed) or after local structure changed around them. Any
+        candidate whose validity could have changed contains a dirty
+        node, so removing those and re-discovering cliques through each
+        dirty node restores exactness.
+        """
+        report = RefreshReport()
+        doomed: set[Clique] = set()
+        for node in dirty:
+            doomed |= self.cands_by_node.get(node, set())
+        for cand in doomed:
+            self.remove_candidate(cand)
+        report.removed = doomed
+
+        seen: set[Clique] = set()
+        for node in dirty:
+            for clique in cliques_through_node(self.graph, node, self.k):
+                if clique in seen:
+                    continue
+                seen.add(clique)
+                kind, owner = self.classify(clique)
+                if kind == "candidate":
+                    if self.add_candidate(clique, owner) and clique not in doomed:
+                        report.new_by_owner.setdefault(owner, set()).add(clique)
+                elif kind == "all_free":
+                    report.all_free.add(clique)
+        return report
+
+    def discover_through_edge(self, u: int, v: int) -> RefreshReport:
+        """Classify every k-clique through edge ``(u, v)`` (fresh insert).
+
+        Only cliques containing the new edge can be new, so this is the
+        complete discovery step for Algorithm 6.
+        """
+        report = RefreshReport()
+        for clique in cliques_through_edge(self.graph, u, v, self.k):
+            kind, owner = self.classify(clique)
+            if kind == "candidate":
+                if self.add_candidate(clique, owner):
+                    report.new_by_owner.setdefault(owner, set()).add(clique)
+            elif kind == "all_free":
+                report.all_free.add(clique)
+        return report
+
+    # ------------------------------------------------------------------
+    # Validation (test hook)
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Raise :class:`SolutionError` on any internal inconsistency.
+
+        Recomputes the candidate universe from scratch (Algorithm 5
+        semantics over the whole graph) and compares. Exponential-ish;
+        tests only.
+        """
+        for owner, clique in self.solution.items():
+            if not self.graph.is_clique(clique):
+                raise SolutionError(f"solution clique {sorted(clique)} is broken")
+            for u in clique:
+                if self.owner_of.get(u) != owner:
+                    raise SolutionError(f"owner map wrong for node {u}")
+        for u, owner in self.owner_of.items():
+            if u not in self.solution[owner]:
+                raise SolutionError(f"node {u} mapped to wrong owner {owner}")
+
+        expected: dict[Clique, int] = {}
+        for owner, clique in self.solution.items():
+            free_neighbours = {
+                v
+                for u in clique
+                for v in self.graph.neighbors(u)
+                if v not in self.owner_of
+            }
+            pool = set(clique) | free_neighbours
+            for cand in iter_cliques_within(self.graph, pool, self.k):
+                if cand == clique:
+                    continue
+                kind, cand_owner = self.classify(cand)
+                if kind == "candidate" and cand_owner == owner:
+                    expected[cand] = owner
+        if expected.keys() != self.owner_of_cand.keys():
+            missing = expected.keys() - self.owner_of_cand.keys()
+            extra = self.owner_of_cand.keys() - expected.keys()
+            raise SolutionError(
+                f"candidate index drift: missing={sorted(map(sorted, missing))} "
+                f"extra={sorted(map(sorted, extra))}"
+            )
+        for cand, owner in expected.items():
+            if self.owner_of_cand[cand] != owner:
+                raise SolutionError(
+                    f"candidate {sorted(cand)} has owner "
+                    f"{self.owner_of_cand[cand]}, expected {owner}"
+                )

@@ -1,0 +1,244 @@
+"""Dynamic maintenance of a near-optimal disjoint k-clique set.
+
+:class:`DynamicDisjointCliques` is the paper's Section V put together:
+an initial static solve (LP by default), the candidate index
+(Algorithm 5), swap operations (Algorithm 4) and the insertion/deletion
+handlers (Algorithms 6 and 7). After every public update the following
+invariants hold (property-tested in ``tests/test_dynamic_*.py``):
+
+* the solution is a valid disjoint k-clique set of the current graph;
+* the solution is maximal (no k-clique among free nodes), hence still a
+  k-approximation by Theorem 3;
+* the candidate index matches its from-scratch definition exactly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.errors import InvalidParameterError
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.graph import Graph
+from repro.core.api import find_disjoint_cliques
+from repro.core.result import CliqueSetResult
+from repro.dynamic.index import CandidateIndex, Clique, RefreshReport
+from repro.dynamic.swap import select_disjoint, try_swap
+
+
+class DynamicDisjointCliques:
+    """Maintains a maximal disjoint k-clique set under edge updates.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph; a private :class:`DynamicGraph` copy is kept.
+    k:
+        Clique size, ``>= 2``.
+    method:
+        Static solver for the initial solution (default ``"lp"``).
+
+    Examples
+    --------
+    >>> from repro.graph.generators import planted_clique_packing
+    >>> g, _ = planted_clique_packing(3, 3, seed=0)
+    >>> dyn = DynamicDisjointCliques(g, k=3)
+    >>> dyn.size
+    3
+    >>> dyn.delete_edge(0, 1)      # break the first planted triangle
+    >>> dyn.size
+    2
+    >>> dyn.insert_edge(0, 1)      # restore it
+    >>> dyn.size
+    3
+    """
+
+    def __init__(self, graph, k: int, method: str = "lp") -> None:
+        if k < 2:
+            raise InvalidParameterError(f"k must be >= 2, got {k}")
+        if isinstance(graph, Graph):
+            self.graph = DynamicGraph.from_graph(graph)
+            static = graph
+        elif isinstance(graph, DynamicGraph):
+            self.graph = DynamicGraph(graph.n, graph.edges())
+            static = self.graph.snapshot()
+        else:
+            raise InvalidParameterError(
+                f"graph must be Graph or DynamicGraph, got {type(graph).__name__}"
+            )
+        self.k = k
+        self.stats: dict[str, float] = {
+            "insertions": 0,
+            "deletions": 0,
+            "pops": 0,
+            "swaps": 0,
+            "swap_gain": 0,
+            "direct_additions": 0,
+            "destroyed_cliques": 0,
+        }
+        initial = find_disjoint_cliques(static, k, method=method)
+        self.index = CandidateIndex(self.graph, k)
+        for clique in initial.cliques:
+            self.index.add_solution_clique(clique)
+        self.index.build()
+
+    # ------------------------------------------------------------------
+    # Read API
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Current ``|S|``."""
+        return len(self.index.solution)
+
+    @property
+    def index_size(self) -> int:
+        """Number of candidate cliques (the paper's index size)."""
+        return self.index.num_candidates
+
+    def solution(self) -> CliqueSetResult:
+        """Snapshot of the maintained solution."""
+        return CliqueSetResult(
+            list(self.index.solution.values()),
+            k=self.k,
+            method="dynamic",
+            stats=dict(self.stats),
+        )
+
+    def free_nodes(self) -> set[int]:
+        """Nodes not covered by any solution clique."""
+        return {u for u in self.graph.nodes() if u not in self.index.owner_of}
+
+    # ------------------------------------------------------------------
+    # Update API
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> bool:
+        """Algorithm 6. Returns ``False`` when the edge already existed."""
+        if not self.graph.insert_edge(u, v):
+            return False
+        self.stats["insertions"] += 1
+        u_free = self.index.is_free(u)
+        v_free = self.index.is_free(v)
+        if not u_free and not v_free:
+            # Both covered: any new clique would contain (u, v) and two
+            # non-free nodes; same owner is impossible (the edge would
+            # have existed), different owners can't form a candidate.
+            return True
+
+        report = self.index.discover_through_edge(u, v)
+        if u_free and v_free and report.all_free:
+            # A brand-new clique among free nodes: add directly, no swap
+            # cascade needed (no other owner gains candidates from it).
+            self._absorb_all_free(report.all_free)
+            return True
+        if report.new_by_owner:
+            queue: deque[int] = deque(
+                owner for owner in report.new_by_owner if owner in self.index.solution
+            )
+            try_swap(self.index, queue, self.stats)
+        return True
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        """Algorithm 7. Returns ``False`` when the edge was absent."""
+        if not self.graph.delete_edge(u, v):
+            return False
+        self.stats["deletions"] += 1
+        self.index.remove_candidates_with_edge(u, v)
+
+        owner_u = self.index.owner_of.get(u)
+        owner_v = self.index.owner_of.get(v)
+        if owner_u is None or owner_u != owner_v:
+            # The edge was not inside a solution clique; candidate
+            # invalidation above is all that is needed.
+            return True
+
+        # The deletion split a solution clique: remove it, re-cover its
+        # freed nodes from surviving local cliques, then cascade swaps.
+        self.stats["destroyed_cliques"] += 1
+        freed = self.index.remove_solution_clique(owner_u)
+        report = self.index.refresh_nodes(freed)
+        new_owners = self._absorb_all_free(report.all_free)
+        queue: deque[int] = deque(
+            owner for owner in report.new_by_owner if owner in self.index.solution
+        )
+        for owner in new_owners:
+            if owner not in queue:
+                queue.append(owner)
+        try_swap(self.index, queue, self.stats)
+        return True
+
+    def add_node(self, neighbors: Iterable[int] = ()) -> int:
+        """Add a node (a player joining), optionally wired to neighbours.
+
+        The paper treats node updates as bundles of edge updates; each
+        neighbour edge goes through :meth:`insert_edge` so the solution
+        and index stay exact.
+        """
+        node = self.graph.add_node()
+        for v in neighbors:
+            self.insert_edge(node, v)
+        return node
+
+    def remove_node(self, u: int) -> int:
+        """Detach a node (a player leaving) by deleting its edges.
+
+        The node id stays allocated but isolated and free. Returns the
+        number of edges removed.
+        """
+        removed = 0
+        for v in sorted(self.graph.neighbors(u)):
+            if self.delete_edge(u, v):
+                removed += 1
+        return removed
+
+    def apply(self, updates: Iterable[tuple[str, int, int]]) -> None:
+        """Apply a stream of ``("insert" | "delete", u, v)`` updates."""
+        for op, u, v in updates:
+            if op == "insert":
+                self.insert_edge(u, v)
+            elif op == "delete":
+                self.delete_edge(u, v)
+            else:
+                raise InvalidParameterError(f"unknown update op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _absorb_all_free(self, all_free: set[Clique]) -> list[int]:
+        """Greedily add disjoint all-free cliques to ``S`` (keeps S maximal).
+
+        Absorption makes nodes non-free, which can only *reveal new
+        candidates* for the just-added owners, never new all-free
+        cliques — so one refresh pass per absorption round suffices.
+        """
+        new_owners: list[int] = []
+        pending = set(all_free)
+        while pending:
+            chosen = select_disjoint(pending, self.k)
+            pending.clear()
+            dirty: set[int] = set()
+            for clique in chosen:
+                # Re-validate: earlier additions may have consumed nodes.
+                if any(not self.index.is_free(w) for w in clique):
+                    continue
+                if not self.graph.is_clique(clique):
+                    continue
+                new_owners.append(self.index.add_solution_clique(clique))
+                self.stats["direct_additions"] += 1
+                dirty |= clique
+            if not dirty:
+                break
+            report = self.index.refresh_nodes(dirty)
+            pending = report.all_free
+        return new_owners
+
+    # ------------------------------------------------------------------
+    # Validation (test hook)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise unless solution validity/maximality and index exactness hold."""
+        from repro.core.result import is_maximal, verify_solution
+
+        verify_solution(self.graph, self.k, self.index.solution.values())
+        self.index.check_consistency()
+        if not is_maximal(self.graph, self.k, self.index.solution.values()):
+            raise AssertionError("maintained solution is not maximal")

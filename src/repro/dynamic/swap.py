@@ -1,0 +1,108 @@
+"""Swap operations (Section V-A, Algorithm 4).
+
+``try_swap`` pops solution cliques from a FIFO queue and, for each, looks
+for a set of >= 2 pairwise-disjoint candidate cliques to replace it —
+each swap grows ``|S|`` by at least one, so the loop terminates after at
+most ``n/k`` swaps. Replacement sets are chosen exactly the way
+Algorithm 2 chooses cliques globally: ascending clique score, where
+scores are computed *locally* over the candidate set under inspection
+(the paper runs "Algorithm 2 ... among C(C)").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.dynamic.index import CandidateIndex, Clique
+
+
+def select_disjoint(cliques, k: int) -> list[Clique]:
+    """Greedy maximal disjoint subset in ascending local-score order.
+
+    ``s_n`` is recomputed inside the candidate pool (how many pool
+    cliques contain each node); the greedy key is the package-wide
+    ``(score, sorted nodes)`` order, so selection is deterministic.
+    """
+    pool = [frozenset(c) for c in cliques]
+    counts: dict[int, int] = {}
+    for clique in pool:
+        for u in clique:
+            counts[u] = counts.get(u, 0) + 1
+    keyed = sorted(
+        pool, key=lambda c: (sum(counts[u] for u in c), tuple(sorted(c)))
+    )
+    used: set[int] = set()
+    chosen: list[Clique] = []
+    for clique in keyed:
+        if used.isdisjoint(clique):
+            chosen.append(clique)
+            used |= clique
+    return chosen
+
+
+def try_swap(
+    index: CandidateIndex,
+    queue: deque[int],
+    stats: dict[str, float] | None = None,
+) -> list[int]:
+    """Run Algorithm 4 until the owner queue drains.
+
+    Parameters
+    ----------
+    index:
+        The candidate index (shared with the maintainer; mutated).
+    queue:
+        FIFO of owner ids eligible for swapping. Owners that left the
+        solution in the meantime are skipped.
+    stats:
+        Optional counter dict (``swaps``, ``swap_gain``, ``pops``).
+
+    Returns
+    -------
+    list[int]
+        Owner ids newly added to the solution by swaps (useful for
+        callers that track which cliques changed).
+    """
+    if stats is None:
+        stats = {}
+    stats.setdefault("pops", 0)
+    stats.setdefault("swaps", 0)
+    stats.setdefault("swap_gain", 0)
+    created: list[int] = []
+
+    while queue:
+        owner = queue.popleft()
+        if owner not in index.solution:
+            continue
+        stats["pops"] += 1
+        candidates = index.candidates_of(owner)
+        if len(candidates) < 2:
+            continue
+        replacement = select_disjoint(candidates, index.k)
+        if len(replacement) <= 1:
+            continue
+
+        # Perform the swap: C out, replacement in.
+        removed = index.remove_solution_clique(owner)
+        dirty: set[int] = set(removed)
+        new_ids: list[int] = []
+        for clique in replacement:
+            new_ids.append(index.add_solution_clique(clique))
+            dirty |= clique
+        stats["swaps"] += 1
+        stats["swap_gain"] += len(replacement) - 1
+
+        report = index.refresh_nodes(dirty)
+        # A maximal replacement leaves no all-free clique behind: any such
+        # clique would have been a candidate of the removed owner disjoint
+        # from everything chosen, contradicting greedy maximality.
+        if report.all_free:
+            raise AssertionError(
+                f"swap left uncovered free cliques: "
+                f"{sorted(map(sorted, report.all_free))}"
+            )
+        for gained_owner in report.new_by_owner:
+            if gained_owner in index.solution and gained_owner not in queue:
+                queue.append(gained_owner)
+        created.extend(new_ids)
+    return created

@@ -1,0 +1,71 @@
+"""Update-workload generators matching the paper's Section VI-E protocol.
+
+Three workloads are evaluated there:
+
+* **deletion**: sample ``count`` existing edges uniformly, delete them;
+* **insertion**: re-insert those same edges (so both workloads touch the
+  same edge population);
+* **mixed**: sample ``count`` edges to *pre-delete* (forming ``G'``) and
+  ``count`` different edges to delete online, then interleave the
+  ``count`` re-insertions and ``count`` deletions in random order.
+
+All generators are seeded and return plain ``(op, u, v)`` tuples that
+:meth:`repro.dynamic.maintainer.DynamicDisjointCliques.apply` consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+
+Update = tuple[str, int, int]
+
+
+def _sample_edges(graph: Graph, count: int, rng: np.random.Generator) -> list[tuple[int, int]]:
+    edges = list(graph.edges())
+    if count > len(edges):
+        raise InvalidParameterError(
+            f"cannot sample {count} edges from a graph with {len(edges)}"
+        )
+    picks = rng.choice(len(edges), size=count, replace=False)
+    return [edges[i] for i in picks]
+
+
+def deletion_workload(graph: Graph, count: int, seed: int | None = None) -> list[Update]:
+    """``count`` random edge deletions."""
+    rng = np.random.default_rng(seed)
+    return [("delete", u, v) for u, v in _sample_edges(graph, count, rng)]
+
+
+def insertion_workload(graph: Graph, count: int, seed: int | None = None) -> list[Update]:
+    """``count`` insertions restoring edges sampled from ``graph``.
+
+    Meant to be applied to a graph from which those edges were first
+    removed (the paper deletes then re-adds the same sample).
+    """
+    rng = np.random.default_rng(seed)
+    return [("insert", u, v) for u, v in _sample_edges(graph, count, rng)]
+
+
+def mixed_workload(
+    graph: Graph, count: int, seed: int | None = None
+) -> tuple[Graph, list[Update]]:
+    """The paper's mixed stream.
+
+    Samples ``2 * count`` distinct edges; the first half is removed from
+    ``graph`` up-front (forming the start graph ``G'``), then the stream
+    interleaves their re-insertions with deletions of the second half in
+    a random permutation.
+
+    Returns ``(start_graph, updates)``.
+    """
+    rng = np.random.default_rng(seed)
+    sample = _sample_edges(graph, 2 * count, rng)
+    to_insert, to_delete = sample[:count], sample[count:]
+    start = graph.remove_edges(to_insert)
+    updates: list[Update] = [("insert", u, v) for u, v in to_insert]
+    updates += [("delete", u, v) for u, v in to_delete]
+    perm = rng.permutation(len(updates))
+    return start, [updates[i] for i in perm]

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Resource-budget violations raised by the benchmark
+harness (mirroring the paper's ``OOT``/``OOM`` markers) have dedicated
+subclasses so experiment runners can record them per-cell.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or mutation (e.g. self-loop, unknown node)."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A user-supplied parameter is outside its valid domain (e.g. ``k < 2``)."""
+
+
+class SolutionError(ReproError):
+    """A clique-set result violates the problem invariants."""
+
+
+class BudgetExceededError(ReproError):
+    """Base class for resource-budget violations in the bench harness."""
+
+
+class OutOfTimeError(BudgetExceededError):
+    """Computation exceeded its wall-clock budget (paper marker: ``OOT``)."""
+
+
+class OutOfMemoryError(BudgetExceededError):
+    """Computation exceeded its memory budget (paper marker: ``OOM``)."""

@@ -1,0 +1,16 @@
+"""Graph substrates: static/dynamic graphs, orderings, DAGs, generators, I/O."""
+
+from repro.graph.graph import Graph
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.dag import OrientedGraph
+from repro.graph import datasets, generators, io, ordering
+
+__all__ = [
+    "Graph",
+    "DynamicGraph",
+    "OrientedGraph",
+    "datasets",
+    "generators",
+    "io",
+    "ordering",
+]

@@ -1,0 +1,98 @@
+"""Compressed-sparse-row adjacency backed by numpy arrays.
+
+The CSR view powers the vectorised parts of the pipeline: degree
+statistics, degeneracy-order computation and bulk triangle counting. The
+row for node ``u`` is ``cols[indptr[u]:indptr[u+1]]``, sorted ascending,
+which also enables ``numpy``/``bisect`` membership probes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CSRAdjacency:
+    """Immutable CSR adjacency of an undirected graph.
+
+    Attributes
+    ----------
+    indptr:
+        int64 array of length ``n + 1``; row pointers.
+    cols:
+        int64 array of length ``2m``; concatenated sorted neighbour lists.
+    """
+
+    __slots__ = ("indptr", "cols")
+
+    def __init__(self, indptr: np.ndarray, cols: np.ndarray) -> None:
+        self.indptr = indptr
+        self.cols = cols
+
+    @classmethod
+    def from_graph(cls, graph) -> "CSRAdjacency":
+        """Build from a :class:`repro.graph.graph.Graph`."""
+        n = graph.n
+        degrees = graph.degrees
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        cols = np.empty(int(indptr[-1]), dtype=np.int64)
+        for u in range(n):
+            start, stop = indptr[u], indptr[u + 1]
+            cols[start:stop] = sorted(graph.neighbors(u))
+        return cls(indptr, cols)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self.indptr) - 1
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return len(self.cols) // 2
+
+    def row(self, u: int) -> np.ndarray:
+        """Sorted neighbour array of ``u`` (a view; do not mutate)."""
+        return self.cols[self.indptr[u] : self.indptr[u + 1]]
+
+    def degree(self, u: int) -> int:
+        """Degree of node ``u``."""
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    def degrees(self) -> np.ndarray:
+        """int64 degree array."""
+        return np.diff(self.indptr)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Binary-search membership probe."""
+        row = self.row(u)
+        idx = np.searchsorted(row, v)
+        return idx < len(row) and row[idx] == v
+
+    def triangle_count_per_node(self) -> np.ndarray:
+        """Number of triangles through each node.
+
+        Uses the standard forward algorithm on the degeneracy-free
+        orientation ``u -> v iff (deg, id)`` increases, intersecting
+        sorted out-neighbour arrays. Intended for Table I statistics,
+        where it is markedly faster than generic k-clique listing.
+        """
+        n = self.n
+        deg = self.degrees()
+        rank = np.lexsort((np.arange(n), deg))  # positions sorted by (deg, id)
+        order = np.empty(n, dtype=np.int64)
+        order[rank] = np.arange(n)
+        counts = np.zeros(n, dtype=np.int64)
+        out: list[np.ndarray] = []
+        for u in range(n):
+            row = self.row(u)
+            out.append(row[order[row] > order[u]])
+        for u in range(n):
+            row_u = out[u]
+            for v in row_u:
+                common = np.intersect1d(row_u, out[int(v)], assume_unique=True)
+                if len(common):
+                    counts[u] += len(common)
+                    counts[int(v)] += len(common)
+                    counts[common] += 1
+        return counts

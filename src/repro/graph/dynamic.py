@@ -1,0 +1,130 @@
+"""Mutable undirected graph supporting O(1) edge insertions and deletions.
+
+The dynamic-maintenance algorithms (Section V of the paper) interleave
+edge updates with local clique searches, so the structure keeps plain
+``set`` adjacency. A :meth:`snapshot` produces the immutable
+:class:`repro.graph.graph.Graph` consumed by the static algorithms, e.g.
+for rebuild-from-scratch comparisons (Table VIII).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import GraphError
+
+Edge = tuple[int, int]
+
+
+class DynamicGraph:
+    """A simple undirected graph on ``0 .. n-1`` with edge updates."""
+
+    __slots__ = ("_n", "_m", "_adj")
+
+    def __init__(self, n: int, edges: Iterable[Edge] = ()) -> None:
+        if n < 0:
+            raise GraphError(f"node count must be non-negative, got {n}")
+        self._n = n
+        self._m = 0
+        self._adj: list[set[int]] = [set() for _ in range(n)]
+        for u, v in edges:
+            self.insert_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> bool:
+        """Insert edge ``(u, v)``; return ``False`` if it already existed."""
+        self._check(u, v)
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._m += 1
+        return True
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        """Delete edge ``(u, v)``; return ``False`` if it was absent."""
+        self._check(u, v)
+        if v not in self._adj[u]:
+            return False
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._m -= 1
+        return True
+
+    def add_node(self) -> int:
+        """Append an isolated node and return its id."""
+        self._adj.append(set())
+        self._n += 1
+        return self._n - 1
+
+    def _check(self, u: int, v: int) -> None:
+        if u == v:
+            raise GraphError(f"self-loop on node {u} is not allowed")
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise GraphError(f"edge ({u}, {v}) outside node range [0, {self._n})")
+
+    # ------------------------------------------------------------------
+    # Accessors (mirror the static Graph API)
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    def degree(self, u: int) -> int:
+        """Degree of node ``u``."""
+        return len(self._adj[u])
+
+    def neighbors(self, u: int) -> set[int]:
+        """Neighbour set of ``u`` (live view; do not mutate)."""
+        return self._adj[u]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``(u, v)`` exists."""
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            return False
+        return v in self._adj[u]
+
+    def nodes(self) -> range:
+        """Iterate node ids."""
+        return range(self._n)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate each edge once as ``(min, max)``."""
+        for u in range(self._n):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def is_clique(self, nodes) -> bool:
+        """Whether ``nodes`` induce a complete subgraph."""
+        node_list = list(nodes)
+        if len(set(node_list)) != len(node_list):
+            return False
+        for i, u in enumerate(node_list):
+            adj_u = self._adj[u]
+            for v in node_list[i + 1 :]:
+                if v not in adj_u:
+                    return False
+        return True
+
+    def snapshot(self):
+        """Freeze into an immutable :class:`repro.graph.graph.Graph`."""
+        from repro.graph.graph import Graph
+
+        return Graph(self._n, list(self.edges()))
+
+    @classmethod
+    def from_graph(cls, graph) -> "DynamicGraph":
+        """Thaw an immutable :class:`repro.graph.graph.Graph`."""
+        return cls(graph.n, graph.edges())
+
+    def __repr__(self) -> str:
+        return f"DynamicGraph(n={self._n}, m={self._m})"

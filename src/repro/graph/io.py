@@ -1,0 +1,86 @@
+"""Edge-list graph I/O.
+
+Supports the whitespace-separated edge-list format that KONECT and the
+Network Repository distribute (``u v`` per line, ``%``/``#`` comments,
+optional weight columns that are ignored). Node labels may be arbitrary
+strings or non-contiguous integers; they are relabelled to ``0 .. n-1``
+and the mapping is returned so results can be reported in original ids.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+_COMMENT_PREFIXES = ("%", "#")
+
+
+def _open_text(path: str | Path) -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def iter_edge_lines(lines: Iterable[str]) -> Iterator[tuple[str, str]]:
+    """Yield ``(u_label, v_label)`` pairs from edge-list text lines.
+
+    Skips blank lines and comments; ignores columns past the first two
+    (KONECT stores weights/timestamps there). Raises :class:`GraphError`
+    on lines with fewer than two fields.
+    """
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(_COMMENT_PREFIXES):
+            continue
+        parts = line.replace(",", " ").split()
+        if len(parts) < 2:
+            raise GraphError(f"line {lineno}: expected 'u v', got {raw!r}")
+        yield parts[0], parts[1]
+
+
+def read_edge_list(path: str | Path) -> tuple[Graph, dict[str, int]]:
+    """Read an edge-list file into a graph.
+
+    Returns ``(graph, label_to_id)``. Self-loops in the input are dropped
+    (real-world dumps occasionally contain them); duplicates are merged.
+    """
+    label_to_id: dict[str, int] = {}
+    edges: list[tuple[int, int]] = []
+    with _open_text(path) as fh:
+        for a, b in iter_edge_lines(fh):
+            if a == b:
+                continue
+            u = label_to_id.setdefault(a, len(label_to_id))
+            v = label_to_id.setdefault(b, len(label_to_id))
+            edges.append((u, v))
+    return Graph(len(label_to_id), edges), label_to_id
+
+
+def parse_edge_list(text: str) -> Graph:
+    """Parse edge-list text with integer labels into a graph.
+
+    Convenience for tests and examples; labels must be integers and are
+    used directly as node ids.
+    """
+    edges: list[tuple[int, int]] = []
+    for a, b in iter_edge_lines(text.splitlines()):
+        u, v = int(a), int(b)
+        if u != v:
+            edges.append((u, v))
+    return Graph.from_edges(edges) if edges else Graph(0)
+
+
+def write_edge_list(graph: Graph, path: str | Path, header: str | None = None) -> None:
+    """Write a graph as a plain edge list (one ``u v`` line per edge)."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        if header:
+            for line in header.splitlines():
+                fh.write(f"% {line}\n")
+        for u, v in graph.edges():
+            fh.write(f"{u} {v}\n")

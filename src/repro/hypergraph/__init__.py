@@ -1,0 +1,5 @@
+"""k-uniform hypergraphs and the Exact Cover by k-Sets reduction (Theorem 1)."""
+
+from repro.hypergraph.kuniform import KUniformHypergraph, random_exact_cover_instance
+
+__all__ = ["KUniformHypergraph", "random_exact_cover_instance"]

@@ -1,0 +1,150 @@
+"""k-uniform hypergraphs, the XkC reduction and an exact-cover solver.
+
+Theorem 1 proves NP-hardness by reducing Exact Cover by k-Sets (XkC) to
+the disjoint k-clique problem: turn each hyperedge into a k-clique. This
+module implements that reduction plus a small exact solver, giving the
+test suite instances with *known* optima: if the hypergraph admits an
+exact cover of its ``n`` nodes, the reduced graph contains ``n/k``
+disjoint k-cliques covering every node, and no larger disjoint set can
+exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class KUniformHypergraph:
+    """A k-uniform hypergraph on nodes ``0 .. n-1``.
+
+    Attributes
+    ----------
+    n:
+        Number of nodes.
+    k:
+        Uniform hyperedge size.
+    edges:
+        Hyperedges as sorted tuples of ``k`` distinct node ids.
+    """
+
+    n: int
+    k: int
+    edges: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise InvalidParameterError(f"k must be >= 2, got {self.k}")
+        for edge in self.edges:
+            if len(set(edge)) != self.k:
+                raise InvalidParameterError(
+                    f"hyperedge {edge} does not have {self.k} distinct nodes"
+                )
+            if any(not 0 <= u < self.n for u in edge):
+                raise InvalidParameterError(f"hyperedge {edge} outside [0, {self.n})")
+
+    @classmethod
+    def from_edges(cls, n: int, k: int, edges) -> "KUniformHypergraph":
+        """Build from any iterable of node collections."""
+        return cls(n, k, tuple(tuple(sorted(e)) for e in edges))
+
+    def to_graph(self) -> Graph:
+        """Theorem 1's reduction: each hyperedge becomes a k-clique.
+
+        Runs in ``O(|E_H| * C(k, 2))`` — polynomial for fixed k, as the
+        proof requires.
+        """
+        pair_edges = [
+            (edge[i], edge[j])
+            for edge in self.edges
+            for i in range(self.k)
+            for j in range(i + 1, self.k)
+        ]
+        return Graph(self.n, pair_edges)
+
+    def has_exact_cover(self) -> bool:
+        """Whether some subset of disjoint hyperedges covers all nodes."""
+        return self.exact_cover() is not None
+
+    def exact_cover(self) -> list[tuple[int, ...]] | None:
+        """An exact cover (disjoint hyperedges covering V), or ``None``.
+
+        Backtracking on the lowest uncovered node with memoisation on the
+        uncovered-set bitmask; exponential worst case, fine for the test
+        instances (n <= ~40).
+        """
+        if self.n % self.k:
+            return None
+        by_node: list[list[tuple[int, ...]]] = [[] for _ in range(self.n)]
+        for edge in self.edges:
+            by_node[edge[0]].append(edge)  # edges are sorted; index by min node
+
+        masks = {
+            edge: sum(1 << u for u in edge) for edge in self.edges
+        }
+        full = (1 << self.n) - 1
+
+        @lru_cache(maxsize=None)
+        def solve(covered: int) -> tuple[tuple[int, ...], ...] | None:
+            if covered == full:
+                return ()
+            lowest = (~covered & full)
+            u = (lowest & -lowest).bit_length() - 1
+            for edge in by_node[u]:
+                mask = masks[edge]
+                if covered & mask:
+                    continue
+                rest = solve(covered | mask)
+                if rest is not None:
+                    return (edge,) + rest
+            return None
+
+        result = solve(0)
+        solve.cache_clear()
+        return list(result) if result is not None else None
+
+    def max_matching_size(self) -> int:
+        """Maximum number of pairwise disjoint hyperedges (exact, small n)."""
+        edge_masks = sorted({sum(1 << u for u in e) for e in self.edges})
+
+        best = 0
+        suffix = len(edge_masks)
+
+        def extend(idx: int, used: int, count: int) -> None:
+            nonlocal best
+            best = max(best, count)
+            if count + (suffix - idx) <= best:
+                return
+            for i in range(idx, len(edge_masks)):
+                mask = edge_masks[i]
+                if not used & mask:
+                    extend(i + 1, used | mask, count + 1)
+
+        extend(0, 0, 0)
+        return best
+
+
+def random_exact_cover_instance(
+    groups: int, k: int, extra_edges: int, seed: int | None = None
+) -> KUniformHypergraph:
+    """A k-uniform hypergraph guaranteed to admit an exact cover.
+
+    Partitions ``groups * k`` nodes into ``groups`` planted hyperedges,
+    then adds ``extra_edges`` random distractor hyperedges.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    n = groups * k
+    planted = [tuple(range(g * k, (g + 1) * k)) for g in range(groups)]
+    edges = set(planted)
+    attempts = 0
+    while len(edges) < groups + extra_edges and attempts < 100 * (extra_edges + 1):
+        attempts += 1
+        pick = tuple(sorted(rng.choice(n, size=k, replace=False).tolist()))
+        edges.add(pick)
+    return KUniformHypergraph.from_edges(n, k, sorted(edges))

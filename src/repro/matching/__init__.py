@@ -1,0 +1,12 @@
+"""Matching substrates: blossom (k=2 exact) and greedy set packing."""
+
+from repro.matching.blossom import is_matching, matching_size, maximum_matching
+from repro.matching.greedy import greedy_set_packing, local_search_packing
+
+__all__ = [
+    "maximum_matching",
+    "matching_size",
+    "is_matching",
+    "greedy_set_packing",
+    "local_search_packing",
+]

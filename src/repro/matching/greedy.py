@@ -1,0 +1,91 @@
+"""Greedy k-set packing over listed cliques (hypergraph-matching baseline).
+
+Section III discusses approximating maximum matching in k-uniform
+hypergraphs by inspecting hyperedges in a gain-maximising order. Applied
+to our problem, each k-clique is a hyperedge; this module provides the
+straightforward packing baselines on an explicit clique list — useful as
+an independent reference implementation in tests (it must equal
+Algorithm 2 when given the clique-score order) and for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.core.result import CliqueSetResult
+
+
+def greedy_set_packing(
+    cliques: Iterable[Sequence[int]],
+    k: int,
+    key: Callable[[tuple[int, ...]], object] | None = None,
+) -> CliqueSetResult:
+    """Greedy disjoint packing of pre-listed k-cliques.
+
+    Parameters
+    ----------
+    cliques:
+        The candidate k-cliques (hyperedges).
+    k:
+        Clique size (for the result metadata).
+    key:
+        Optional sort key over canonical node tuples; ``None`` keeps the
+        input order (first-fit).
+    """
+    canon = [tuple(sorted(c)) for c in cliques]
+    if key is not None:
+        canon.sort(key=key)
+    used: set[int] = set()
+    chosen: list[frozenset[int]] = []
+    for clique in canon:
+        if used.isdisjoint(clique):
+            chosen.append(frozenset(clique))
+            used.update(clique)
+    return CliqueSetResult(chosen, k=k, method="set-packing")
+
+
+def local_search_packing(
+    cliques: Iterable[Sequence[int]],
+    k: int,
+    rounds: int = 2,
+) -> CliqueSetResult:
+    """First-fit packing improved by 1-to-2 swap local search.
+
+    Repeatedly tries to remove one chosen clique and insert two disjoint
+    unchosen cliques that only conflict with it — the simplest member of
+    the local-improvement family ([23]-[28]) and the static analogue of
+    the paper's dynamic swap operation.
+    """
+    all_cliques = [tuple(sorted(c)) for c in cliques]
+    base = greedy_set_packing(all_cliques, k)
+    chosen: list[frozenset[int]] = list(base.cliques)
+
+    for _ in range(max(rounds, 0)):
+        used: dict[int, int] = {}
+        for idx, clique in enumerate(chosen):
+            for u in clique:
+                used[u] = idx
+        improved = False
+        # Conflict map: unchosen clique -> indices of chosen cliques hit.
+        blockers: dict[int, list[tuple[int, ...]]] = {i: [] for i in range(len(chosen))}
+        for clique in all_cliques:
+            hit = {used[u] for u in clique if u in used}
+            if len(hit) == 1:
+                blockers[hit.pop()].append(clique)
+        for idx in range(len(chosen)):
+            candidates = blockers.get(idx, [])
+            for i, a in enumerate(candidates):
+                set_a = set(a)
+                for b in candidates[i + 1 :]:
+                    if set_a.isdisjoint(b):
+                        chosen[idx] = frozenset(a)
+                        chosen.append(frozenset(b))
+                        improved = True
+                        break
+                if improved:
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+    return CliqueSetResult(chosen, k=k, method="set-packing-ls")

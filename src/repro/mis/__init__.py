@@ -1,0 +1,17 @@
+"""Maximum-independent-set substrate: exact branch-and-bound and greedy."""
+
+from repro.mis.exact import exact_mis, max_clique, mis_size
+from repro.mis.greedy import greedy_mis, is_independent_set
+from repro.mis.local_search import one_two_swap
+from repro.mis.reductions import MISKernel, reduce_mis
+
+__all__ = [
+    "exact_mis",
+    "max_clique",
+    "mis_size",
+    "greedy_mis",
+    "is_independent_set",
+    "one_two_swap",
+    "reduce_mis",
+    "MISKernel",
+]

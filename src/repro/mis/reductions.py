@@ -1,0 +1,93 @@
+"""Kernelisation reductions for maximum independent set.
+
+The exact baseline (paper's ``OPT``, via ref [42] branch-and-reduce)
+first shrinks the instance with safe reductions, then branches. We
+implement the three classic safe rules:
+
+* **degree-0**: an isolated node is always in some maximum IS — take it.
+* **degree-1** (pendant): a node ``u`` with single neighbour ``v`` can be
+  taken and ``v`` discarded.
+* **domination**: if ``N[u] ⊆ N[v]`` (closed neighbourhoods) then some
+  maximum IS avoids ``v`` — delete ``v``.
+
+Reductions run to fixpoint and return the kernel with a mapping back to
+original ids plus the set of nodes already forced into the solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.graph import Graph
+
+
+@dataclass
+class MISKernel:
+    """Result of reducing a MIS instance.
+
+    Attributes
+    ----------
+    kernel:
+        The reduced graph (relabelled ``0 .. n'-1``).
+    mapping:
+        ``mapping[i]`` is the original id of kernel node ``i``.
+    forced:
+        Original ids already decided to be in the maximum IS.
+    """
+
+    kernel: Graph
+    mapping: list[int]
+    forced: set[int]
+
+    def lift(self, kernel_solution) -> list[int]:
+        """Translate a kernel IS back to original ids, adding forced nodes."""
+        return sorted(self.forced | {self.mapping[i] for i in kernel_solution})
+
+
+def reduce_mis(graph: Graph) -> MISKernel:
+    """Apply degree-0/1 and domination reductions to fixpoint."""
+    alive: set[int] = set(range(graph.n))
+    adj: dict[int, set[int]] = {u: set(graph.neighbors(u)) for u in alive}
+    forced: set[int] = set()
+
+    def remove(u: int) -> None:
+        for v in adj[u]:
+            adj[v].discard(u)
+        del adj[u]
+        alive.discard(u)
+
+    changed = True
+    while changed:
+        changed = False
+        # Degree-0 and degree-1 rules (cheap; run first).
+        for u in list(alive):
+            if u not in adj:
+                continue
+            deg = len(adj[u])
+            if deg == 0:
+                forced.add(u)
+                remove(u)
+                changed = True
+            elif deg == 1:
+                v = next(iter(adj[u]))
+                forced.add(u)
+                remove(u)
+                remove(v)
+                changed = True
+        # Domination rule: delete v when some neighbour u has N[u] ⊆ N[v].
+        for v in list(alive):
+            if v not in adj:
+                continue
+            closed_v = adj[v] | {v}
+            for u in adj[v]:
+                if len(adj[u]) <= len(adj[v]) and (adj[u] | {u}) <= closed_v:
+                    remove(v)
+                    changed = True
+                    break
+
+    mapping = sorted(alive)
+    index = {orig: i for i, orig in enumerate(mapping)}
+    edges = [
+        (index[u], index[v]) for u in mapping for v in adj[u] if u < v
+    ]
+    return MISKernel(Graph(len(mapping), edges), mapping, forced)

@@ -1,0 +1,111 @@
+"""Shared fixtures: the paper's running examples and random-graph helpers."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import Graph
+from repro.graph.generators import erdos_renyi_gnp
+
+
+def paper_example_edges() -> list[tuple[int, int]]:
+    """The 15 edges of the paper's running example (Fig. 2, nodes v1..v9).
+
+    Node ``v_i`` is represented as ``i - 1``. The graph has exactly seven
+    3-cliques: C1=(v1,v3,v6), C2=(v3,v5,v6), C3=(v5,v6,v8), C4=(v5,v7,v8),
+    C5=(v7,v8,v9), C6=(v4,v7,v9), C7=(v2,v4,v9).
+    """
+    one_based = [
+        (1, 3), (1, 6), (3, 6),          # C1
+        (3, 5), (5, 6),                  # C2
+        (5, 8), (6, 8),                  # C3
+        (5, 7), (7, 8),                  # C4
+        (7, 9), (8, 9),                  # C5
+        (4, 7), (4, 9),                  # C6
+        (2, 4), (2, 9),                  # C7
+    ]
+    return [(u - 1, v - 1) for u, v in one_based]
+
+
+PAPER_TRIANGLES = [
+    frozenset(x - 1 for x in c)
+    for c in [
+        (1, 3, 6), (3, 5, 6), (5, 6, 8), (5, 7, 8),
+        (7, 8, 9), (4, 7, 9), (2, 4, 9),
+    ]
+]
+
+
+def paper_fig5_edges() -> list[tuple[int, int]]:
+    """Graph G1 of the paper's Fig. 5 (11 nodes, 0-indexed).
+
+    Contains triangles (v1,v2,v3), (v3,v4,v5), (v9,v10,v11) plus the path
+    structure v5-v6, v6-v7 used by the swap example; adding (v5, v7)
+    turns it into G2 where the swap produces three disjoint triangles.
+    """
+    one_based = [
+        (1, 2), (1, 3), (2, 3),          # triangle (v1,v2,v3)
+        (3, 4), (3, 5), (4, 5),          # triangle (v3,v4,v5)
+        (5, 6), (6, 7),                  # path toward v7
+        (9, 10), (9, 11), (10, 11),      # triangle (v9,v10,v11)
+        (7, 8),                          # spare edge keeping v8 attached
+    ]
+    return [(u - 1, v - 1) for u, v in one_based]
+
+
+@pytest.fixture
+def paper_graph() -> Graph:
+    """The 9-node, 15-edge running example of the paper."""
+    return Graph(9, paper_example_edges())
+
+
+@pytest.fixture
+def fig5_g1() -> Graph:
+    """Fig. 5's G1 (before inserting (v5, v7))."""
+    return Graph(11, paper_fig5_edges())
+
+
+@pytest.fixture
+def triangle_pair() -> Graph:
+    """Two disjoint triangles."""
+    return Graph(6, [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)])
+
+
+def brute_force_cliques(graph: Graph, k: int) -> set[frozenset[int]]:
+    """All k-cliques by testing every k-subset (tiny graphs only)."""
+    return {
+        frozenset(combo)
+        for combo in itertools.combinations(range(graph.n), k)
+        if graph.is_clique(combo)
+    }
+
+
+def brute_force_max_disjoint(graph: Graph, k: int) -> int:
+    """Optimal |S| by exhaustive search over clique subsets (tiny only)."""
+    cliques = sorted(brute_force_cliques(graph, k), key=sorted)
+    best = 0
+
+    def extend(idx: int, used: frozenset[int], count: int) -> None:
+        nonlocal best
+        best = max(best, count)
+        if count + (len(cliques) - idx) <= best:
+            return
+        for i in range(idx, len(cliques)):
+            if used.isdisjoint(cliques[i]):
+                extend(i + 1, used | cliques[i], count + 1)
+
+    extend(0, frozenset(), 0)
+    return best
+
+
+@pytest.fixture
+def random_graphs() -> list[Graph]:
+    """A spread of small random graphs for cross-validation tests."""
+    graphs = []
+    for seed, (n, p) in enumerate(
+        [(8, 0.4), (12, 0.35), (15, 0.3), (18, 0.35), (20, 0.25), (25, 0.3)]
+    ):
+        graphs.append(erdos_renyi_gnp(n, p, seed=seed))
+    return graphs

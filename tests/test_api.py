@@ -1,0 +1,53 @@
+"""Tests for the unified find_disjoint_cliques entry point."""
+
+import pytest
+
+from repro import METHODS, Graph, find_disjoint_cliques
+from repro.errors import InvalidParameterError
+from repro.graph.dynamic import DynamicGraph
+
+
+class TestDispatch:
+    def test_all_methods_listed(self):
+        assert set(METHODS) == {"hg", "gc", "l", "lp", "opt", "opt-bb"}
+
+    def test_method_tags_round_trip(self, triangle_pair):
+        for method in METHODS:
+            result = find_disjoint_cliques(triangle_pair, 3, method=method)
+            assert result.method == method
+            assert result.size == 2
+
+    def test_case_insensitive(self, triangle_pair):
+        assert find_disjoint_cliques(triangle_pair, 3, method="LP").size == 2
+
+    def test_default_is_lp(self, triangle_pair):
+        assert find_disjoint_cliques(triangle_pair, 3).method == "lp"
+
+    def test_kwargs_forwarded(self, paper_graph):
+        result = find_disjoint_cliques(paper_graph, 3, method="hg", order="degeneracy")
+        assert result.method == "hg"
+
+
+class TestErrors:
+    def test_unknown_method(self, triangle_pair):
+        with pytest.raises(InvalidParameterError, match="unknown method"):
+            find_disjoint_cliques(triangle_pair, 3, method="magic")
+
+    def test_prune_kwarg_rejected(self, triangle_pair):
+        with pytest.raises(InvalidParameterError, match="prune"):
+            find_disjoint_cliques(triangle_pair, 3, method="lp", prune=False)
+
+    def test_dynamic_graph_rejected(self, triangle_pair):
+        dyn = DynamicGraph.from_graph(triangle_pair)
+        with pytest.raises(InvalidParameterError, match="snapshot"):
+            find_disjoint_cliques(dyn, 3)
+
+    def test_invalid_k_propagates(self, triangle_pair):
+        with pytest.raises(InvalidParameterError):
+            find_disjoint_cliques(triangle_pair, 1)
+
+
+class TestDocExample:
+    def test_module_doctest_case(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)])
+        assert find_disjoint_cliques(g, k=3, method="lp").size == 2

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSolve:
+    def test_solve_dataset(self, capsys):
+        assert main(["solve", "--dataset", "FTB", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "|S|=" in out and "coverage=" in out
+
+    def test_solve_show(self, capsys):
+        main(["solve", "--dataset", "FTB", "--k", "3", "--show", "2"])
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 3
+
+    def test_solve_output_file(self, tmp_path, capsys):
+        out_file = tmp_path / "cliques.txt"
+        main(["solve", "--dataset", "FTB", "--k", "3", "--output", str(out_file)])
+        lines = out_file.read_text().strip().splitlines()
+        assert lines and all(len(line.split()) == 3 for line in lines)
+
+    def test_solve_edge_list_input(self, tmp_path, capsys):
+        edges = tmp_path / "g.edges"
+        edges.write_text("0 1\n0 2\n1 2\n3 4\n3 5\n4 5\n")
+        main(["solve", "--input", str(edges), "--k", "3"])
+        assert "|S|=2" in capsys.readouterr().out
+
+    def test_missing_graph_source(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--k", "3"])
+
+
+class TestOtherCommands:
+    def test_stats(self, capsys):
+        assert main(["stats", "--dataset", "FTB", "--ks", "3", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "3-cliques: 424" in out and "degeneracy=" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--dataset", "FTB", "--k", "3",
+                     "--methods", "hg", "lp"]) == 0
+        out = capsys.readouterr().out
+        assert "hg" in out and "lp" in out and "certificate" in out
+
+    def test_dynamic(self, capsys):
+        assert main([
+            "dynamic", "--dataset", "FTB", "--k", "3",
+            "--workload", "deletion", "--count", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean-update=" in out and "drift" in out
+
+    def test_dynamic_insertion(self, capsys):
+        assert main([
+            "dynamic", "--dataset", "FTB", "--k", "3",
+            "--workload", "insertion", "--count", "10",
+        ]) == 0
+        assert "workload=insertion" in capsys.readouterr().out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "FTB" in out and "OR" in out
+
+    def test_experiments_passthrough(self, capsys):
+        assert main(["experiments", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

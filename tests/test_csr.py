@@ -1,0 +1,62 @@
+"""Tests for the CSR adjacency view."""
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.cliques import node_scores
+from repro.graph.csr import CSRAdjacency
+from repro.graph.generators import complete_graph, erdos_renyi_gnp
+
+
+class TestStructure:
+    def test_rows_sorted_and_complete(self, paper_graph):
+        csr = CSRAdjacency.from_graph(paper_graph)
+        for u in paper_graph.nodes():
+            row = csr.row(u)
+            assert list(row) == sorted(paper_graph.neighbors(u))
+            assert csr.degree(u) == paper_graph.degree(u)
+
+    def test_degrees_array(self, paper_graph):
+        csr = paper_graph.csr()
+        assert csr.degrees().tolist() == paper_graph.degrees.tolist()
+
+    def test_counts(self, paper_graph):
+        csr = paper_graph.csr()
+        assert csr.n == 9 and csr.m == 15
+
+    def test_has_edge(self, paper_graph):
+        csr = paper_graph.csr()
+        for u, v in paper_graph.edges():
+            assert csr.has_edge(u, v) and csr.has_edge(v, u)
+        assert not csr.has_edge(0, 1)
+
+    def test_empty_graph(self):
+        csr = CSRAdjacency.from_graph(Graph(0))
+        assert csr.n == 0 and csr.m == 0
+
+    def test_isolated_nodes(self):
+        csr = CSRAdjacency.from_graph(Graph(4, [(1, 2)]))
+        assert csr.degree(0) == 0 and len(csr.row(0)) == 0
+
+
+class TestTriangleCounting:
+    def test_paper_example(self, paper_graph):
+        counts = paper_graph.csr().triangle_count_per_node()
+        expected = node_scores(paper_graph, 3)
+        assert counts.tolist() == expected.tolist()
+
+    def test_complete_graph(self):
+        csr = complete_graph(6).csr()
+        counts = csr.triangle_count_per_node()
+        assert counts.tolist() == [10] * 6  # C(5, 2)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_matches_node_scores(self, seed):
+        g = erdos_renyi_gnp(40, 0.25, seed=seed)
+        counts = g.csr().triangle_count_per_node()
+        assert counts.tolist() == node_scores(g, 3).tolist()
+
+    def test_triangle_free(self):
+        g = Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+        assert g.csr().triangle_count_per_node().sum() == 0

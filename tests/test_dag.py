@@ -1,0 +1,45 @@
+"""Tests for DAG orientation."""
+
+import numpy as np
+
+from repro import Graph
+from repro.graph.dag import OrientedGraph
+
+
+class TestOrientation:
+    def test_out_neighbours_have_smaller_rank(self, random_graphs):
+        for g in random_graphs:
+            dag = OrientedGraph.orient(g, "degeneracy")
+            for u in g.nodes():
+                for v in dag.out[u]:
+                    assert dag.rank[v] < dag.rank[u]
+
+    def test_every_edge_oriented_once(self, paper_graph):
+        dag = OrientedGraph.orient(paper_graph, "id")
+        total = sum(len(s) for s in dag.out)
+        assert total == paper_graph.m
+
+    def test_id_order_matches_paper_example(self, paper_graph):
+        # Fig. 4(a): under the id ordering, out-neighbours of v6 (node 5)
+        # are v1, v3, v5 (nodes 0, 2, 4).
+        dag = OrientedGraph.orient(paper_graph, "id")
+        assert dag.out[5] == {0, 2, 4}
+        # Only v6, v7, v8, v9 have >= 2 out-neighbours (paper Example 2).
+        eligible = {u for u in paper_graph.nodes() if dag.out_degree(u) >= 2}
+        assert eligible == {5, 6, 7, 8}
+
+    def test_nodes_ascending(self, paper_graph):
+        dag = OrientedGraph.orient(paper_graph, "id")
+        assert dag.nodes_ascending() == list(range(9))
+        rank = np.array([3, 1, 2, 0, 4, 5, 6, 7, 8])
+        dag2 = OrientedGraph(paper_graph, rank)
+        assert dag2.nodes_ascending()[:4] == [3, 1, 2, 0]
+
+    def test_root_of(self, paper_graph):
+        dag = OrientedGraph.orient(paper_graph, "id")
+        assert dag.root_of([0, 2, 5]) == 5
+
+    def test_max_out_degree_empty(self):
+        dag = OrientedGraph.orient(Graph(0), "id")
+        assert dag.max_out_degree() == 0
+        assert dag.n == 0

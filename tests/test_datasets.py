@@ -1,0 +1,84 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph import datasets
+
+
+class TestRegistry:
+    def test_table1_names_registered(self):
+        for name in datasets.TABLE1_NAMES:
+            assert name in datasets.names()
+
+    def test_small_exact_names_registered(self):
+        for name in datasets.SMALL_EXACT_NAMES:
+            assert name in datasets.names()
+
+    def test_specs_have_provenance(self):
+        for spec in datasets.specs():
+            assert spec.description
+            assert spec.tier in {"tiny", "small", "medium", "large"}
+
+    def test_tier_filter(self):
+        tiny = datasets.specs(tier="tiny")
+        assert tiny and all(s.tier == "tiny" for s in tiny)
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            datasets.spec("NOPE")
+        with pytest.raises(InvalidParameterError):
+            datasets.load("NOPE")
+
+    def test_load_is_cached(self):
+        a = datasets.load("FTB")
+        b = datasets.load("FTB")
+        assert a is b
+
+    def test_deterministic_rebuild(self):
+        spec = datasets.spec("FTB")
+        assert spec.build() == spec.build()
+
+    def test_ftb_matches_paper_scale(self):
+        g = datasets.load("FTB")
+        assert g.n == 115  # the paper's Football node count
+
+    def test_register_custom(self):
+        from repro.graph.datasets import DatasetSpec
+        from repro.graph.graph import Graph
+
+        datasets.register_dataset(
+            DatasetSpec(
+                name="_TESTONLY",
+                description="unit-test entry",
+                builder=lambda: Graph(3, [(0, 1)]),
+                tier="tiny",
+            )
+        )
+        try:
+            assert datasets.load("_TESTONLY").m == 1
+        finally:
+            datasets._REGISTRY.pop("_TESTONLY", None)
+            datasets._CACHE.pop("_TESTONLY", None)
+
+
+class TestNetworkxClassics:
+    def test_karate(self):
+        pytest.importorskip("networkx")
+        g = datasets.networkx_classic("karate")
+        assert g.n == 34 and g.m == 78
+
+    def test_les_miserables(self):
+        pytest.importorskip("networkx")
+        g = datasets.networkx_classic("les_miserables")
+        assert g.n == 77
+
+    def test_florentine(self):
+        pytest.importorskip("networkx")
+        g = datasets.networkx_classic("florentine")
+        assert g.n == 15 and g.m == 20
+
+    def test_unknown_classic(self):
+        pytest.importorskip("networkx")
+        with pytest.raises(InvalidParameterError):
+            datasets.networkx_classic("facebook")

@@ -1,0 +1,67 @@
+"""Tests for node-level dynamic updates (bundled edge updates)."""
+
+from repro import Graph
+from repro.dynamic import DynamicDisjointCliques
+
+
+class TestRemoveNode:
+    def test_removing_clique_member_repairs(self, triangle_pair):
+        dyn = DynamicDisjointCliques(triangle_pair, 3)
+        assert dyn.size == 2
+        removed = dyn.remove_node(0)
+        assert removed == 2
+        assert dyn.size == 1
+        assert dyn.graph.degree(0) == 0
+        dyn.check_invariants()
+
+    def test_removing_free_node(self):
+        g = Graph(5, [(0, 1), (0, 2), (1, 2), (3, 0), (4, 0)])
+        dyn = DynamicDisjointCliques(g, 3)
+        removed = dyn.remove_node(3)
+        assert removed == 1
+        assert dyn.size == 1
+        dyn.check_invariants()
+
+    def test_removing_isolated_node(self, triangle_pair):
+        g = Graph(7, list(triangle_pair.edges()))
+        dyn = DynamicDisjointCliques(g, 3)
+        assert dyn.remove_node(6) == 0
+        dyn.check_invariants()
+
+    def test_replacement_found_after_removal(self):
+        # Triangle {0,1,2} with a spare node 3 adjacent to 1 and 2:
+        # removing node 0 lets {1,2,3} take over.
+        g = Graph(4, [(0, 1), (0, 2), (1, 2), (3, 1), (3, 2)])
+        dyn = DynamicDisjointCliques(g, 3)
+        dyn.remove_node(0)
+        assert dyn.size == 1
+        assert dyn.solution().cliques[0] == frozenset({1, 2, 3})
+        dyn.check_invariants()
+
+
+class TestAddNode:
+    def test_player_joining_forms_clique(self, triangle_pair):
+        dyn = DynamicDisjointCliques(triangle_pair, 3)
+        dyn.delete_edge(3, 4)  # break second triangle: |S| = 1
+        assert dyn.size == 1
+        # The new player befriends 3 and 5 (who are already friends), so
+        # {3, 5, new} forms a fresh clique.
+        new = dyn.add_node(neighbors=[3, 5])
+        assert new == 6
+        assert dyn.size == 2
+        assert frozenset({3, 5, 6}) in set(dyn.solution().cliques)
+        dyn.check_invariants()
+
+    def test_isolated_join(self, triangle_pair):
+        dyn = DynamicDisjointCliques(triangle_pair, 3)
+        node = dyn.add_node()
+        assert dyn.graph.degree(node) == 0
+        assert dyn.size == 2
+        dyn.check_invariants()
+
+    def test_churn_cycle(self, triangle_pair):
+        dyn = DynamicDisjointCliques(triangle_pair, 3)
+        node = dyn.add_node(neighbors=[0, 1, 2])
+        dyn.remove_node(node)
+        assert dyn.size == 2
+        dyn.check_invariants()

@@ -1,0 +1,64 @@
+"""Stateful hypothesis test: the maintainer under arbitrary update streams.
+
+Models the dynamic maintainer as a state machine whose rules insert and
+delete arbitrary edges. After *every* rule the three Section V
+invariants are checked: solution validity, maximality, and exact
+candidate-index agreement with the from-scratch definition. A shadow
+edge-set model additionally pins the graph state itself.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro import Graph
+from repro.core.result import is_maximal, verify_solution
+from repro.dynamic import DynamicDisjointCliques
+
+N = 12
+K = 3
+
+
+class MaintainerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.dyn = DynamicDisjointCliques(Graph(N), K)
+        self.model_edges: set[tuple[int, int]] = set()
+
+    @rule(u=st.integers(0, N - 1), v=st.integers(0, N - 1))
+    def insert(self, u, v):
+        if u == v:
+            return
+        edge = (min(u, v), max(u, v))
+        applied = self.dyn.insert_edge(u, v)
+        assert applied == (edge not in self.model_edges)
+        self.model_edges.add(edge)
+
+    @rule(u=st.integers(0, N - 1), v=st.integers(0, N - 1))
+    def delete(self, u, v):
+        if u == v:
+            return
+        edge = (min(u, v), max(u, v))
+        applied = self.dyn.delete_edge(u, v)
+        assert applied == (edge in self.model_edges)
+        self.model_edges.discard(edge)
+
+    @invariant()
+    def graph_matches_model(self):
+        assert set(self.dyn.graph.edges()) == self.model_edges
+
+    @invariant()
+    def solution_valid_and_maximal(self):
+        solution = self.dyn.index.solution.values()
+        verify_solution(self.dyn.graph, K, solution)
+        assert is_maximal(self.dyn.graph, K, solution)
+
+    @invariant()
+    def index_exact(self):
+        self.dyn.index.check_consistency()
+
+
+MaintainerMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=25, deadline=None
+)
+TestMaintainerStateful = MaintainerMachine.TestCase

@@ -1,0 +1,80 @@
+"""Exception-hierarchy contracts and cross-run determinism."""
+
+import pytest
+
+from repro import find_disjoint_cliques
+from repro.errors import (
+    BudgetExceededError,
+    GraphError,
+    InvalidParameterError,
+    OutOfMemoryError,
+    OutOfTimeError,
+    ReproError,
+    SolutionError,
+)
+from repro.graph.generators import powerlaw_cluster
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            GraphError,
+            InvalidParameterError,
+            SolutionError,
+            BudgetExceededError,
+            OutOfTimeError,
+            OutOfMemoryError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_budget_markers(self):
+        assert issubclass(OutOfTimeError, BudgetExceededError)
+        assert issubclass(OutOfMemoryError, BudgetExceededError)
+
+    def test_invalid_parameter_is_value_error(self):
+        assert issubclass(InvalidParameterError, ValueError)
+
+    def test_catchable_as_base(self):
+        from repro import Graph
+
+        with pytest.raises(ReproError):
+            Graph(2, [(0, 0)])
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return powerlaw_cluster(150, 5, 0.5, seed=77)
+
+    @pytest.mark.parametrize("method", ["hg", "gc", "l", "lp"])
+    def test_repeated_runs_identical(self, graph, method):
+        first = find_disjoint_cliques(graph, 3, method=method).sorted_cliques()
+        second = find_disjoint_cliques(graph, 3, method=method).sorted_cliques()
+        assert first == second
+
+    @pytest.mark.parametrize("method", ["opt", "opt-bb"])
+    def test_exact_solvers_deterministic(self, method):
+        # Exponential solvers get a tiny instance (they would dominate
+        # the suite's runtime on the 150-node fixture).
+        small = powerlaw_cluster(40, 4, 0.5, seed=78)
+        first = find_disjoint_cliques(small, 3, method=method).sorted_cliques()
+        second = find_disjoint_cliques(small, 3, method=method).sorted_cliques()
+        assert first == second
+
+    def test_dynamic_runs_identical(self, graph):
+        from repro.dynamic import DynamicDisjointCliques
+        from repro.dynamic.workload import mixed_workload
+
+        start, updates = mixed_workload(graph, 20, seed=5)
+        results = []
+        for _ in range(2):
+            dyn = DynamicDisjointCliques(start, 3)
+            dyn.apply(updates)
+            results.append(dyn.solution().sorted_cliques())
+        assert results[0] == results[1]
+
+    def test_generator_registry_stable(self):
+        from repro.graph import datasets
+
+        spec = datasets.spec("HST")
+        assert spec.build() == spec.build()

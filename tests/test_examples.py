@@ -1,0 +1,55 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "static solvers" in out
+        assert "dynamic maintenance" in out
+
+    def test_teaming_event(self):
+        out = run_example("teaming_event.py")
+        assert "LP packing" in out
+        assert "Figure 1(b)" in out
+
+    def test_roommate_allocation(self):
+        out = run_example("roommate_allocation.py")
+        assert "LP packing" in out and "perfect" in out
+
+    def test_dynamic_social_network(self):
+        out = run_example("dynamic_social_network.py")
+        assert "update latency" in out
+
+    def test_community_analysis(self):
+        pytest.importorskip("networkx")
+        out = run_example("community_analysis.py")
+        assert "Theorem 2" in out
+
+    def test_all_examples_present(self):
+        found = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "teaming_event.py",
+            "roommate_allocation.py",
+            "dynamic_social_network.py",
+            "community_analysis.py",
+        } <= found

@@ -1,0 +1,144 @@
+"""Tests for the seeded random-graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph import generators as gen
+
+
+class TestErdosRenyi:
+    def test_gnm_exact_counts(self):
+        g = gen.erdos_renyi_gnm(30, 100, seed=1)
+        assert g.n == 30 and g.m == 100
+
+    def test_gnm_dense_regime(self):
+        g = gen.erdos_renyi_gnm(10, 40, seed=2)  # > half of 45
+        assert g.m == 40
+
+    def test_gnm_full(self):
+        g = gen.erdos_renyi_gnm(6, 15, seed=3)
+        assert g.m == 15 and g.complement().m == 0
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(InvalidParameterError):
+            gen.erdos_renyi_gnm(4, 10)
+
+    def test_gnm_deterministic(self):
+        a = gen.erdos_renyi_gnm(20, 50, seed=7)
+        b = gen.erdos_renyi_gnm(20, 50, seed=7)
+        assert a == b
+
+    def test_gnp_extremes(self):
+        assert gen.erdos_renyi_gnp(10, 0.0, seed=0).m == 0
+        assert gen.erdos_renyi_gnp(6, 1.0, seed=0).m == 15
+
+    def test_gnp_expected_density(self):
+        g = gen.erdos_renyi_gnp(200, 0.1, seed=5)
+        expected = 0.1 * 200 * 199 / 2
+        assert 0.75 * expected < g.m < 1.25 * expected
+
+    def test_gnp_invalid_p(self):
+        with pytest.raises(InvalidParameterError):
+            gen.erdos_renyi_gnp(5, 1.5)
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_is_ring_lattice(self):
+        g = gen.watts_strogatz(20, 4, 0.0, seed=1)
+        assert all(g.degree(u) == 4 for u in g.nodes())
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+
+    def test_edge_count_preserved(self):
+        for p in (0.0, 0.3, 1.0):
+            g = gen.watts_strogatz(50, 6, p, seed=2)
+            assert g.m == 50 * 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            gen.watts_strogatz(10, 3, 0.1)  # odd degree
+        with pytest.raises(InvalidParameterError):
+            gen.watts_strogatz(4, 4, 0.1)  # degree >= n
+        with pytest.raises(InvalidParameterError):
+            gen.watts_strogatz(10, 4, 2.0)  # bad p
+
+    def test_deterministic(self):
+        assert gen.watts_strogatz(40, 6, 0.4, seed=3) == gen.watts_strogatz(
+            40, 6, 0.4, seed=3
+        )
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = gen.barabasi_albert(100, 3, seed=1)
+        assert g.m <= 3 * 97 + 3  # m_attach per arriving node
+        assert g.n == 100
+        assert g.m >= 3 * 90  # nearly all attachments distinct
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            gen.barabasi_albert(5, 0)
+        with pytest.raises(InvalidParameterError):
+            gen.barabasi_albert(5, 5)
+
+    def test_heavy_tail(self):
+        g = gen.barabasi_albert(400, 2, seed=4)
+        assert g.max_degree() > 4 * np.median(g.degrees)
+
+
+class TestPowerlawCluster:
+    def test_basic_shape(self):
+        g = gen.powerlaw_cluster(200, 4, 0.5, seed=1)
+        assert g.n == 200
+        assert g.m >= 4 * 150
+
+    def test_triangle_closure_increases_cliques(self):
+        from repro.cliques import count_cliques
+
+        low = gen.powerlaw_cluster(300, 4, 0.05, seed=2)
+        high = gen.powerlaw_cluster(300, 4, 0.9, seed=2)
+        assert count_cliques(high, 3) > count_cliques(low, 3)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            gen.powerlaw_cluster(5, 0, 0.5)
+        with pytest.raises(InvalidParameterError):
+            gen.powerlaw_cluster(5, 2, 1.5)
+
+
+class TestPlantedStructures:
+    def test_planted_partition_shape(self):
+        g = gen.planted_partition(60, 6, 0.8, 0.02, seed=1)
+        assert g.n == 60
+        # Intra-community density dominates.
+        labels = np.arange(60) % 6
+        intra = sum(1 for u, v in g.edges() if labels[u] == labels[v])
+        assert intra > g.m / 2
+
+    def test_planted_partition_validation(self):
+        with pytest.raises(InvalidParameterError):
+            gen.planted_partition(10, 0, 0.5, 0.1)
+
+    def test_planted_clique_packing_ground_truth(self):
+        g, planted = gen.planted_clique_packing(
+            5, 4, extra_nodes=3, noise_edges=15, seed=6
+        )
+        assert g.n == 23 and len(planted) == 5
+        for clique in planted:
+            assert g.is_clique(clique)
+        # Noise never lands inside a planted block.
+        blocks = {u: u // 4 for u in range(20)}
+        for u, v in g.edges():
+            if u < 20 and v < 20 and blocks[u] == blocks[v]:
+                assert frozenset({u, v}) <= planted[blocks[u]]
+
+    def test_ring_of_cliques(self):
+        g = gen.ring_of_cliques(4, 3)
+        assert g.n == 12
+        assert g.m == 4 * 3 + 4  # cliques + bridges
+        for c in range(4):
+            assert g.is_clique(range(c * 3, (c + 1) * 3))
+
+    def test_complete_graph(self):
+        g = gen.complete_graph(5)
+        assert g.m == 10 and g.is_clique(range(5))

@@ -1,0 +1,78 @@
+"""Tests for k-uniform hypergraphs and the Theorem 1 reduction."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.hypergraph import KUniformHypergraph, random_exact_cover_instance
+from repro import find_disjoint_cliques
+
+
+class TestConstruction:
+    def test_valid(self):
+        h = KUniformHypergraph.from_edges(6, 3, [(0, 1, 2), (3, 4, 5)])
+        assert h.n == 6 and h.k == 3 and len(h.edges) == 2
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(InvalidParameterError):
+            KUniformHypergraph.from_edges(6, 3, [(0, 1)])
+
+    def test_rejects_duplicate_nodes(self):
+        with pytest.raises(InvalidParameterError):
+            KUniformHypergraph.from_edges(6, 3, [(0, 0, 1)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            KUniformHypergraph.from_edges(3, 3, [(0, 1, 5)])
+
+    def test_rejects_small_k(self):
+        with pytest.raises(InvalidParameterError):
+            KUniformHypergraph.from_edges(3, 1, [(0,)])
+
+
+class TestReduction:
+    def test_each_hyperedge_becomes_clique(self):
+        h = KUniformHypergraph.from_edges(6, 3, [(0, 1, 2), (2, 3, 4)])
+        g = h.to_graph()
+        assert g.is_clique([0, 1, 2]) and g.is_clique([2, 3, 4])
+        assert g.m == 6  # two triangles sharing node 2
+
+    def test_exact_cover_maps_to_full_packing(self):
+        h = random_exact_cover_instance(groups=4, k=3, extra_edges=6, seed=5)
+        assert h.has_exact_cover()
+        g = h.to_graph()
+        result = find_disjoint_cliques(g, 3, method="opt")
+        # The reduction direction used in Theorem 1: a cover of all n
+        # nodes exists, so the optimum covers all nodes with n/k cliques.
+        assert result.size == h.n // 3
+
+    def test_no_cover_when_indivisible(self):
+        h = KUniformHypergraph.from_edges(4, 3, [(0, 1, 2)])
+        assert not h.has_exact_cover()
+        assert h.exact_cover() is None
+
+
+class TestExactCoverSolver:
+    def test_planted_cover_found(self):
+        h = random_exact_cover_instance(groups=5, k=4, extra_edges=10, seed=2)
+        cover = h.exact_cover()
+        assert cover is not None
+        covered = [u for edge in cover for u in edge]
+        assert sorted(covered) == list(range(h.n))
+
+    def test_cover_requires_distractor_avoidance(self):
+        # Only one valid cover exists; the distractor (1,2,3) must be skipped.
+        h = KUniformHypergraph.from_edges(
+            6, 3, [(0, 1, 2), (3, 4, 5), (1, 2, 3)]
+        )
+        cover = h.exact_cover()
+        assert cover is not None and len(cover) == 2
+
+    def test_unsatisfiable(self):
+        h = KUniformHypergraph.from_edges(6, 3, [(0, 1, 2), (1, 2, 3)])
+        assert h.exact_cover() is None
+
+    def test_max_matching_size(self):
+        h = KUniformHypergraph.from_edges(
+            9, 3, [(0, 1, 2), (2, 3, 4), (4, 5, 6), (6, 7, 8)]
+        )
+        assert h.max_matching_size() == 2

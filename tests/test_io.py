@@ -1,0 +1,79 @@
+"""Tests for edge-list I/O."""
+
+import gzip
+
+import pytest
+
+from repro import Graph
+from repro.errors import GraphError
+from repro.graph import io
+
+
+class TestParse:
+    def test_parse_simple(self):
+        g = io.parse_edge_list("0 1\n1 2\n")
+        assert g.n == 3 and g.m == 2
+
+    def test_comments_and_blanks(self):
+        text = "% a KONECT header\n# hash comment\n\n0 1\n\n2 3\n"
+        g = io.parse_edge_list(text)
+        assert g.m == 2
+
+    def test_extra_columns_ignored(self):
+        g = io.parse_edge_list("0 1 5.0 1234567\n1 2 0.5\n")
+        assert g.m == 2
+
+    def test_commas_accepted(self):
+        g = io.parse_edge_list("0,1\n1,2\n")
+        assert g.m == 2
+
+    def test_self_loops_dropped(self):
+        g = io.parse_edge_list("0 0\n0 1\n")
+        assert g.m == 1
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(GraphError, match="line 1"):
+            io.parse_edge_list("justonefield\n")
+
+    def test_empty_input(self):
+        assert io.parse_edge_list("").n == 0
+
+
+class TestFiles:
+    def test_roundtrip(self, tmp_path, paper_graph):
+        path = tmp_path / "g.edges"
+        io.write_edge_list(paper_graph, path, header="paper example")
+        loaded, labels = io.read_edge_list(path)
+        assert loaded.m == paper_graph.m and loaded.n == paper_graph.n
+        # Relabelled graph is isomorphic via the label map.
+        mapping = {int(lbl): new for lbl, new in labels.items()}
+        for u, v in paper_graph.edges():
+            assert loaded.has_edge(mapping[u], mapping[v])
+
+    def test_read_string_labels(self, tmp_path):
+        path = tmp_path / "named.edges"
+        path.write_text("alice bob\nbob carol\ncarol alice\n")
+        g, labels = io.read_edge_list(path)
+        assert g.n == 3 and g.m == 3
+        assert set(labels) == {"alice", "bob", "carol"}
+        assert g.is_clique(range(3))
+
+    def test_read_gzip(self, tmp_path):
+        path = tmp_path / "g.edges.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("0 1\n1 2\n")
+        g, _ = io.read_edge_list(path)
+        assert g.m == 2
+
+    def test_duplicate_and_loop_handling(self, tmp_path):
+        path = tmp_path / "dirty.edges"
+        path.write_text("0 1\n1 0\n0 0\n0 1\n")
+        g, _ = io.read_edge_list(path)
+        assert g.m == 1
+
+    def test_header_written_as_comments(self, tmp_path):
+        path = tmp_path / "h.edges"
+        io.write_edge_list(Graph(2, [(0, 1)]), path, header="line1\nline2")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "% line1" and lines[1] == "% line2"
+        assert lines[2] == "0 1"

@@ -1,0 +1,57 @@
+"""Tests for (1,2)-swap MIS local search."""
+
+import pytest
+
+from repro import Graph
+from repro.graph.generators import erdos_renyi_gnp
+from repro.mis import exact_mis, greedy_mis, is_independent_set
+from repro.mis.local_search import one_two_swap
+
+
+class TestOneTwoSwap:
+    def test_stays_independent_and_maximal(self, random_graphs):
+        for g in random_graphs:
+            improved = one_two_swap(g)
+            assert is_independent_set(g, improved)
+            improved_set = set(improved)
+            for u in g.nodes():
+                if u not in improved_set:
+                    assert g.neighbors(u) & improved_set
+
+    def test_never_worse_than_greedy(self, random_graphs):
+        for g in random_graphs:
+            greedy = greedy_mis(g)
+            improved = one_two_swap(g, initial=greedy)
+            assert len(improved) >= len(greedy)
+
+    def test_bounded_by_optimum(self, random_graphs):
+        for g in random_graphs:
+            if g.n > 18:
+                continue
+            assert len(one_two_swap(g)) <= len(exact_mis(g))
+
+    def test_swap_fires_on_known_instance(self):
+        # Star-of-paths: greedy from the hub is suboptimal; a (1,2)-swap
+        # replaces the hub with two leaves.
+        g = Graph(5, [(0, 1), (0, 2), (1, 3), (2, 4)])
+        improved = one_two_swap(g, initial=[0, 3, 4])
+        assert len(improved) >= 3
+        assert is_independent_set(g, improved)
+
+    def test_plain_insertion_keeps_maximality(self):
+        g = Graph(4, [(0, 1)])
+        improved = one_two_swap(g, initial=[0])
+        assert set(improved) >= {2, 3}
+
+    def test_empty_graph(self):
+        assert one_two_swap(Graph(0)) == []
+
+    def test_on_clique_graph_instances(self):
+        # Quality reference on the structure OPT actually solves.
+        from repro.cliques.clique_graph import build_clique_graph
+
+        g = erdos_renyi_gnp(16, 0.4, seed=3)
+        cg = build_clique_graph(g, 3)
+        if cg.num_cliques:
+            improved = one_two_swap(cg.graph)
+            assert len(improved) <= len(exact_mis(cg.graph))

@@ -1,0 +1,89 @@
+"""Tests for blossom maximum matching and greedy set packing."""
+
+import pytest
+
+from repro import Graph
+from repro.graph.generators import complete_graph, erdos_renyi_gnp
+from repro.matching import (
+    greedy_set_packing,
+    is_matching,
+    local_search_packing,
+    matching_size,
+    maximum_matching,
+)
+
+
+class TestBlossom:
+    def test_single_edge(self):
+        assert maximum_matching(Graph(2, [(0, 1)])) == [(0, 1)]
+
+    def test_path(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert matching_size(g) == 2
+
+    def test_odd_cycle_needs_blossom(self):
+        # C5 plus a pendant forces an augmenting path through a blossom.
+        g = Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (2, 5)])
+        assert matching_size(g) == 3
+
+    def test_petersen_graph(self):
+        nx = pytest.importorskip("networkx")
+        petersen = nx.petersen_graph()
+        g = Graph(10, list(petersen.edges()))
+        assert matching_size(g) == 5  # perfect matching
+
+    def test_against_networkx_random(self):
+        nx = pytest.importorskip("networkx")
+        for seed in range(8):
+            g = erdos_renyi_gnp(16, 0.25, seed=seed)
+            nxg = nx.Graph(list(g.edges()))
+            nxg.add_nodes_from(range(g.n))
+            expected = len(nx.max_weight_matching(nxg, maxcardinality=True))
+            matching = maximum_matching(g)
+            assert is_matching(g, matching)
+            assert len(matching) == expected
+
+    def test_complete_graph(self):
+        assert matching_size(complete_graph(9)) == 4
+
+    def test_empty(self):
+        assert maximum_matching(Graph(0)) == []
+        assert maximum_matching(Graph(5)) == []
+
+
+class TestIsMatching:
+    def test_rejects_shared_node(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert not is_matching(g, [(0, 1), (1, 2)])
+
+    def test_rejects_missing_edge(self):
+        g = Graph(3, [(0, 1)])
+        assert not is_matching(g, [(0, 2)])
+
+    def test_rejects_self_loop(self):
+        g = Graph(3, [(0, 1)])
+        assert not is_matching(g, [(1, 1)])
+
+
+class TestSetPacking:
+    def test_first_fit(self):
+        cliques = [(0, 1, 2), (2, 3, 4), (5, 6, 7)]
+        result = greedy_set_packing(cliques, 3)
+        assert result.size == 2
+
+    def test_keyed_order_changes_result(self):
+        cliques = [(0, 1, 2), (1, 3, 4), (2, 5, 6)]
+        worst_first = greedy_set_packing(cliques, 3)
+        assert worst_first.size == 1  # (0,1,2) blocks the other two
+        best = greedy_set_packing(cliques, 3, key=lambda c: -c[0])
+        assert best.size == 2
+
+    def test_local_search_improves(self):
+        # Choosing the hub clique first is suboptimal; a 1-to-2 swap fixes it.
+        cliques = [(0, 1, 2), (1, 3, 4), (2, 5, 6)]
+        improved = local_search_packing(cliques, 3, rounds=3)
+        assert improved.size == 2
+
+    def test_local_search_no_improvement_possible(self):
+        cliques = [(0, 1, 2)]
+        assert local_search_packing(cliques, 3).size == 1

@@ -1,0 +1,65 @@
+"""Targeted tests for smaller paths not covered elsewhere."""
+
+import pytest
+
+from repro.bench import experiments as exp
+from repro.bench.harness import CellOutcome
+from repro.graph import datasets, io
+
+
+class TestExperimentRendering:
+    def test_fig6_includes_chart(self):
+        sweep = {
+            ("FTB", 3, m): CellOutcome(value=10, seconds=0.01)
+            for m in exp.STATIC_METHODS
+        }
+        result = exp.run_fig6(sweep, names=["FTB"], ks=(3,))
+        assert "log scale" in result.text
+
+    def test_fig7_handles_missing_cells(self):
+        sweep = {
+            ("FTB", 3, "deletion"): {
+                "mean_seconds": 1e-5, "size": 5, "rebuild": 5, "count": 10,
+            }
+        }
+        result = exp.run_fig7(sweep, names=["FTB"], ks=(3, 4))
+        assert "-" in result.text  # k=4 cells absent
+        assert "10.0us" in result.text
+
+    def test_table2_without_hg_reference(self):
+        sweep = {("FTB", 3, "lp"): CellOutcome(value=7, seconds=0.01)}
+        result = exp.run_table2(sweep, names=["FTB"], ks=(3,))
+        assert "7" in result.text  # absolute size when HG missing
+
+
+class TestCellOutcome:
+    def test_extra_dict(self):
+        cell = CellOutcome(value=3)
+        cell.extra["size"] = 3
+        assert cell.ok and cell.extra["size"] == 3
+
+    def test_display_with_marker(self):
+        assert CellOutcome(marker="OOM").display() == "OOM"
+
+
+class TestIterEdgeLines:
+    def test_direct_iteration(self):
+        pairs = list(io.iter_edge_lines(["1 2", "% skip", "3 4 weight"]))
+        assert pairs == [("1", "2"), ("3", "4")]
+
+
+class TestDavisProjection:
+    def test_davis_classic(self):
+        pytest.importorskip("networkx")
+        g = datasets.networkx_classic("davis")
+        assert g.n == 18  # women projection
+        assert g.m > 0
+
+
+class TestResultStats:
+    def test_solver_stats_round_trip(self, paper_graph):
+        from repro import find_disjoint_cliques
+
+        result = find_disjoint_cliques(paper_graph, 3, method="lp")
+        assert result.stats["cliques_taken"] == result.size
+        assert result.stats["heap_pushes"] >= result.stats["cliques_taken"]

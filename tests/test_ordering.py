@@ -1,0 +1,114 @@
+"""Tests for total node orderings and degeneracy computation."""
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.errors import InvalidParameterError
+from repro.graph import ordering
+from repro.graph.generators import erdos_renyi_gnp, complete_graph
+
+
+def is_permutation(rank: np.ndarray, n: int) -> bool:
+    return sorted(rank.tolist()) == list(range(n))
+
+
+class TestBasicOrderings:
+    def test_by_id(self, paper_graph):
+        assert ordering.by_id(paper_graph).tolist() == list(range(9))
+
+    def test_by_degree_is_permutation(self, paper_graph):
+        rank = ordering.by_degree(paper_graph)
+        assert is_permutation(rank, 9)
+
+    def test_by_degree_respects_degree(self, random_graphs):
+        for g in random_graphs:
+            rank = ordering.by_degree(g)
+            order = np.argsort(rank)
+            degs = [g.degree(int(u)) for u in order]
+            assert degs == sorted(degs)
+
+    def test_by_degree_tiebreak_by_id(self):
+        g = Graph(4, [(0, 1), (2, 3)])  # all degree 1
+        rank = ordering.by_degree(g)
+        assert rank.tolist() == [0, 1, 2, 3]
+
+    def test_rank_from_sequence_inverse(self):
+        rank = ordering.rank_from_sequence([2, 0, 1])
+        assert rank.tolist() == [1, 2, 0]
+
+
+class TestDegeneracy:
+    def test_degeneracy_of_complete_graph(self):
+        assert ordering.degeneracy(complete_graph(6)) == 5
+
+    def test_degeneracy_of_tree(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert ordering.degeneracy(g) == 1
+
+    def test_degeneracy_of_empty(self):
+        assert ordering.degeneracy(Graph(0)) == 0
+        assert ordering.degeneracy(Graph(4)) == 0
+
+    def test_degeneracy_ordering_is_permutation(self, random_graphs):
+        for g in random_graphs:
+            assert is_permutation(ordering.by_degeneracy(g), g.n)
+
+    def test_degeneracy_bounds_out_degree(self, random_graphs):
+        # Out-degrees under the degeneracy ordering equal core numbers at
+        # the peel point, so the max out-degree is exactly the degeneracy.
+        for g in random_graphs:
+            rank = ordering.by_degeneracy(g)
+            d = ordering.degeneracy(g)
+            for u in g.nodes():
+                later = sum(1 for v in g.neighbors(u) if rank[v] > rank[u])
+                assert later <= d
+
+    def test_degeneracy_vs_networkx(self, random_graphs):
+        nx = pytest.importorskip("networkx")
+        for g in random_graphs:
+            nxg = nx.Graph(list(g.edges()))
+            nxg.add_nodes_from(range(g.n))
+            expected = max(nx.core_number(nxg).values()) if g.n else 0
+            assert ordering.degeneracy(g) == expected
+
+
+class TestScoreOrdering:
+    def test_by_score_ascending(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        rank = ordering.by_score(g, [5, 1, 7, 0])
+        order = np.argsort(rank).tolist()
+        assert order == [3, 1, 0, 2]
+
+    def test_by_score_tiebreak_by_id(self):
+        g = Graph(3, [(0, 1)])
+        rank = ordering.by_score(g, [2, 2, 2])
+        assert rank.tolist() == [0, 1, 2]
+
+    def test_by_score_length_mismatch(self):
+        g = Graph(3)
+        with pytest.raises(InvalidParameterError):
+            ordering.by_score(g, [1, 2])
+
+
+class TestResolve:
+    def test_resolve_names(self, paper_graph):
+        for name in ("id", "degree", "degeneracy"):
+            rank = ordering.resolve(name, paper_graph)
+            assert is_permutation(rank, 9)
+
+    def test_resolve_unknown_name(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            ordering.resolve("zorp", paper_graph)
+
+    def test_resolve_array(self, paper_graph):
+        rank = np.arange(9)[::-1].copy()
+        assert ordering.resolve(rank, paper_graph).tolist() == rank.tolist()
+
+    def test_resolve_bad_shape(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            ordering.resolve(np.arange(5), paper_graph)
+
+    def test_resolve_callable(self, paper_graph):
+        rank = ordering.resolve(lambda g: np.arange(g.n), paper_graph)
+        assert rank.tolist() == list(range(9))

@@ -1,0 +1,90 @@
+"""End-to-end checks of every worked example in the paper's text."""
+
+import pytest
+
+from repro import find_disjoint_cliques, is_maximal, verify_solution
+from repro.cliques import build_clique_graph, node_scores
+from repro.core.exact import exact_optimum
+from tests.conftest import PAPER_TRIANGLES
+
+
+V = {i: i - 1 for i in range(1, 12)}  # paper's 1-based node names
+
+
+class TestExample1:
+    """Fig. 2: seven triangles, a maximal S1 of size 2, a maximum of 3."""
+
+    def test_s1_is_maximal_but_not_maximum(self, paper_graph):
+        s1 = [
+            {V[3], V[5], V[6]},   # C2
+            {V[4], V[7], V[9]},   # C6
+        ]
+        verify_solution(paper_graph, 3, s1)
+        assert is_maximal(paper_graph, 3, s1)
+        assert exact_optimum(paper_graph, 3).size == 3  # S2 is larger
+
+    def test_s2_is_maximum(self, paper_graph):
+        s2 = [
+            {V[1], V[3], V[6]},   # C1
+            {V[5], V[7], V[8]},   # C4
+            {V[2], V[4], V[9]},   # C7
+        ]
+        verify_solution(paper_graph, 3, s2)
+        assert is_maximal(paper_graph, 3, s2)
+        assert len(s2) == exact_optimum(paper_graph, 3).size
+
+    def test_clique_graph_edge_c1_c2(self, paper_graph):
+        # "C1 and C2 share the node v3 [and v6], resulting in an edge."
+        cg = build_clique_graph(paper_graph, 3)
+        index = {frozenset(c): i for i, c in enumerate(cg.cliques)}
+        assert cg.graph.has_edge(index[PAPER_TRIANGLES[0]], index[PAPER_TRIANGLES[1]])
+
+
+class TestExample3:
+    """Node/clique scores of the running example."""
+
+    def test_reported_scores(self, paper_graph):
+        scores = node_scores(paper_graph, 3)
+        assert scores[V[6]] == 3
+        assert scores[V[5]] == 3
+        assert scores[V[8]] == 3
+        # s_c(C3) = s_n(v5) + s_n(v6) + s_n(v8) = 9.
+        assert scores[V[5]] + scores[V[6]] + scores[V[8]] == 9
+
+    def test_deg_c1_is_two(self, paper_graph):
+        cg = build_clique_graph(paper_graph, 3)
+        index = {frozenset(c): i for i, c in enumerate(cg.cliques)}
+        assert cg.degree_of(index[PAPER_TRIANGLES[0]]) == 2
+
+
+class TestLemma1:
+    """A clique with >= k+1 clique-graph neighbours has two adjacent ones."""
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_pigeonhole_structure(self, random_graphs, k):
+        for g in random_graphs:
+            cg = build_clique_graph(g, k)
+            for i in range(cg.num_cliques):
+                neighbours = sorted(cg.graph.neighbors(i))
+                if len(neighbours) < k + 1:
+                    continue
+                found_adjacent_pair = any(
+                    cg.graph.has_edge(a, b)
+                    for x, a in enumerate(neighbours)
+                    for b in neighbours[x + 1 :]
+                )
+                assert found_adjacent_pair
+
+
+class TestTheorem3Tightness:
+    """The k-approximation bound is attainable in structure."""
+
+    def test_every_solver_within_k_of_opt(self, paper_graph):
+        opt = exact_optimum(paper_graph, 3).size
+        for method in ("hg", "gc", "l", "lp"):
+            size = find_disjoint_cliques(paper_graph, 3, method=method).size
+            assert opt <= 3 * size
+
+    def test_lp_finds_maximum_on_paper_graph(self, paper_graph):
+        # The score ordering recovers the maximum here.
+        assert find_disjoint_cliques(paper_graph, 3, method="lp").size == 3

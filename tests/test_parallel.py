@@ -1,0 +1,32 @@
+"""Tests for the parallel HeapInit path of Algorithm 3."""
+
+import pytest
+
+from repro.core.lightweight import lightweight
+from repro.graph.generators import erdos_renyi_gnp, powerlaw_cluster
+
+
+class TestParallelHeapInit:
+    @pytest.mark.parametrize("workers", [2, 3])
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_identical_to_sequential(self, workers, k):
+        g = powerlaw_cluster(200, 5, 0.5, seed=3)
+        sequential = lightweight(g, k, workers=1)
+        parallel = lightweight(g, k, workers=workers)
+        assert sequential.sorted_cliques() == parallel.sorted_cliques()
+
+    def test_workers_zero_uses_cpu_count(self):
+        g = erdos_renyi_gnp(60, 0.3, seed=1)
+        result = lightweight(g, 3, workers=0)
+        baseline = lightweight(g, 3, workers=1)
+        assert result.sorted_cliques() == baseline.sorted_cliques()
+
+    def test_small_graph_falls_back_to_sequential(self):
+        g = erdos_renyi_gnp(3, 1.0, seed=0)
+        assert lightweight(g, 3, workers=8).size == 1
+
+    def test_prune_composes_with_parallel(self):
+        g = powerlaw_cluster(150, 5, 0.6, seed=4)
+        pruned = lightweight(g, 4, prune=True, workers=2)
+        plain = lightweight(g, 4, prune=False, workers=2)
+        assert pruned.sorted_cliques() == plain.sorted_cliques()

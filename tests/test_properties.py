@@ -1,0 +1,124 @@
+"""Hypothesis property tests for core invariants across the package."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import Graph, find_disjoint_cliques, is_maximal, verify_solution
+from repro.cliques import count_cliques, node_scores
+from repro.core.scores import degree_bounds
+from repro.cliques.clique_graph import build_clique_graph
+from repro.graph.generators import erdos_renyi_gnp
+from repro.graph.kcore import core_numbers
+from repro.mis.greedy import greedy_mis, is_independent_set
+
+
+graphs = st.builds(
+    erdos_renyi_gnp,
+    n=st.integers(min_value=0, max_value=24),
+    p=st.floats(min_value=0.0, max_value=0.55),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(g=graphs, k=st.integers(min_value=2, max_value=5))
+def test_every_method_valid_and_maximal(g: Graph, k: int):
+    for method in ("hg", "gc", "l", "lp"):
+        result = find_disjoint_cliques(g, k, method=method)
+        verify_solution(g, k, result.cliques)
+        assert is_maximal(g, k, result.cliques)
+
+
+@settings(max_examples=25, deadline=None)
+@given(g=graphs, k=st.integers(min_value=2, max_value=5))
+def test_score_sum_identity(g: Graph, k: int):
+    scores = node_scores(g, k)
+    assert scores.sum() == k * count_cliques(g, k)
+    assert (scores >= 0).all()
+
+
+small_graphs = st.builds(
+    erdos_renyi_gnp,
+    n=st.integers(min_value=0, max_value=22),
+    p=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(g=small_graphs)
+def test_theorem2_bounds(g: Graph):
+    k = 3
+    cg = build_clique_graph(g, k)
+    scores = node_scores(g, k)
+    for i, clique in enumerate(cg.cliques):
+        lo, hi = degree_bounds(clique, scores, k)
+        assert lo <= cg.degree_of(i) <= hi
+
+
+@settings(max_examples=25, deadline=None)
+@given(g=graphs)
+def test_greedy_mis_properties(g: Graph):
+    chosen = greedy_mis(g)
+    assert is_independent_set(g, chosen)
+    chosen_set = set(chosen)
+    assert all(
+        u in chosen_set or (g.neighbors(u) & chosen_set) for u in g.nodes()
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(g=graphs)
+def test_core_numbers_characterisation(g: Graph):
+    core = core_numbers(g)
+    # Each node's core number is at most its degree.
+    assert all(core[u] <= g.degree(u) for u in g.nodes())
+    # The c-core induced subgraph has min degree >= c for the max core.
+    if g.n:
+        c = int(core.max())
+        members = {u for u in g.nodes() if core[u] >= c}
+        for u in members:
+            assert len(g.neighbors(u) & members) >= c or c == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(g=graphs, k=st.integers(min_value=2, max_value=4))
+def test_solution_sizes_ordered(g: Graph, k: int):
+    # GC == LP always; HG differs but stays within the k-approximation
+    # band of the larger of the two.
+    gc = find_disjoint_cliques(g, k, method="gc").size
+    lp = find_disjoint_cliques(g, k, method="lp").size
+    hg = find_disjoint_cliques(g, k, method="hg").size
+    assert gc == lp
+    best = max(lp, hg)
+    assert min(lp, hg) >= best / k  # both are k-approximations of OPT >= best
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    g=graphs,
+    k=st.integers(min_value=3, max_value=4),
+)
+def test_upper_bounds_dominate_heuristics(g: Graph, k: int):
+    from repro.analysis import optimum_upper_bounds
+
+    lp = find_disjoint_cliques(g, k, method="lp").size
+    assert optimum_upper_bounds(g, k).best >= lp
+
+
+@settings(max_examples=20, deadline=None)
+@given(g=graphs)
+def test_complement_involution(g: Graph):
+    assert g.complement().complement() == g
+
+
+@settings(max_examples=20, deadline=None)
+@given(g=graphs, seed=st.integers(min_value=0, max_value=1000))
+def test_edge_removal_monotone(g: Graph, seed: int):
+    edges = list(g.edges())
+    if not edges:
+        return
+    rng = np.random.default_rng(seed)
+    u, v = edges[int(rng.integers(len(edges)))]
+    smaller = g.remove_edges([(u, v)])
+    assert count_cliques(smaller, 3) <= count_cliques(g, 3)

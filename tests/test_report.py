@@ -1,0 +1,46 @@
+"""Tests for the EXPERIMENTS.md report generator (structure only).
+
+The full report run is exercised out-of-band (it regenerates every
+artefact); here we check the commentary registry stays in sync with the
+experiment runners and that the rendering machinery composes.
+"""
+
+from repro.bench import experiments as exp
+from repro.bench.report import PAPER_NOTES
+
+
+class TestPaperNotes:
+    def test_every_runner_has_commentary(self):
+        assert set(PAPER_NOTES) == set(exp._RUNNERS)
+
+    def test_notes_mention_paper_and_measured(self):
+        for name, note in PAPER_NOTES.items():
+            if name.startswith("ablation"):
+                continue
+            assert "**Paper:**" in note, name
+            assert "**Here:**" in note, name
+
+
+class TestReportAssembly:
+    def test_report_section_for_single_artefact(self, monkeypatch):
+        # Swap run_all for a cheap single artefact to exercise assembly.
+        from repro.bench import report as report_mod
+
+        monkeypatch.setattr(
+            exp, "run_all", lambda: [exp.run_table1(names=["FTB"], ks=(3,))]
+        )
+        text = report_mod.build_report()
+        assert "# EXPERIMENTS" in text
+        assert "## table1" in text
+        assert "```text" in text
+        assert "FTB" in text
+
+    def test_main_writes_file(self, tmp_path, monkeypatch):
+        from repro.bench import report as report_mod
+
+        monkeypatch.setattr(
+            exp, "run_all", lambda: [exp.run_table1(names=["FTB"], ks=(3,))]
+        )
+        out = tmp_path / "EXP.md"
+        assert report_mod.main([str(out)]) == 0
+        assert out.exists() and "table1" in out.read_text()

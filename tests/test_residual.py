@@ -1,0 +1,93 @@
+"""Tests for iterative residual packing."""
+
+import pytest
+
+from repro import Graph
+from repro.core.residual import ResidualPacking, iterative_residual_packing
+from repro.errors import InvalidParameterError
+from repro.graph.generators import planted_clique_packing, powerlaw_cluster
+
+
+class TestBasics:
+    def test_single_round(self, triangle_pair):
+        packing = iterative_residual_packing(triangle_pair, ks=(3,))
+        assert packing.round_sizes() == {3: 2}
+        assert packing.coverage(6) == 1.0
+        assert packing.leftovers == []
+
+    def test_fallback_rounds(self):
+        # One 4-clique, one disjoint triangle, one disjoint edge, one
+        # isolated node: rounds (4, 3, 2) pick them up in order.
+        g = Graph(
+            10,
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),   # K4
+             (4, 5), (4, 6), (5, 6),                            # triangle
+             (7, 8)],                                           # edge
+        )
+        packing = iterative_residual_packing(g, ks=(4, 3, 2))
+        assert packing.round_sizes() == {4: 1, 3: 1, 2: 1}
+        assert packing.covered_nodes == set(range(9))
+        assert packing.leftovers == [[9]]
+
+    def test_groups_concatenate(self):
+        g = Graph(5, [(0, 1), (0, 2), (1, 2)])
+        packing = iterative_residual_packing(g, ks=(3, 2))
+        groups = packing.groups
+        assert sorted(groups[0]) == [0, 1, 2]
+        assert {u for grp in groups for u in grp} == set(range(5))
+
+    def test_no_leftover_grouping(self):
+        g = Graph(5, [(0, 1), (0, 2), (1, 2)])
+        packing = iterative_residual_packing(g, ks=(3,), group_leftovers=False)
+        assert packing.leftovers == []
+        assert packing.covered_nodes == {0, 1, 2}
+
+
+class TestValidity:
+    def test_rounds_are_disjoint_cliques(self):
+        g = powerlaw_cluster(250, 6, 0.55, seed=4)
+        packing = iterative_residual_packing(g, ks=(4, 3, 2))
+        seen: set[int] = set()
+        for k, cliques in packing.rounds:
+            for clique in cliques:
+                assert len(clique) == k
+                assert g.is_clique(clique)
+                assert not (seen & clique)
+                seen |= clique
+
+    def test_planted_instance_fully_covered(self):
+        g, planted = planted_clique_packing(5, 4, seed=8)
+        packing = iterative_residual_packing(g, ks=(4,))
+        assert packing.round_sizes()[4] == 5
+        assert packing.coverage(g.n) == 1.0
+
+    def test_coverage_monotone_in_rounds(self):
+        g = powerlaw_cluster(300, 5, 0.5, seed=5)
+        only4 = iterative_residual_packing(g, ks=(4,))
+        full = iterative_residual_packing(g, ks=(4, 3, 2))
+        assert full.coverage(g.n) >= only4.coverage(g.n)
+        # First rounds agree (same solver on the same graph).
+        assert full.round_sizes()[4] == only4.round_sizes()[4]
+
+
+class TestValidation:
+    def test_empty_ks(self, triangle_pair):
+        with pytest.raises(InvalidParameterError):
+            iterative_residual_packing(triangle_pair, ks=())
+
+    def test_increasing_ks_rejected(self, triangle_pair):
+        with pytest.raises(InvalidParameterError):
+            iterative_residual_packing(triangle_pair, ks=(3, 4))
+
+    def test_duplicate_ks_rejected(self, triangle_pair):
+        with pytest.raises(InvalidParameterError):
+            iterative_residual_packing(triangle_pair, ks=(3, 3))
+
+    def test_k1_rejected(self, triangle_pair):
+        with pytest.raises(InvalidParameterError):
+            iterative_residual_packing(triangle_pair, ks=(3, 1))
+
+    def test_empty_graph(self):
+        packing = iterative_residual_packing(Graph(0), ks=(3,))
+        assert packing.groups == []
+        assert isinstance(packing, ResidualPacking)

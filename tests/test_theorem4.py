@@ -1,0 +1,69 @@
+"""Theorem 4: Algorithm 2 (GC) and Algorithm 3 (L, LP) coincide exactly.
+
+The paper proves that under a fixed total node ordering and a fixed
+total clique ordering, the stored-clique method and the lightweight
+method produce the same S. This package pins both orderings to the
+deterministic key ``(clique_score, sorted node tuple)``, so the theorem
+is testable as exact set equality — including for LP, whose pruning
+condition can never discard a key-minimal clique (every pruned branch
+completes to a strictly larger score).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lightweight import lightweight
+from repro.core.store_all import store_all_cliques
+from repro.graph.generators import (
+    erdos_renyi_gnp,
+    planted_clique_packing,
+    powerlaw_cluster,
+    watts_strogatz,
+)
+
+
+def assert_same_solution(graph, k):
+    gc = store_all_cliques(graph, k).sorted_cliques()
+    l_plain = lightweight(graph, k, prune=False).sorted_cliques()
+    lp = lightweight(graph, k, prune=True).sorted_cliques()
+    assert gc == l_plain, f"GC != L for k={k}"
+    assert gc == lp, f"GC != LP for k={k}"
+
+
+class TestFixedGraphs:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_paper_example(self, paper_graph, k):
+        assert_same_solution(paper_graph, k)
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_random_small(self, random_graphs, k):
+        for g in random_graphs:
+            assert_same_solution(g, k)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_watts_strogatz(self, seed):
+        g = watts_strogatz(60, 6, 0.3, seed=seed)
+        assert_same_solution(g, 3)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_powerlaw_cluster(self, seed):
+        g = powerlaw_cluster(80, 4, 0.6, seed=seed)
+        for k in (3, 4):
+            assert_same_solution(g, k)
+
+    def test_planted(self):
+        g, _ = planted_clique_packing(6, 4, extra_nodes=5, noise_edges=20, seed=9)
+        assert_same_solution(g, 4)
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=22),
+        p=st.floats(min_value=0.15, max_value=0.6),
+        k=st.integers(min_value=3, max_value=5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_gc_equals_lightweight(self, n, p, k, seed):
+        g = erdos_renyi_gnp(n, p, seed=seed)
+        assert_same_solution(g, k)

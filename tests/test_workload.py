@@ -1,0 +1,71 @@
+"""Tests for the update-workload generators."""
+
+import pytest
+
+from repro.dynamic.workload import (
+    deletion_workload,
+    insertion_workload,
+    mixed_workload,
+)
+from repro.errors import InvalidParameterError
+from repro.graph.generators import erdos_renyi_gnm
+
+
+@pytest.fixture
+def base_graph():
+    return erdos_renyi_gnm(50, 200, seed=1)
+
+
+class TestDeletionInsertion:
+    def test_deletion_samples_existing_edges(self, base_graph):
+        updates = deletion_workload(base_graph, 30, seed=2)
+        assert len(updates) == 30
+        assert all(op == "delete" for op, _, _ in updates)
+        assert all(base_graph.has_edge(u, v) for _, u, v in updates)
+        # No duplicate edges sampled.
+        assert len({(u, v) for _, u, v in updates}) == 30
+
+    def test_insertion_mirrors_sample(self, base_graph):
+        dels = deletion_workload(base_graph, 20, seed=3)
+        ins = insertion_workload(base_graph, 20, seed=3)
+        assert [(u, v) for _, u, v in dels] == [(u, v) for _, u, v in ins]
+        assert all(op == "insert" for op, _, _ in ins)
+
+    def test_deterministic(self, base_graph):
+        assert deletion_workload(base_graph, 10, seed=4) == deletion_workload(
+            base_graph, 10, seed=4
+        )
+
+    def test_oversample_rejected(self, base_graph):
+        with pytest.raises(InvalidParameterError):
+            deletion_workload(base_graph, 10_000, seed=1)
+
+
+class TestMixed:
+    def test_mixed_structure(self, base_graph):
+        start, updates = mixed_workload(base_graph, 25, seed=5)
+        assert len(updates) == 50
+        inserts = [(u, v) for op, u, v in updates if op == "insert"]
+        deletes = [(u, v) for op, u, v in updates if op == "delete"]
+        assert len(inserts) == len(deletes) == 25
+        # Inserted edges were pre-removed from the start graph.
+        assert all(not start.has_edge(u, v) for u, v in inserts)
+        # Deleted edges still exist in the start graph.
+        assert all(start.has_edge(u, v) for u, v in deletes)
+        assert start.m == base_graph.m - 25
+
+    def test_insert_delete_sets_disjoint(self, base_graph):
+        _, updates = mixed_workload(base_graph, 25, seed=6)
+        inserts = {(u, v) for op, u, v in updates if op == "insert"}
+        deletes = {(u, v) for op, u, v in updates if op == "delete"}
+        assert not inserts & deletes
+
+    def test_applying_mixed_workload_is_consistent(self, base_graph):
+        from repro.graph.dynamic import DynamicGraph
+
+        start, updates = mixed_workload(base_graph, 25, seed=7)
+        dyn = DynamicGraph.from_graph(start)
+        for op, u, v in updates:
+            applied = dyn.insert_edge(u, v) if op == "insert" else dyn.delete_edge(u, v)
+            assert applied  # every update is effective exactly once
+        assert dyn.m == base_graph.m - 25
