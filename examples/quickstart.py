@@ -1,32 +1,56 @@
 """Quickstart: find a near-optimal maximum set of disjoint k-cliques.
 
-Builds a small social-style graph, runs every solver, validates and
-compares the results, and shows the dynamic maintainer reacting to edge
-updates.
+Builds a small social-style graph, opens one solver :class:`Session` on
+it, runs every heuristic through the shared preprocessing caches (batch
+API with a progress hook included), shows the legacy one-shot function
+as the compatibility path, and finishes with the dynamic maintainer
+reacting to edge updates.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Graph, find_disjoint_cliques, verify_solution
+from repro import Session, find_disjoint_cliques, verify_solution
 from repro.dynamic import DynamicDisjointCliques
 from repro.graph.generators import powerlaw_cluster
 
 
 def main() -> None:
     # A 600-node social-style graph with strong triadic closure.
-    graph: Graph = powerlaw_cluster(600, 6, 0.6, seed=42)
+    graph = powerlaw_cluster(600, 6, 0.6, seed=42)
     print(f"graph: {graph.n} nodes, {graph.m} edges")
 
+    # One session per graph: node scores, clique listings and DAG
+    # orientations are computed once and shared by every solve.
+    session = Session(graph)
+
     k = 4
-    print(f"\n--- static solvers, k={k} ---")
+    print(f"\n--- static solvers through one session, k={k} ---")
     for method in ("hg", "gc", "l", "lp"):
-        result = find_disjoint_cliques(graph, k, method=method)
+        result = session.solve(k, method=method)
         verify_solution(graph, k, result.cliques)  # raises if invalid
         print(
             f"{method.upper():>3}: {result.size:4d} disjoint {k}-cliques, "
             f"covering {100 * result.coverage(graph.n):.1f}% of nodes"
         )
+    info = session.cache_info()
+    print(
+        f"shared work: {info['clique_listings']} clique listing(s), "
+        f"{info['score_passes']} score pass(es), {info['cache_hits']} cache hits"
+    )
 
+    # Batch queries share the same caches; the deadline bounds the whole
+    # batch and the hook reports progress as solves complete.
+    print("\n--- solve_many: k = 3, 4, 5 with a progress hook ---")
+    session.solve_many(
+        [3, 4, 5],
+        deadline=60.0,
+        on_progress=lambda done, total, req, res: print(
+            f"  [{done}/{total}] k={req.k} {req.method}: |S|={res.size}"
+        ),
+    )
+
+    # Legacy compatibility path: the one-shot function (delegates to a
+    # throwaway session — fine when a graph is only solved once).
     lp = find_disjoint_cliques(graph, k, method="lp")
     print(f"\nfirst three LP cliques: {lp.sorted_cliques()[:3]}")
 

@@ -2,30 +2,64 @@
 
 A full reproduction of "Finding Near-Optimal Maximum Set of Disjoint
 k-Cliques in Real-World Social Networks" (ICDE 2025): the static
-algorithms HG / GC / L / LP and the exact baseline OPT, the dynamic
-candidate-index maintenance with swap operations, every substrate they
-depend on (clique listing, clique graph, exact MIS, blossom matching),
-and a benchmark harness regenerating the paper's tables and figures.
+algorithms HG / GC / L / LP and the exact baselines OPT / OPT-BB, the
+dynamic candidate-index maintenance with swap operations, every
+substrate they depend on (clique listing, clique graph, exact MIS,
+blossom matching), and a benchmark harness regenerating the paper's
+tables and figures.
 
 Quickstart
 ----------
->>> from repro import Graph, find_disjoint_cliques
+The session API binds to one graph and reuses preprocessing (node
+scores, clique listings, DAG orientations) across solves — the right
+entry point whenever a graph is queried more than once:
+
+>>> from repro import Graph, Session
 >>> g = Graph.from_edges([(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)])
->>> result = find_disjoint_cliques(g, k=3, method="lp")
->>> result.size
+>>> session = Session(g)
+>>> session.solve(k=3, method="lp").size
 2
+>>> session.solve(k=3, method="gc").size   # reuses the k=3 scores
+2
+
+Batches share the same caches, with an optional deadline and progress
+hook::
+
+    results = session.solve_many([3, 4, (4, "opt")], deadline=60.0)
+
+For one-shot calls the legacy function remains the compatibility path:
+
+>>> from repro import find_disjoint_cliques
+>>> find_disjoint_cliques(g, k=3, method="lp").size
+2
+
+Methods are first-class registry objects with typed options; inspect
+them via ``REGISTRY`` or ``python -m repro methods``.
 """
 
 from repro.graph.graph import Graph
 from repro.graph.dynamic import DynamicGraph
 from repro.core.api import METHODS, find_disjoint_cliques
+from repro.core.registry import (
+    REGISTRY,
+    Method,
+    SolveOptions,
+    SolverRegistry,
+)
 from repro.core.result import CliqueSetResult, is_maximal, is_valid, verify_solution
+from repro.core.session import Session, SolveRequest
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Graph",
     "DynamicGraph",
+    "Session",
+    "SolveRequest",
+    "Method",
+    "SolveOptions",
+    "SolverRegistry",
+    "REGISTRY",
     "find_disjoint_cliques",
     "METHODS",
     "CliqueSetResult",

@@ -66,7 +66,9 @@ def _capable_components(graph: Graph, capable: list[bool]) -> list[int]:
     return sizes
 
 
-def optimum_upper_bounds(graph: Graph, k: int) -> OptimumBounds:
+def optimum_upper_bounds(
+    graph: Graph, k: int, scores=None, total_cliques: int | None = None
+) -> OptimumBounds:
     """Compute all certified upper bounds on the optimum.
 
     Soundness: a node with score 0 is in no k-clique, so every clique of
@@ -74,11 +76,16 @@ def optimum_upper_bounds(graph: Graph, k: int) -> OptimumBounds:
     one connected component consume k nodes each, giving the per
     component floor ``|component| // k``; summing components dominates
     the plain node bound. The count bound is immediate.
+
+    ``scores`` / ``total_cliques`` accept precomputed values (e.g. from
+    a session cache) and skip the corresponding enumeration passes.
     """
-    scores = node_scores(graph, k)
+    if scores is None:
+        scores = node_scores(graph, k)
     capable = [bool(s) for s in scores]
     capable_count = sum(capable)
-    total_cliques = count_cliques(graph, k)
+    if total_cliques is None:
+        total_cliques = count_cliques(graph, k)
     component_bound = sum(
         size // k for size in _capable_components(graph, capable)
     )

@@ -25,8 +25,8 @@ from typing import Any, Sequence
 from repro.graph import datasets
 from repro.graph.generators import watts_strogatz
 from repro.cliques.counting import clique_profile
-from repro.cliques.listing import count_cliques
 from repro.core.api import find_disjoint_cliques
+from repro.core.session import Session
 from repro.dynamic.maintainer import DynamicDisjointCliques
 from repro.dynamic.workload import (
     deletion_workload,
@@ -39,6 +39,7 @@ from repro.bench.harness import (
     CellOutcome,
     run_cell,
     run_cell_subprocess,
+    run_solve_cell,
     scaled,
 )
 from repro.bench.tables import (
@@ -94,34 +95,43 @@ def run_table1(names: Sequence[str] | None = None, ks: Sequence[int] = KS) -> Ex
 # Static sweep shared by Figure 6 / Table II / Table III
 # ----------------------------------------------------------------------
 def _run_static_cell(
-    graph,
+    session: Session,
     k: int,
     method: str,
     time_budget: float,
     clique_budget: int,
     trace_memory: bool,
 ) -> CellOutcome:
-    """One (dataset, k, method) cell with the right budget mechanism."""
+    """One (dataset, k, method) cell with the right budget mechanism.
+
+    All methods for a graph share one session, so the clique listing and
+    node scores are computed by at most one cell each and reused by the
+    rest — the remaining cell time is the solver proper.
+    """
     if method == "opt":
         # Cheap feasibility probe first: the clique-graph baseline stores
         # every clique, so a large clique count is an immediate OOM —
         # exactly the paper's outcome for OPT beyond tiny graphs.
-        probe = run_cell(lambda: count_cliques(graph, k), time_budget=time_budget)
+        probe = run_cell(
+            lambda: session.prep.clique_count(k), time_budget=time_budget
+        )
         if not probe.ok:
             return probe
         if probe.value > OPT_CLIQUE_CAP:
             return CellOutcome(marker="OOM", seconds=probe.seconds)
+        # The forked child inherits the session's caches copy-on-write.
         return run_cell_subprocess(
-            lambda: find_disjoint_cliques(
-                graph, k, method="opt", time_budget=time_budget
-            ).size,
+            lambda: session.solve(k, "opt", time_budget=time_budget).size,
             time_budget=time_budget,
         )
-    if method == "gc":
-        fn = lambda: find_disjoint_cliques(graph, k, method="gc", max_cliques=clique_budget)
-    else:
-        fn = lambda: find_disjoint_cliques(graph, k, method=method)
-    outcome = run_cell(fn, time_budget=time_budget, trace_memory=trace_memory)
+    outcome = run_solve_cell(
+        session,
+        k,
+        method,
+        time_budget=time_budget,
+        max_cliques=clique_budget,
+        trace_memory=trace_memory,
+    )
     if outcome.ok:
         outcome.extra["size"] = outcome.value.size
         outcome.value = outcome.value.size
@@ -140,11 +150,11 @@ def run_static_sweep(
     names = list(names or datasets.TABLE1_NAMES)
     grid: dict[tuple[str, int, str], CellOutcome] = {}
     for name in names:
-        graph = datasets.load(name)
+        session = Session(datasets.load(name))
         for k in ks:
             for method in methods:
                 grid[(name, k, method)] = _run_static_cell(
-                    graph, k, method, time_budget, clique_budget, trace_memory
+                    session, k, method, time_budget, clique_budget, trace_memory
                 )
     return grid
 
@@ -269,14 +279,14 @@ def run_table4(
     data = {}
     for name in names:
         graph = datasets.load(name)
+        session = Session(graph)
         row = [name, graph.n, graph.m]
         data[name] = {}
         for k in ks:
-            lp = find_disjoint_cliques(graph, k, method="lp")
+            lp = session.solve(k, "lp")
             opt_cell = run_cell_subprocess(
-                lambda: find_disjoint_cliques(
-                    graph, k, method="opt", time_budget=time_budget,
-                    max_cliques=OPT_CLIQUE_CAP,
+                lambda: session.solve(
+                    k, "opt", time_budget=time_budget, max_cliques=OPT_CLIQUE_CAP
                 ).size,
                 time_budget=time_budget,
             )
@@ -311,11 +321,11 @@ def run_synthetic_sweep(
     n = n if n is not None else scaled(1000, minimum=100)
     grid: dict[tuple[int, int, str], CellOutcome] = {}
     for degree in degrees:
-        graph = watts_strogatz(n, degree, rewire_p, seed=seed)
+        session = Session(watts_strogatz(n, degree, rewire_p, seed=seed))
         for k in ks:
             for method in ("hg", "gc", "lp"):
                 grid[(degree, k, method)] = _run_static_cell(
-                    graph, k, method, time_budget, clique_budget, trace_memory=False
+                    session, k, method, time_budget, clique_budget, trace_memory=False
                 )
     return grid
 
@@ -523,12 +533,12 @@ def run_ablation_ordering(
     rows = []
     data = {}
     for name in names:
-        graph = datasets.load(name)
+        session = Session(datasets.load(name))
         sizes = {}
         for order in orderings:
-            result = find_disjoint_cliques(graph, k, method="hg", order=order)
+            result = session.solve(k, "hg", order=order)
             sizes[order] = result.size
-        lp = find_disjoint_cliques(graph, k, method="lp").size
+        lp = session.solve(k, "lp").size
         data[name] = {**sizes, "lp": lp}
         rows.append([name] + [sizes[o] for o in orderings] + [lp])
     text = render_table(
@@ -547,12 +557,15 @@ def run_ablation_pruning(
     rows = []
     data = {}
     for name in names:
-        graph = datasets.load(name)
+        session = Session(datasets.load(name))
         for k in ks:
+            # Prewarm the shared score pass so L and LP are timed on the
+            # FindMin phase alone — the part pruning actually affects.
+            session.warm([k])
             timings = {}
             for method in ("l", "lp"):
                 start = time.perf_counter()
-                result = find_disjoint_cliques(graph, k, method=method)
+                result = session.solve(k, method)
                 timings[method] = (time.perf_counter() - start, result.stats)
             l_time, l_stats = timings["l"]
             lp_time, lp_stats = timings["lp"]
@@ -571,6 +584,7 @@ def run_ablation_pruning(
         "Ablation: score-driven pruning (L vs LP)",
         ["Dataset", "k", "L time", "LP time", "speedup", "branches pruned"],
         rows,
+        note="score pass prewarmed via the session; times cover FindMin only",
     )
     return ExperimentResult("ablation_pruning", text, data)
 

@@ -107,6 +107,36 @@ def run_cell(
     return outcome
 
 
+def run_solve_cell(
+    session,
+    k: int,
+    method: str,
+    *,
+    time_budget: float | None = None,
+    max_cliques: int | None = None,
+    trace_memory: bool = False,
+) -> CellOutcome:
+    """One solver cell through a :class:`~repro.core.session.Session`.
+
+    Uses the method's registry metadata to forward only the budget
+    options it actually supports: ``time_budget`` goes to methods with
+    ``supports_time_budget`` (cooperative OOT), ``max_cliques`` to
+    methods whose options accept it (cooperative OOM). The wall-clock
+    OOT check of :func:`run_cell` applies to every method regardless.
+    """
+    m = session.registry.get(method)
+    kwargs: dict[str, Any] = {}
+    if time_budget is not None and m.supports_time_budget:
+        kwargs["time_budget"] = time_budget
+    if max_cliques is not None and "max_cliques" in m.options_cls.option_names():
+        kwargs["max_cliques"] = max_cliques
+    return run_cell(
+        lambda: session.solve(k, method, **kwargs),
+        time_budget=time_budget,
+        trace_memory=trace_memory,
+    )
+
+
 def _subprocess_target(fn, queue) -> None:  # pragma: no cover - child process
     try:
         queue.put(("ok", fn()))

@@ -5,10 +5,19 @@ Commands
 ``solve``        pack disjoint k-cliques in a dataset or edge-list file
 ``stats``        dataset statistics (Table I row for one graph)
 ``compare``      run several methods side by side with certificates
+``methods``      print the solver registry (tags, exactness, options)
 ``dynamic``      apply an update workload and report latency and drift
 ``experiments``  regenerate the paper's tables/figures (delegates to
                  :mod:`repro.bench.experiments`)
 ``datasets``     list the registered datasets
+
+Solver commands dispatch through the session API
+(:class:`repro.core.session.Session`): one session per loaded graph, so
+multi-method runs like ``compare`` share the preprocessing (node
+scores, clique listings, DAG orientations) instead of recomputing it
+per method. Method tags come from the solver registry
+(:data:`repro.core.registry.REGISTRY`); see ``methods`` for the full
+list with per-method options.
 
 Examples
 --------
@@ -18,6 +27,7 @@ Examples
     python -m repro solve --input my.edges --k 3 --output teams.txt
     python -m repro stats --dataset HST --ks 3 4 5
     python -m repro compare --dataset FB --k 5 --methods hg lp
+    python -m repro methods
     python -m repro dynamic --dataset HST --k 4 --workload mixed --count 100
     python -m repro experiments table1 fig7
 """
@@ -52,9 +62,9 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
 def cmd_solve(args) -> int:
     graph = _load_graph(args)
     start = time.perf_counter()
-    from repro.core.api import find_disjoint_cliques
+    from repro.core.session import Session
 
-    result = find_disjoint_cliques(graph, args.k, method=args.method)
+    result = Session(graph).solve(args.k, method=args.method)
     elapsed = time.perf_counter() - start
     print(
         f"graph n={graph.n} m={graph.m} | k={args.k} method={args.method} | "
@@ -90,8 +100,10 @@ def cmd_stats(args) -> int:
 def cmd_compare(args) -> int:
     graph = _load_graph(args)
     from repro.analysis.compare import compare_methods
+    from repro.core.session import Session
 
-    rows = compare_methods(graph, args.k, methods=args.methods)
+    # One shared session: every method reuses the same preprocessing.
+    rows = compare_methods(Session(graph), args.k, methods=args.methods)
     print(f"{'method':<8} {'|S|':>7} {'time':>9} {'coverage':>9} {'certificate':>12}")
     for row in rows:
         cert = "inf" if row.certificate == float("inf") else f"{row.certificate:.3f}"
@@ -104,7 +116,7 @@ def cmd_compare(args) -> int:
 
 def cmd_dynamic(args) -> int:
     graph = _load_graph(args)
-    from repro.core.api import find_disjoint_cliques
+    from repro.core.session import Session
     from repro.dynamic.maintainer import DynamicDisjointCliques
     from repro.dynamic.workload import (
         deletion_workload,
@@ -128,7 +140,7 @@ def cmd_dynamic(args) -> int:
     apply_start = time.perf_counter()
     dyn.apply(updates)
     per_update = (time.perf_counter() - apply_start) / len(updates)
-    rebuilt = find_disjoint_cliques(dyn.graph.snapshot(), args.k, method="lp")
+    rebuilt = Session(dyn.graph.snapshot()).solve(args.k, method="lp")
     print(
         f"workload={args.workload} updates={len(updates)} | build={build:.2f}s "
         f"mean-update={per_update * 1e6:.1f}us | |S|={dyn.size} "
@@ -144,6 +156,24 @@ def cmd_datasets(_args) -> int:
     return 0
 
 
+def cmd_methods(_args) -> int:
+    from repro.core.registry import REGISTRY
+
+    print(
+        f"{'tag':<8} {'kind':<10} {'time_budget':<12} {'warm_start':<11} options"
+    )
+    for method in REGISTRY:
+        kind = "exact" if method.exact else "heuristic"
+        budget = "yes" if method.supports_time_budget else "no"
+        warm = "yes" if method.supports_warm_start else "no"
+        print(
+            f"{method.tag:<8} {kind:<10} {budget:<12} {warm:<11} "
+            f"{method.options_cls.describe()}"
+        )
+        print(f"{'':<8} {method.summary}")
+    return 0
+
+
 def cmd_experiments(args) -> int:
     from repro.bench.experiments import main as experiments_main
 
@@ -151,6 +181,8 @@ def cmd_experiments(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.core.registry import REGISTRY
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Maximum sets of disjoint k-cliques (ICDE 2025 reproduction)",
@@ -160,7 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("solve", help="pack disjoint k-cliques")
     _add_graph_args(p)
     p.add_argument("--k", type=int, default=4)
-    p.add_argument("--method", default="lp", choices=["hg", "gc", "l", "lp", "opt"])
+    p.add_argument("--method", default="lp", choices=list(REGISTRY.tags()))
     p.add_argument("--output", help="write cliques to a file")
     p.add_argument("--show", type=int, default=0, help="print first N cliques")
     p.set_defaults(fn=cmd_solve)
@@ -188,6 +220,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("datasets", help="list registered datasets")
     p.set_defaults(fn=cmd_datasets)
+
+    p = sub.add_parser("methods", help="print the solver registry")
+    p.set_defaults(fn=cmd_methods)
 
     p = sub.add_parser("experiments", help="regenerate tables/figures")
     p.add_argument("artefacts", nargs="*", help="e.g. table1 fig6 (default: all)")

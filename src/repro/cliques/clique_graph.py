@@ -42,7 +42,7 @@ class CliqueGraph:
 
 
 def build_clique_graph(
-    graph: Graph, k: int, max_cliques: int | None = None
+    graph: Graph, k: int, max_cliques: int | None = None, cliques=None
 ) -> CliqueGraph:
     """Construct the clique graph of ``graph`` for clique size ``k``.
 
@@ -52,11 +52,23 @@ def build_clique_graph(
         Optional safety cap; :class:`MemoryError` is raised when the
         clique count exceeds it, mirroring the paper's OOM outcome for
         the straightforward baseline.
+    cliques:
+        Precomputed k-cliques as canonical sorted tuples (e.g. a
+        session cache); skips the enumeration. The cap still applies.
+        Tuples are trusted to be canonical (so the cached list is not
+        copied element-wise); other collections are canonicalized.
     """
-    cliques: list[tuple[int, ...]] = []
+    # Enumerated cliques arrive root-first and always need canonicalizing;
+    # caller-provided tuples are trusted canonical.
+    trusted = cliques is not None
+    source = iter_cliques(graph, k) if cliques is None else cliques
+    cliques = []
     membership: dict[int, list[int]] = {}
-    for clique in iter_cliques(graph, k):
-        canon = tuple(sorted(clique))
+    for clique in source:
+        if trusted and isinstance(clique, tuple):
+            canon = clique
+        else:
+            canon = tuple(sorted(clique))
         index = len(cliques)
         if max_cliques is not None and index >= max_cliques:
             raise MemoryError(

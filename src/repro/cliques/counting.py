@@ -15,11 +15,15 @@ from repro.graph.dag import OrientedGraph
 from repro.graph.graph import Graph
 
 
-def node_scores(graph: Graph, k: int, order="degeneracy") -> np.ndarray:
+def node_scores(
+    graph: Graph, k: int, order="degeneracy", dag: OrientedGraph | None = None
+) -> np.ndarray:
     """int64 array of per-node k-clique counts (``s_n``).
 
     Enumerates every k-clique once via the DAG recursion and increments a
     counter per member node. Specialised fast paths handle ``k <= 2``.
+    ``dag`` supplies an already-oriented graph (e.g. a session cache),
+    in which case ``order`` is ignored.
     """
     if k < 1:
         raise InvalidParameterError(f"k must be >= 1, got {k}")
@@ -31,7 +35,8 @@ def node_scores(graph: Graph, k: int, order="degeneracy") -> np.ndarray:
     if k == 2:
         return graph.degrees.astype(np.int64).copy()
 
-    dag = OrientedGraph.orient(graph, order)
+    if dag is None:
+        dag = OrientedGraph.orient(graph, order)
     out = dag.out
 
     def walk(prefix: list[int], candidates: set[int], depth: int) -> None:

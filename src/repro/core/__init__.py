@@ -2,6 +2,17 @@
 
 from repro.core.api import METHODS, find_disjoint_cliques
 from repro.core.basic import basic_framework
+from repro.core.registry import (
+    REGISTRY,
+    ExactOptions,
+    GCOptions,
+    HGOptions,
+    LightweightOptions,
+    Method,
+    SolveOptions,
+    SolverRegistry,
+)
+from repro.core.session import Preprocessing, Session, SolveRequest
 from repro.core.exact import exact_optimum
 from repro.core.exact_bb import exact_optimum_bb
 from repro.core.lightweight import lightweight
@@ -19,6 +30,17 @@ from repro.core.store_all import store_all_cliques
 __all__ = [
     "find_disjoint_cliques",
     "METHODS",
+    "Session",
+    "SolveRequest",
+    "Preprocessing",
+    "Method",
+    "SolveOptions",
+    "SolverRegistry",
+    "REGISTRY",
+    "HGOptions",
+    "GCOptions",
+    "LightweightOptions",
+    "ExactOptions",
     "basic_framework",
     "store_all_cliques",
     "lightweight",

@@ -1,4 +1,4 @@
-"""Unified solver entry point.
+"""Unified one-shot solver entry point (legacy compatibility path).
 
 :func:`find_disjoint_cliques` dispatches on a method tag matching the
 paper's competitor names:
@@ -13,22 +13,27 @@ tag         algorithm
 ``opt``     exact: clique graph + exact MIS (blossom matching for k = 2)
 ``opt-bb``  exact: direct branch-and-bound over cliques (cross-check)
 ==========  ============================================================
+
+Every call delegates to a throwaway :class:`repro.core.session.Session`.
+When you solve the same graph more than once — different k values,
+different methods, repeated queries — create a session yourself so the
+shared preprocessing (node scores, clique listings, orientations) is
+computed once::
+
+    session = Session(graph)
+    for k in (3, 4, 5):
+        result = session.solve(k, method="lp")
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
-from repro.errors import InvalidParameterError
 from repro.graph.graph import Graph
-from repro.core.basic import basic_framework
-from repro.core.exact import exact_optimum
-from repro.core.exact_bb import exact_optimum_bb
-from repro.core.lightweight import lightweight
+from repro.core.registry import REGISTRY
 from repro.core.result import CliqueSetResult
-from repro.core.store_all import store_all_cliques
+from repro.core.session import Session
 
-METHODS = ("hg", "gc", "l", "lp", "opt", "opt-bb")
+#: Registered method tags, in registration order.
+METHODS = REGISTRY.tags()
 
 
 def find_disjoint_cliques(
@@ -47,11 +52,15 @@ def find_disjoint_cliques(
     k:
         Clique size, ``>= 2``. The paper's applications use 3-6.
     method:
-        One of ``"hg" | "gc" | "l" | "lp" | "opt"`` (default ``"lp"``).
+        One of ``"hg" | "gc" | "l" | "lp" | "opt" | "opt-bb"`` (default
+        ``"lp"``).
     **kwargs:
-        Forwarded to the specific solver: ``order`` (hg/gc), ``prune``
-        rejected (implied by l/lp), ``time_budget``/``max_cliques`` (gc/
-        opt), ``listing_order`` (l/lp).
+        Typed per-method options, validated by the method's
+        :class:`repro.core.registry.SolveOptions` class: ``order``
+        (hg), ``workers`` (l/lp), ``max_cliques`` (gc/opt/opt-bb),
+        ``time_budget`` (opt/opt-bb). Unknown names raise
+        :class:`repro.errors.InvalidParameterError` listing the valid
+        options for the chosen method.
 
     Returns
     -------
@@ -65,26 +74,4 @@ def find_disjoint_cliques(
     >>> result.size
     4
     """
-    if not isinstance(graph, Graph):
-        raise InvalidParameterError(
-            f"graph must be a repro Graph, got {type(graph).__name__}; "
-            "call .snapshot() on DynamicGraph first"
-        )
-    dispatch: dict[str, Callable[..., CliqueSetResult]] = {
-        "hg": lambda: basic_framework(graph, k, **kwargs),
-        "gc": lambda: store_all_cliques(graph, k, **kwargs),
-        "l": lambda: lightweight(graph, k, prune=False, **kwargs),
-        "lp": lambda: lightweight(graph, k, prune=True, **kwargs),
-        "opt": lambda: exact_optimum(graph, k, **kwargs),
-        "opt-bb": lambda: exact_optimum_bb(graph, k, **kwargs),
-    }
-    key = method.lower()
-    if key not in dispatch:
-        raise InvalidParameterError(
-            f"unknown method {method!r}; expected one of {METHODS}"
-        )
-    if "prune" in kwargs:
-        raise InvalidParameterError(
-            "pass method='l' or method='lp' instead of a prune= keyword"
-        )
-    return dispatch[key]()
+    return Session(graph).solve(k, method, **kwargs)

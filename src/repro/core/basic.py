@@ -53,7 +53,9 @@ def _find_one(
     return None
 
 
-def basic_framework(graph: Graph, k: int, order="degree") -> CliqueSetResult:
+def basic_framework(
+    graph: Graph, k: int, order="degree", oriented: OrientedGraph | None = None
+) -> CliqueSetResult:
     """Compute a maximal disjoint k-clique set with Algorithm 1.
 
     Parameters
@@ -67,6 +69,10 @@ def basic_framework(graph: Graph, k: int, order="degree") -> CliqueSetResult:
         Total node ordering — name, rank array or callable (see
         :func:`repro.graph.ordering.resolve`). Default: ascending degree,
         the ordering the paper's ``HG`` competitor uses.
+    oriented:
+        An already-oriented ``graph`` (e.g. from a session cache); when
+        given, ``order`` is ignored. The orientation is only read, never
+        mutated.
 
     Returns
     -------
@@ -75,7 +81,7 @@ def basic_framework(graph: Graph, k: int, order="degree") -> CliqueSetResult:
     """
     if k < 2:
         raise InvalidParameterError(f"k must be >= 2, got {k}")
-    dag = OrientedGraph.orient(graph, order)
+    dag = oriented if oriented is not None else OrientedGraph.orient(graph, order)
     # Live out-neighbour sets: nodes are physically removed when their
     # clique enters S, exactly like the paper's residual graph.
     out = [set(s) for s in dag.out]

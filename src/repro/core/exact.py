@@ -25,6 +25,7 @@ def exact_optimum(
     k: int,
     time_budget: float | None = None,
     max_cliques: int | None = None,
+    cliques=None,
 ) -> CliqueSetResult:
     """A maximum (optimal) disjoint k-clique set.
 
@@ -40,6 +41,9 @@ def exact_optimum(
     max_cliques:
         Cap on stored cliques; exceeding it raises
         :class:`repro.errors.OutOfMemoryError` (paper: ``OOM``).
+    cliques:
+        Precomputed k-clique list (e.g. a session cache); skips the
+        enumeration inside the clique-graph build. Ignored for ``k = 2``.
     """
     if k < 2:
         raise InvalidParameterError(f"k must be >= 2, got {k}")
@@ -52,7 +56,9 @@ def exact_optimum(
             stats={"algorithm": 0.0},
         )
     try:
-        clique_graph = build_clique_graph(graph, k, max_cliques=max_cliques)
+        clique_graph = build_clique_graph(
+            graph, k, max_cliques=max_cliques, cliques=cliques
+        )
     except MemoryError as exc:
         raise OutOfMemoryError(str(exc)) from exc
     chosen = exact_mis(clique_graph.graph, time_budget=time_budget)

@@ -34,22 +34,37 @@ def exact_optimum_bb(
     k: int,
     time_budget: float | None = None,
     max_cliques: int | None = None,
+    scores=None,
+    cliques=None,
 ) -> CliqueSetResult:
     """A maximum disjoint k-clique set by direct branch-and-bound.
 
     Parameters mirror :func:`repro.core.exact.exact_optimum`; budget
     violations raise :class:`OutOfTimeError` / :class:`OutOfMemoryError`.
+    ``scores`` / ``cliques`` accept precomputed substrates (e.g. from a
+    session cache) and skip the corresponding enumeration passes.
     """
     if k < 2:
         raise InvalidParameterError(f"k must be >= 2, got {k}")
-    scores = node_scores(graph, k)
-    cliques: list[tuple[int, ...]] = []
-    for clique in iter_cliques(graph, k):
-        if max_cliques is not None and len(cliques) >= max_cliques:
+    if scores is None:
+        scores = node_scores(graph, k)
+    if cliques is None:
+        cliques = []
+        for clique in iter_cliques(graph, k):
+            if max_cliques is not None and len(cliques) >= max_cliques:
+                raise OutOfMemoryError(
+                    f"exact B&B exceeded its clique budget of {max_cliques}"
+                )
+            cliques.append(tuple(sorted(clique)))
+    else:
+        if max_cliques is not None and len(cliques) > max_cliques:
             raise OutOfMemoryError(
                 f"exact B&B exceeded its clique budget of {max_cliques}"
             )
-        cliques.append(tuple(sorted(clique)))
+        # The tuples are used as-is: masks and result frozensets are
+        # member-order-independent and clique_key sorts internally, so
+        # the (typically session-cached) list is only shallow-copied.
+        cliques = list(cliques)
     cliques.sort(key=lambda c: clique_key(c, scores))
 
     masks = [sum(1 << u for u in c) for c in cliques]

@@ -179,6 +179,7 @@ def lightweight(
     prune: bool = True,
     listing_order="degeneracy",
     workers: int = 1,
+    scores: np.ndarray | None = None,
 ) -> CliqueSetResult:
     """Compute a disjoint k-clique set with Algorithm 3.
 
@@ -197,6 +198,9 @@ def lightweight(
         Processes for the HeapInit phase (the paper runs it in
         parallel). ``1`` is sequential; ``0`` uses the CPU count.
         Results are identical for any worker count.
+    scores:
+        Precomputed node scores for ``k`` (e.g. from a session cache);
+        skips the counting pass and makes ``listing_order`` irrelevant.
 
     Returns
     -------
@@ -206,7 +210,12 @@ def lightweight(
     """
     if k < 2:
         raise InvalidParameterError(f"k must be >= 2, got {k}")
-    scores = node_scores(graph, k, listing_order)
+    if scores is None:
+        scores = node_scores(graph, k, listing_order)
+    elif len(scores) != graph.n:
+        raise InvalidParameterError(
+            f"scores has length {len(scores)}, expected n={graph.n}"
+        )
     rank = by_score(graph, scores)
     dag = OrientedGraph(graph, rank)
     out = [set(s) for s in dag.out]

@@ -1,0 +1,377 @@
+"""Solver registry: first-class methods with typed, validated options.
+
+Each solver method (the paper's competitor tags ``hg``/``gc``/``l``/
+``lp``/``opt``/``opt-bb``) is registered as a :class:`Method` object
+carrying capability metadata — exact vs. heuristic, whether it honours a
+``time_budget``, whether it can warm-start from a previous solution —
+plus a frozen options dataclass that validates keyword arguments *up
+front* instead of silently forwarding them into a solver. A typo like
+``time_budgt=`` therefore fails immediately with the valid option names
+for that method (and a did-you-mean suggestion) rather than raising a
+confusing ``TypeError`` deep inside a solver, or worse, being swallowed.
+
+Registered solve functions take ``(prep, k, options)`` where ``prep`` is
+a :class:`repro.core.session.Preprocessing` cache, so every method pulls
+its shared substrates (node scores, clique listings, oriented DAGs) from
+the owning :class:`~repro.core.session.Session` instead of recomputing
+them per call.
+
+The module-level :data:`REGISTRY` holds the six paper methods; custom
+methods can be added to a private :class:`SolverRegistry` instance for
+experimentation without touching the default set.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field, fields
+from typing import Callable, Iterator
+
+from repro.errors import InvalidParameterError
+from repro.core.basic import basic_framework
+from repro.core.exact import exact_optimum
+from repro.core.exact_bb import exact_optimum_bb
+from repro.core.lightweight import lightweight
+from repro.core.result import CliqueSetResult
+from repro.core.store_all import store_all_cliques
+
+
+# ----------------------------------------------------------------------
+# Typed per-method options
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SolveOptions:
+    """Base class for per-method solver options.
+
+    Subclasses declare one field per accepted keyword; :meth:`validate`
+    checks value domains after construction. Field names double as the
+    public option names reported in error messages and by the
+    ``python -m repro methods`` command.
+    """
+
+    @classmethod
+    def option_names(cls) -> tuple[str, ...]:
+        """The keyword names this options class accepts."""
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def describe(cls) -> str:
+        """Human-readable ``name=default`` listing (``-`` when empty)."""
+        parts = [f"{f.name}={f.default!r}" for f in fields(cls)]
+        return ", ".join(parts) if parts else "-"
+
+    def validate(self) -> None:
+        """Raise :class:`InvalidParameterError` on out-of-domain values."""
+
+
+def _check_budget(name: str, value, *, integral: bool) -> None:
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise InvalidParameterError(
+            f"{name} must be a positive number or None, got {value!r}"
+        )
+    if integral and not isinstance(value, int):
+        raise InvalidParameterError(
+            f"{name} must be an int or None, got {value!r}"
+        )
+    if value <= 0:
+        raise InvalidParameterError(
+            f"{name} must be positive, got {value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class HGOptions(SolveOptions):
+    """Options for Algorithm 1 (``hg``).
+
+    ``order`` is the total node ordering used to orient the graph: a
+    name (``"id" | "degree" | "degeneracy"``), a rank array, or a
+    callable ``graph -> rank array``.
+    """
+
+    order: object = "degree"
+
+
+@dataclass(frozen=True)
+class GCOptions(SolveOptions):
+    """Options for Algorithm 2 (``gc``): the stored-clique memory cap.
+
+    The session always enumerates under its cached degeneracy
+    orientation (the result is orientation-independent), so no
+    ``order`` knob is exposed here; pass ``order=`` to
+    :func:`repro.core.store_all.store_all_cliques` directly to
+    experiment with listing orientations.
+    """
+
+    max_cliques: int | None = None
+
+    def validate(self) -> None:
+        _check_budget("max_cliques", self.max_cliques, integral=True)
+
+
+@dataclass(frozen=True)
+class LightweightOptions(SolveOptions):
+    """Options for Algorithm 3 (``l``/``lp``).
+
+    ``workers`` parallelises HeapInit (0 = CPU count) and never changes
+    the solution. The score-counting pass runs under the session's
+    cached degeneracy orientation; pass ``listing_order=`` to
+    :func:`repro.core.lightweight.lightweight` directly to experiment
+    with other orientations.
+    """
+
+    workers: int = 1
+
+    def validate(self) -> None:
+        if isinstance(self.workers, bool) or not isinstance(self.workers, int):
+            raise InvalidParameterError(
+                f"workers must be an int >= 0, got {self.workers!r}"
+            )
+        if self.workers < 0:
+            raise InvalidParameterError(
+                f"workers must be >= 0 (0 = CPU count), got {self.workers}"
+            )
+
+
+@dataclass(frozen=True)
+class ExactOptions(SolveOptions):
+    """Options for the exact baselines (``opt``/``opt-bb``): OOT/OOM budgets."""
+
+    time_budget: float | None = None
+    max_cliques: int | None = None
+
+    def validate(self) -> None:
+        _check_budget("time_budget", self.time_budget, integral=False)
+        _check_budget("max_cliques", self.max_cliques, integral=True)
+
+
+# ----------------------------------------------------------------------
+# Method objects and the registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Method:
+    """A registered solver method with capability metadata.
+
+    Attributes
+    ----------
+    tag:
+        The dispatch tag (``"lp"``, ``"opt-bb"``, ...), always lowercase.
+    summary:
+        One-line description shown by ``python -m repro methods``.
+    exact:
+        ``True`` for provably optimal solvers, ``False`` for heuristics.
+    options_cls:
+        The :class:`SolveOptions` subclass validating this method's
+        keyword arguments.
+    run:
+        ``(prep, k, options) -> CliqueSetResult`` using the session's
+        :class:`~repro.core.session.Preprocessing` cache.
+    supports_time_budget:
+        Whether the solver cooperatively honours ``time_budget``.
+    supports_warm_start:
+        Whether the solver can start from a previous solution (reserved
+        for the dynamic-maintenance integration; no static method does).
+    """
+
+    tag: str
+    summary: str
+    exact: bool
+    options_cls: type[SolveOptions]
+    run: Callable[..., CliqueSetResult] = field(repr=False, compare=False)
+    supports_time_budget: bool = False
+    supports_warm_start: bool = False
+
+    def parse_options(self, kwargs: dict) -> SolveOptions:
+        """Validate raw keyword arguments into a typed options object.
+
+        Unknown names raise :class:`InvalidParameterError` listing the
+        valid options for this method, with a close-match suggestion.
+        """
+        valid = self.options_cls.option_names()
+        unknown = [name for name in kwargs if name not in valid]
+        if unknown:
+            bad = unknown[0]
+            if bad == "prune":
+                raise InvalidParameterError(
+                    "pass method='l' or method='lp' instead of a prune= keyword"
+                )
+            valid_text = ", ".join(valid) if valid else "(none)"
+            hint = ""
+            # Prefer options containing the typo (order -> listing_order)
+            # over pure edit-distance matches.
+            containing = [name for name in valid if bad in name]
+            close = containing or difflib.get_close_matches(bad, valid, n=1)
+            if close:
+                hint = f" (did you mean {close[0]!r}?)"
+            raise InvalidParameterError(
+                f"unknown option {bad!r} for method {self.tag!r}; "
+                f"valid options: {valid_text}{hint}"
+            )
+        options = self.options_cls(**kwargs)
+        options.validate()
+        return options
+
+
+class SolverRegistry:
+    """Tag -> :class:`Method` mapping with decorator-based registration."""
+
+    def __init__(self) -> None:
+        self._methods: dict[str, Method] = {}
+
+    def register(
+        self,
+        tag: str,
+        *,
+        summary: str,
+        exact: bool,
+        options: type[SolveOptions] = SolveOptions,
+        supports_time_budget: bool = False,
+        supports_warm_start: bool = False,
+    ) -> Callable:
+        """Decorator registering a ``(prep, k, options)`` solve function."""
+
+        def decorator(fn: Callable[..., CliqueSetResult]) -> Callable:
+            key = tag.lower()
+            if key in self._methods:
+                raise InvalidParameterError(f"method {tag!r} is already registered")
+            self._methods[key] = Method(
+                tag=key,
+                summary=summary,
+                exact=exact,
+                options_cls=options,
+                run=fn,
+                supports_time_budget=supports_time_budget,
+                supports_warm_start=supports_warm_start,
+            )
+            return fn
+
+        return decorator
+
+    def get(self, tag: str) -> Method:
+        """Resolve a (case-insensitive) tag; raise on unknown methods."""
+        if not isinstance(tag, str):
+            raise InvalidParameterError(
+                f"method must be a string tag, got {type(tag).__name__}"
+            )
+        method = self._methods.get(tag.lower())
+        if method is None:
+            raise InvalidParameterError(
+                f"unknown method {tag!r}; expected one of {self.tags()}"
+            )
+        return method
+
+    def tags(self) -> tuple[str, ...]:
+        """Registered tags in registration order."""
+        return tuple(self._methods)
+
+    def methods(self) -> tuple[Method, ...]:
+        """Registered :class:`Method` objects in registration order."""
+        return tuple(self._methods.values())
+
+    def __iter__(self) -> Iterator[Method]:
+        return iter(self._methods.values())
+
+    def __contains__(self, tag: object) -> bool:
+        return isinstance(tag, str) and tag.lower() in self._methods
+
+    def __len__(self) -> int:
+        return len(self._methods)
+
+
+#: The default registry holding the paper's six methods.
+REGISTRY = SolverRegistry()
+
+
+@REGISTRY.register(
+    "hg",
+    summary="Algorithm 1, basic greedy framework (maximal, k-approximate)",
+    exact=False,
+    options=HGOptions,
+)
+def _run_hg(prep, k: int, opts: HGOptions) -> CliqueSetResult:
+    return basic_framework(
+        prep.graph, k, order=opts.order, oriented=prep.oriented(opts.order)
+    )
+
+
+@REGISTRY.register(
+    "gc",
+    summary="Algorithm 2, stored cliques in ascending clique-score order",
+    exact=False,
+    options=GCOptions,
+)
+def _run_gc(prep, k: int, opts: GCOptions) -> CliqueSetResult:
+    cliques = prep.cliques(k, max_cliques=opts.max_cliques)
+    return store_all_cliques(
+        prep.graph,
+        k,
+        max_cliques=opts.max_cliques,
+        scores=prep.scores(k),
+        cliques=cliques,
+    )
+
+
+@REGISTRY.register(
+    "l",
+    summary="Algorithm 3 without score pruning (O(n+m) space)",
+    exact=False,
+    options=LightweightOptions,
+)
+def _run_l(prep, k: int, opts: LightweightOptions) -> CliqueSetResult:
+    return lightweight(
+        prep.graph, k, prune=False, workers=opts.workers, scores=prep.scores(k)
+    )
+
+
+@REGISTRY.register(
+    "lp",
+    summary="Algorithm 3 with score pruning (the paper's headline method)",
+    exact=False,
+    options=LightweightOptions,
+)
+def _run_lp(prep, k: int, opts: LightweightOptions) -> CliqueSetResult:
+    return lightweight(
+        prep.graph, k, prune=True, workers=opts.workers, scores=prep.scores(k)
+    )
+
+
+@REGISTRY.register(
+    "opt",
+    summary="exact: clique graph + exact MIS (blossom matching for k=2)",
+    exact=True,
+    options=ExactOptions,
+    supports_time_budget=True,
+)
+def _run_opt(prep, k: int, opts: ExactOptions) -> CliqueSetResult:
+    if k == 2:
+        # Blossom matching needs no clique substrate; skip the listing.
+        return exact_optimum(
+            prep.graph, 2, time_budget=opts.time_budget, max_cliques=opts.max_cliques
+        )
+    return exact_optimum(
+        prep.graph,
+        k,
+        time_budget=opts.time_budget,
+        max_cliques=opts.max_cliques,
+        cliques=prep.cliques(k, max_cliques=opts.max_cliques),
+    )
+
+
+@REGISTRY.register(
+    "opt-bb",
+    summary="exact: direct branch-and-bound over cliques (cross-check)",
+    exact=True,
+    options=ExactOptions,
+    supports_time_budget=True,
+)
+def _run_opt_bb(prep, k: int, opts: ExactOptions) -> CliqueSetResult:
+    cliques = prep.cliques(k, max_cliques=opts.max_cliques)
+    return exact_optimum_bb(
+        prep.graph,
+        k,
+        time_budget=opts.time_budget,
+        max_cliques=opts.max_cliques,
+        scores=prep.scores(k),
+        cliques=cliques,
+    )

@@ -1,0 +1,371 @@
+"""Session-oriented solver API with reusable preprocessing.
+
+A :class:`Session` binds to one :class:`~repro.graph.graph.Graph` and
+memoizes the shared substrates every solver needs — core numbers, the
+degeneracy ordering, oriented DAGs, and per-k node scores and clique
+listings — so repeated ``session.solve(k=..., method=...)`` calls reuse
+work instead of recomputing it. This is the structural change the
+service roadmap builds on: answering many clique-packing queries over
+the same social graph amortises the preprocessing that dominates
+runtime across methods and k values.
+
+Typical use::
+
+    from repro import Session
+
+    session = Session(graph)
+    lp = session.solve(k=4)                  # pays the k=4 score pass
+    gc = session.solve(k=4, method="gc")     # reuses it, pays the listing
+    opt = session.solve(k=4, method="opt")   # reuses the listing
+    batch = session.solve_many([3, 4, 5], deadline=30.0)
+
+The legacy one-shot :func:`repro.core.api.find_disjoint_cliques` remains
+fully supported; it simply delegates to a throwaway session.
+
+Cache invariants: all cached substrates are read-only after
+construction (solvers copy the DAG out-sets and never mutate score
+arrays or clique lists), and nothing here depends on the method tag —
+only on ``(graph, k)`` and the orientation name — so any method mix
+shares them safely.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, OutOfMemoryError, OutOfTimeError
+from repro.graph.graph import Graph
+from repro.graph import kcore
+from repro.graph import ordering
+from repro.graph.dag import OrientedGraph
+from repro.cliques import counting
+from repro.cliques import listing
+from repro.core.registry import REGISTRY, Method, SolverRegistry
+from repro.core.result import CliqueSetResult
+
+
+class Preprocessing:
+    """Memoized per-graph substrates shared by all solver methods.
+
+    Every accessor is compute-on-first-use; subsequent calls are cache
+    hits. ``stats`` counts the expensive passes actually performed
+    (clique enumerations, score passes, orientations) plus cache hits,
+    so tests and services can assert work is not repeated.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self._core: np.ndarray | None = None
+        self._ranks: dict[str, np.ndarray] = {}
+        self._oriented: dict[str, OrientedGraph] = {}
+        self._scores: dict[int, np.ndarray] = {}
+        self._cliques: dict[int, list[tuple[int, ...]]] = {}
+        self._counts: dict[int, int] = {}
+        self.stats: dict[str, int] = {
+            "clique_listings": 0,
+            "score_passes": 0,
+            "count_passes": 0,
+            "orientations": 0,
+            "core_decompositions": 0,
+            "cache_hits": 0,
+        }
+
+    # -- orderings and orientations ------------------------------------
+    def core_numbers(self) -> np.ndarray:
+        """Core number per node (cached k-core decomposition)."""
+        if self._core is None:
+            self._core = kcore.core_numbers(self.graph)
+            self.stats["core_decompositions"] += 1
+        else:
+            self.stats["cache_hits"] += 1
+        return self._core
+
+    def rank(self, order: object = "degeneracy") -> np.ndarray:
+        """Rank array for a named ordering (cached per name)."""
+        if not isinstance(order, str):
+            return ordering.resolve(order, self.graph)
+        cached = self._ranks.get(order)
+        if cached is None:
+            cached = ordering.resolve(order, self.graph)
+            self._ranks[order] = cached
+        else:
+            self.stats["cache_hits"] += 1
+        return cached
+
+    def degeneracy_order(self) -> np.ndarray:
+        """The degeneracy (smallest-last) rank array."""
+        return self.rank("degeneracy")
+
+    def oriented(self, order: object = "degeneracy") -> OrientedGraph:
+        """DAG orientation under ``order`` (cached for named orderings).
+
+        Rank arrays and callables are oriented on the fly without
+        caching (they have no stable cache key).
+        """
+        if not isinstance(order, str):
+            return OrientedGraph(self.graph, self.rank(order))
+        cached = self._oriented.get(order)
+        if cached is None:
+            cached = OrientedGraph(self.graph, self.rank(order))
+            self._oriented[order] = cached
+            self.stats["orientations"] += 1
+        else:
+            self.stats["cache_hits"] += 1
+        return cached
+
+    # -- per-k clique substrates ---------------------------------------
+    def scores(self, k: int) -> np.ndarray:
+        """Node scores ``s_n`` for ``k`` (Definition 5), cached per k.
+
+        When the k-clique listing is already cached the scores are
+        derived from it by accumulation — no second enumeration.
+        """
+        cached = self._scores.get(k)
+        if cached is not None:
+            self.stats["cache_hits"] += 1
+            return cached
+        stored = self._cliques.get(k)
+        if stored is not None:
+            scores = np.zeros(self.graph.n, dtype=np.int64)
+            for clique in stored:
+                for u in clique:
+                    scores[u] += 1
+        else:
+            scores = counting.node_scores(self.graph, k, dag=self.oriented())
+            self.stats["score_passes"] += 1
+        self._scores[k] = scores
+        return scores
+
+    def cliques(self, k: int, max_cliques: int | None = None) -> list[tuple[int, ...]]:
+        """All k-cliques as canonical sorted tuples, cached per k.
+
+        ``max_cliques`` keeps the paper's OOM semantics: the enumeration
+        aborts with :class:`OutOfMemoryError` as soon as the budget is
+        exceeded (nothing is cached on failure), and a cached listing
+        larger than the budget raises the same error.
+        """
+        stored = self._cliques.get(k)
+        if stored is not None:
+            self.stats["cache_hits"] += 1
+            self._check_clique_budget(len(stored), k, max_cliques)
+            return stored
+        stored = []
+        for clique in listing.iter_cliques_oriented(self.oriented(), k):
+            if max_cliques is not None and len(stored) >= max_cliques:
+                raise OutOfMemoryError(
+                    f"clique listing exceeded its budget of {max_cliques} (k={k})"
+                )
+            stored.append(tuple(sorted(clique)))
+        self.stats["clique_listings"] += 1
+        self._cliques[k] = stored
+        self._counts[k] = len(stored)
+        return stored
+
+    @staticmethod
+    def _check_clique_budget(count: int, k: int, max_cliques: int | None) -> None:
+        if max_cliques is not None and count > max_cliques:
+            raise OutOfMemoryError(
+                f"clique listing exceeded its budget of {max_cliques} (k={k}): "
+                f"{count} cliques"
+            )
+
+    def clique_count(self, k: int) -> int:
+        """Number of k-cliques, cached; counts without storing if unknown."""
+        cached = self._counts.get(k)
+        if cached is not None:
+            self.stats["cache_hits"] += 1
+            return cached
+        count = listing.count_cliques(self.graph, k, order=self.rank("degeneracy"))
+        self.stats["count_passes"] += 1
+        self._counts[k] = count
+        return count
+
+    def cached_ks(self) -> tuple[int, ...]:
+        """The k values with at least one cached per-k substrate."""
+        return tuple(sorted(set(self._scores) | set(self._cliques)))
+
+    def cache_info(self) -> dict:
+        """A snapshot of cache contents and work counters."""
+        return {
+            "ks_with_scores": tuple(sorted(self._scores)),
+            "ks_with_cliques": tuple(sorted(self._cliques)),
+            "orientations": tuple(sorted(self._oriented)),
+            "core_numbers": self._core is not None,
+            **self.stats,
+        }
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One entry of a :meth:`Session.solve_many` batch."""
+
+    k: int
+    method: str = "lp"
+    options: dict = field(default_factory=dict)
+
+
+def _coerce_request(item) -> SolveRequest:
+    """Accept SolveRequest | int k | (k,) | (k, method) | (k, method, opts) | dict."""
+    if isinstance(item, SolveRequest):
+        return item
+    if isinstance(item, dict):
+        return SolveRequest(**item)
+    if isinstance(item, tuple):
+        if not 1 <= len(item) <= 3:
+            raise InvalidParameterError(
+                f"request tuple must be (k[, method[, options]]), got {item!r}"
+            )
+        k = item[0]
+        method = item[1] if len(item) > 1 else "lp"
+        options = item[2] if len(item) > 2 else {}
+        return SolveRequest(k, method, dict(options))
+    try:
+        return SolveRequest(item.__index__())
+    except AttributeError:
+        raise InvalidParameterError(
+            f"cannot interpret {item!r} as a solve request; pass a k, a "
+            "(k, method) tuple, a dict, or a SolveRequest"
+        ) from None
+
+
+class Session:
+    """A solver session bound to one graph, reusing preprocessing.
+
+    Parameters
+    ----------
+    graph:
+        The undirected input graph (use ``DynamicGraph.snapshot()`` for
+        dynamic graphs; a fresh session is needed after updates because
+        cached substrates describe one immutable snapshot).
+    registry:
+        Method registry to dispatch through (default: the package
+        :data:`~repro.core.registry.REGISTRY`).
+    default_method:
+        Tag used when :meth:`solve` is called without ``method``.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        registry: SolverRegistry = REGISTRY,
+        default_method: str = "lp",
+    ) -> None:
+        if not isinstance(graph, Graph):
+            raise InvalidParameterError(
+                f"graph must be a repro Graph, got {type(graph).__name__}; "
+                "call .snapshot() on DynamicGraph first"
+            )
+        self.graph = graph
+        self.registry = registry
+        self.default_method = registry.get(default_method).tag
+        self.prep = Preprocessing(graph)
+
+    # -- solving -------------------------------------------------------
+    @staticmethod
+    def _check_k(k) -> int:
+        try:
+            k = int(k.__index__())
+        except AttributeError:
+            raise InvalidParameterError(
+                f"k must be an integer >= 2, got {k!r}"
+            ) from None
+        if k < 2:
+            raise InvalidParameterError(f"k must be >= 2, got {k}")
+        return k
+
+    def solve(self, k: int, method: str | None = None, **options) -> CliqueSetResult:
+        """Find a (near-)maximum disjoint k-clique set, reusing caches.
+
+        ``method`` is a registry tag (default: the session's
+        ``default_method``); ``options`` are validated against that
+        method's typed options class — unknown names raise
+        :class:`InvalidParameterError` listing the valid ones.
+        """
+        k = self._check_k(k)
+        m = self.registry.get(method if method is not None else self.default_method)
+        opts = m.parse_options(options)
+        return m.run(self.prep, k, opts)
+
+    def solve_many(
+        self,
+        requests: Iterable,
+        *,
+        deadline: float | None = None,
+        on_progress: Callable[[int, int, SolveRequest, CliqueSetResult], None] | None = None,
+    ) -> list[CliqueSetResult]:
+        """Solve a batch of requests against the shared caches.
+
+        Parameters
+        ----------
+        requests:
+            Iterable of :class:`SolveRequest`, plain ``k`` ints,
+            ``(k, method[, options])`` tuples, or dicts.
+        deadline:
+            Wall-clock budget in seconds for the whole batch. When the
+            elapsed time reaches it before a request starts,
+            :class:`OutOfTimeError` is raised naming how many solves
+            completed (use ``on_progress`` to keep partial results).
+            The remaining budget is also forwarded as ``time_budget``
+            to methods that support it (per their registry metadata),
+            so a single long exact solve is interrupted cooperatively
+            rather than overrunning the deadline; an explicit
+            ``time_budget`` in a request's options takes precedence.
+        on_progress:
+            ``hook(done, total, request, result)`` called after each
+            completed solve.
+        """
+        reqs = [_coerce_request(item) for item in requests]
+        start = time.monotonic()
+        results: list[CliqueSetResult] = []
+        for index, req in enumerate(reqs):
+            options = dict(req.options)
+            if deadline is not None:
+                remaining = deadline - (time.monotonic() - start)
+                if remaining <= 0:
+                    raise OutOfTimeError(
+                        f"solve_many exceeded its {deadline}s deadline after "
+                        f"{index} of {len(reqs)} solves"
+                    )
+                method = self.registry.get(
+                    req.method if req.method is not None else self.default_method
+                )
+                if method.supports_time_budget and "time_budget" not in options:
+                    options["time_budget"] = remaining
+            result = self.solve(req.k, req.method, **options)
+            results.append(result)
+            if on_progress is not None:
+                on_progress(index + 1, len(reqs), req, result)
+        return results
+
+    # -- cache management ----------------------------------------------
+    def warm(self, ks: Sequence[int], *, cliques: bool = False) -> "Session":
+        """Precompute per-k substrates (scores; listings when asked).
+
+        Useful before serving latency-sensitive queries or before timing
+        solves whose preprocessing should not be on the clock.
+        """
+        for k in ks:
+            k = self._check_k(k)
+            if cliques:
+                self.prep.cliques(k)
+            self.prep.scores(k)
+        return self
+
+    def method(self, tag: str) -> Method:
+        """Look up a :class:`Method` (metadata) from this session's registry."""
+        return self.registry.get(tag)
+
+    def cache_info(self) -> dict:
+        """Snapshot of the preprocessing cache (see :meth:`Preprocessing.cache_info`)."""
+        return self.prep.cache_info()
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(n={self.graph.n}, m={self.graph.m}, "
+            f"cached_ks={self.prep.cached_ks()})"
+        )

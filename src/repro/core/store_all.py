@@ -27,6 +27,8 @@ def store_all_cliques(
     k: int,
     order="degeneracy",
     max_cliques: int | None = None,
+    scores=None,
+    cliques=None,
 ) -> CliqueSetResult:
     """Compute a disjoint k-clique set with Algorithm 2.
 
@@ -42,6 +44,13 @@ def store_all_cliques(
     max_cliques:
         Memory-budget cap on the number of stored cliques; ``None`` means
         unbounded.
+    scores:
+        Precomputed node scores for ``k`` (skips the counting pass).
+    cliques:
+        Precomputed k-clique tuples (skips the enumeration); the budget
+        still applies. Both typically come from a session cache. The
+        tuples are used as-is (member order is irrelevant downstream),
+        so the cached list is never copied element-wise.
 
     Returns
     -------
@@ -50,15 +59,24 @@ def store_all_cliques(
     """
     if k < 2:
         raise InvalidParameterError(f"k must be >= 2, got {k}")
-    scores = node_scores(graph, k, order)
+    if scores is None:
+        scores = node_scores(graph, k, order)
 
-    stored: list[tuple[int, ...]] = []
-    for clique in iter_cliques(graph, k, order):
-        if max_cliques is not None and len(stored) >= max_cliques:
+    stored: list[tuple[int, ...]]
+    if cliques is None:
+        stored = []
+        for clique in iter_cliques(graph, k, order):
+            if max_cliques is not None and len(stored) >= max_cliques:
+                raise OutOfMemoryError(
+                    f"Algorithm 2 exceeded its clique budget of {max_cliques} (k={k})"
+                )
+            stored.append(tuple(sorted(clique)))
+    else:
+        if max_cliques is not None and len(cliques) > max_cliques:
             raise OutOfMemoryError(
                 f"Algorithm 2 exceeded its clique budget of {max_cliques} (k={k})"
             )
-        stored.append(tuple(sorted(clique)))
+        stored = list(cliques)
     stored.sort(key=lambda c: clique_key(c, scores))
 
     used = [False] * graph.n
