@@ -11,19 +11,28 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import InvalidParameterError
-from repro.graph.dag import OrientedGraph
+from repro.graph.dag import OrientedCSR, OrientedGraph
 from repro.graph.graph import Graph
+from repro.graph import ordering as _ordering
+from repro.cliques.csr_kernels import node_scores_csr, resolve_backend
 
 
 def node_scores(
-    graph: Graph, k: int, order="degeneracy", dag: OrientedGraph | None = None
+    graph: Graph,
+    k: int,
+    order="degeneracy",
+    dag: OrientedGraph | None = None,
+    backend: str = "auto",
 ) -> np.ndarray:
     """int64 array of per-node k-clique counts (``s_n``).
 
     Enumerates every k-clique once via the DAG recursion and increments a
     counter per member node. Specialised fast paths handle ``k <= 2``.
     ``dag`` supplies an already-oriented graph (e.g. a session cache),
-    in which case ``order`` is ignored.
+    in which case ``order`` is ignored. ``backend`` selects the set- or
+    CSR-based recursion (``"auto" | "sets" | "csr"``, see
+    :mod:`repro.cliques.csr_kernels`); the scores are identical either
+    way.
     """
     if k < 1:
         raise InvalidParameterError(f"k must be >= 1, got {k}")
@@ -34,6 +43,13 @@ def node_scores(
         return scores
     if k == 2:
         return graph.degrees.astype(np.int64).copy()
+
+    if resolve_backend(backend, graph.m) == "csr":
+        if dag is not None:
+            ocsr = dag.csr()
+        else:
+            ocsr = OrientedCSR.from_rank(graph, _ordering.resolve(order, graph))
+        return node_scores_csr(ocsr, k, scores)
 
     if dag is None:
         dag = OrientedGraph.orient(graph, order)

@@ -1,0 +1,308 @@
+"""Array-native k-clique kernels on the oriented-CSR substrate.
+
+These are the ``"csr"`` backend twins of the set-based recursions in
+:mod:`repro.cliques.listing` and :mod:`repro.cliques.counting`. Counting
+and node scores do **not** walk the kClist recursion root by root;
+they run it *level-synchronously*: the whole frontier of partial
+cliques at one recursion depth is held as flat numpy arrays (a ragged
+candidate-set matrix in CSR form) and expanded to the next depth with a
+constant number of vectorised operations — one bulk row gather
+(:func:`repro.graph.csr.concat_rows`) plus one bulk sorted-membership
+test (:func:`~repro.graph.csr.in_sorted`) against a *biased-key* view
+of all candidate sets at once (candidate ``w`` of context ``c`` is
+encoded as ``c * n + w``, which keeps the flattened candidate array
+globally sorted). A per-root Python recursion pays numpy call overhead
+on every tiny candidate set; the frontier formulation pays it once per
+level, which is where the backend earns its speedup on large sparse
+graphs.
+
+Peak memory is proportional to the widest frontier rather than the
+set backend's ``O(n + m)``; to bound it, roots are processed in batches
+sized by an out-degree heuristic (:data:`ROOT_BATCH_BUDGET`). Results
+are integer sums, so batching never changes them.
+
+Both backends produce the same cliques, counts and scores; only
+enumeration order may differ (canonicalise with ``sorted``). Backend
+selection lives in :func:`resolve_backend`: ``"auto"`` picks ``"csr"``
+once the graph has at least :data:`AUTO_EDGE_THRESHOLD` edges — below
+that, numpy overhead outweighs the vectorisation win and the set
+backend is kept.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graph.csr import concat_rows, in_sorted
+from repro.graph.dag import OrientedCSR
+
+#: Valid values of every ``backend=`` knob in the package.
+BACKENDS = ("auto", "sets", "csr")
+
+#: ``auto`` switches from ``sets`` to ``csr`` at this edge count.
+AUTO_EDGE_THRESHOLD = 512
+
+#: Root-batch budget: roots are grouped until the sum of their squared
+#: out-degrees (an estimate of the first frontier's width) exceeds this.
+ROOT_BATCH_BUDGET = 1 << 19
+
+#: Bulk membership switches from a bit-packed table to binary search
+#: when the table would exceed this many bytes (the key domain / 8).
+BITMAP_BYTES_MAX = 1 << 25
+
+
+def resolve_backend(backend: str, m: int) -> str:
+    """Resolve a ``backend=`` argument to ``"sets"`` or ``"csr"``.
+
+    ``m`` is the graph's edge count, consulted only by ``"auto"``.
+    Unknown names raise :class:`repro.errors.InvalidParameterError`.
+    """
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "auto":
+        return "csr" if m >= AUTO_EDGE_THRESHOLD else "sets"
+    return backend
+
+
+def iter_cliques_csr(ocsr: OrientedCSR, k: int) -> Iterator[tuple[int, ...]]:
+    """Yield every k-clique exactly once from an oriented CSR.
+
+    Same contract as
+    :func:`repro.cliques.listing.iter_cliques_oriented`: the first tuple
+    element is the root; enumeration order may differ from the set
+    backend. Cliques are produced by the frontier engine one root batch
+    at a time — each batch's cliques are reconstructed from the frontier
+    arrays (terminal pair plus the parent chain) into one ``(C, k)``
+    member matrix, so peak memory is one batch's output rather than the
+    whole listing.
+    """
+    indptr, cols = ocsr.indptr, ocsr.cols
+    n = len(indptr) - 1
+    if k == 1:
+        for u in range(n):
+            yield (u,)
+        return
+    if k == 2:
+        for u in range(n):
+            for v in cols[indptr[u] : indptr[u + 1]]:
+                yield (u, int(v))
+        return
+    for roots in _root_batches(ocsr, k):
+        levels = [_root_level(ocsr, roots)]
+        for need_after in range(k - 2, 1, -1):
+            levels.append(_expand(levels[-1], ocsr, n, need_after))
+            if not len(levels[-1][1]):
+                break
+        else:
+            cand_vals = levels[-1][1]
+            pos, w, ok, owner = _level_hits(levels[-1], ocsr, n)
+            if not len(ok):
+                continue
+            hit = pos[ok]
+            if not len(hit):
+                continue
+            members = np.empty((len(hit), k), dtype=np.int64)
+            members[:, k - 2] = cand_vals[hit]
+            members[:, k - 1] = w[ok]
+            ctx = owner[hit]
+            for depth in range(len(levels) - 1, 0, -1):
+                members[:, depth] = levels[depth][2][ctx]
+                ctx = levels[depth][3][ctx]
+            members[:, 0] = levels[0][2][ctx]
+            for row in members.tolist():
+                yield tuple(row)
+
+
+# ----------------------------------------------------------------------
+# Level-synchronous frontier engine (counting and node scores)
+# ----------------------------------------------------------------------
+# A frontier level is four arrays describing every partial clique
+# ("context") at one recursion depth:
+#   cand_indptr : int64[nctx + 1] — segment pointers into cand_vals
+#   cand_vals   : int64[*]        — each context's candidate set,
+#                                   sorted ascending within its segment
+#   ctx_node    : int64[nctx]     — node chosen at this level (the root
+#                                   for level 0)
+#   ctx_parent  : int64[nctx]     — parent context index one level up
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _member(biased: np.ndarray, keys: np.ndarray, domain: int) -> np.ndarray:
+    """Bulk membership of ``keys`` in the sorted unique array ``biased``.
+
+    When the key domain is small enough, ``biased`` is scattered into a
+    bit-packed table (duplicate byte slots are OR-merged with one
+    ``reduceat``, exploiting that ``biased`` is sorted) and ``keys``
+    are answered with two gathers and a shift — O(1) per key instead of
+    a binary search. Larger domains fall back to
+    :func:`repro.graph.csr.in_sorted`.
+    """
+    if not len(biased) or not len(keys):
+        return np.zeros(len(keys), dtype=bool)
+    if (domain >> 3) > BITMAP_BYTES_MAX:
+        return in_sorted(biased, keys)
+    table = np.zeros((domain >> 3) + 1, dtype=np.uint8)
+    byte_idx = biased >> 3
+    bits = np.uint8(1) << (biased & 7).astype(np.uint8)
+    starts = np.flatnonzero(np.r_[True, np.diff(byte_idx) != 0])
+    table[byte_idx[starts]] = np.bitwise_or.reduceat(bits, starts)
+    return ((table[keys >> 3] >> (keys & 7).astype(np.uint8)) & 1).astype(bool)
+
+
+def _root_batches(ocsr: OrientedCSR, k: int) -> Iterator[np.ndarray]:
+    """Eligible roots, grouped so each batch's frontier stays bounded."""
+    outdeg = ocsr.out_degrees()
+    roots = np.flatnonzero(outdeg >= k - 1)
+    if not len(roots):
+        return
+    est = np.cumsum(outdeg[roots] * outdeg[roots])
+    start = 0
+    while start < len(roots):
+        base = est[start - 1] if start else 0
+        stop = int(np.searchsorted(est, base + ROOT_BATCH_BUDGET)) + 1
+        yield roots[start:stop]
+        start = stop
+
+
+def _root_level(ocsr: OrientedCSR, roots: np.ndarray):
+    """Level-0 frontier: one context per root, candidates = out rows."""
+    lens = ocsr.out_degrees()[roots]
+    cand_indptr = np.zeros(len(roots) + 1, dtype=np.int64)
+    np.cumsum(lens, out=cand_indptr[1:])
+    _, cand_vals = concat_rows(ocsr.indptr, ocsr.cols, roots)
+    return cand_indptr, cand_vals, roots, _EMPTY
+
+
+def _expand(level, ocsr: OrientedCSR, n: int, need_after: int):
+    """One frontier step: branch every context on each of its candidates.
+
+    The new context for ``(c, v)`` gets candidates ``C_c ∩ out(v)``,
+    computed for the whole level at once: gather every candidate's out
+    row, then bulk-test membership in the owning context's candidate
+    set via biased keys. Contexts that cannot reach a k-clique any more
+    (fewer than ``need_after`` candidates) are dropped, like the
+    ``len(nxt) >= depth - 1`` guard of the set recursion.
+    """
+    cand_vals = level[1]
+    pos, w, ok, owner = _level_hits(level, ocsr, n)
+    new_owner = pos[ok]
+    new_lens = np.bincount(new_owner, minlength=len(cand_vals))
+    keep = new_lens >= need_after
+    kept = np.flatnonzero(keep)
+    vals2 = w[ok][keep[new_owner]]
+    indptr2 = np.zeros(len(kept) + 1, dtype=np.int64)
+    np.cumsum(new_lens[kept], out=indptr2[1:])
+    return indptr2, vals2, cand_vals[kept], owner[kept]
+
+
+def _level_hits(level, ocsr: OrientedCSR, n: int):
+    """Shared hit detection: every edge inside every candidate set.
+
+    One bulk gather plus one biased-key membership test for the whole
+    level. Returns ``(pos, w, ok, owner)``: candidate position,
+    gathered out-neighbour, hit mask (``w`` lies in the candidate set
+    owning position ``pos``), and the candidate→context map. A hit is
+    a branch continuation for :func:`_expand` and a completed clique
+    at the terminal depth.
+    """
+    cand_indptr, cand_vals = level[0], level[1]
+    nctx = len(cand_indptr) - 1
+    owner = np.repeat(np.arange(nctx, dtype=np.int64), np.diff(cand_indptr))
+    biased = cand_vals + n * owner
+    pos, w = concat_rows(ocsr.indptr, ocsr.cols, cand_vals)
+    ok = _member(biased, owner[pos] * n + w, nctx * n)
+    return pos, w, ok, owner
+
+
+def _edge_pairs(ocsr: OrientedCSR, n: int):
+    """All (edge, out-neighbour) wedges of the whole graph at once.
+
+    For k = 3 the root-level candidate sets *are* the adjacency rows,
+    so no frontier needs building: for every oriented edge ``(u, v)``
+    and every ``w`` in ``out(v)``, test ``w ∈ out(u)`` against the
+    global biased edge keys ``u * n + w`` (already sorted by
+    construction). Returns ``(rows, pos, w, ok)`` where ``rows`` maps
+    column positions to their owning node.
+    """
+    rows = np.repeat(np.arange(n, dtype=np.int64), ocsr.out_degrees())
+    pos, w = concat_rows(ocsr.indptr, ocsr.cols, ocsr.cols)
+    ok = _member(ocsr.cols + n * rows, rows[pos] * n + w, n * n)
+    return rows, pos, w, ok
+
+
+def count_cliques_csr(ocsr: OrientedCSR, k: int) -> int:
+    """Total k-clique count from an oriented CSR, without storing cliques.
+
+    Runs the frontier engine down to depth 2, where the surviving
+    contexts' internal edges are counted with one bulk membership test;
+    ``k = 3`` short-circuits to one whole-graph wedge test.
+    """
+    n = ocsr.n
+    if k == 1:
+        return n
+    if k == 2:
+        return len(ocsr.cols)
+    if k == 3:
+        return int(_edge_pairs(ocsr, n)[3].sum())
+    total = 0
+    for roots in _root_batches(ocsr, k):
+        level = _root_level(ocsr, roots)
+        for need_after in range(k - 2, 1, -1):
+            level = _expand(level, ocsr, n, need_after)
+            if not len(level[1]):
+                break
+        else:
+            _, _, ok, _ = _level_hits(level, ocsr, n)
+            total += int(ok.sum())
+    return total
+
+
+def node_scores_csr(ocsr: OrientedCSR, k: int, scores: np.ndarray) -> np.ndarray:
+    """Accumulate per-node k-clique counts (``k >= 3``) into ``scores``.
+
+    Same frontier sweep as :func:`count_cliques_csr`, plus credit
+    assignment: the two terminal nodes of each completed clique are
+    credited with scatter-adds at the base, and each context's
+    completion count is propagated back up the parent chain so every
+    prefix node (and finally the root) receives one credit per clique
+    below it. ``k = 3`` short-circuits to one whole-graph wedge test.
+    """
+    n = ocsr.n
+    if k == 3:
+        rows, pos, w, ok = _edge_pairs(ocsr, n)
+        if len(ok):
+            hit = pos[ok]
+            np.add.at(scores, rows[hit], 1)
+            np.add.at(scores, ocsr.cols[hit], 1)
+            np.add.at(scores, w[ok], 1)
+        return scores
+    for roots in _root_batches(ocsr, k):
+        levels = [_root_level(ocsr, roots)]
+        for need_after in range(k - 2, 1, -1):
+            levels.append(_expand(levels[-1], ocsr, n, need_after))
+            if not len(levels[-1][1]):
+                break
+        else:
+            cand_vals = levels[-1][1]
+            pos, w, ok, owner = _level_hits(levels[-1], ocsr, n)
+            if not len(ok) or not ok.any():
+                continue
+            np.add.at(scores, cand_vals[pos[ok]], 1)
+            np.add.at(scores, w[ok], 1)
+            # Completions per deepest context, then up the parent chain.
+            per_ctx = np.bincount(
+                owner[pos[ok]], minlength=len(levels[-1][0]) - 1
+            )
+            for depth in range(len(levels) - 1, 0, -1):
+                _, _, ctx_node, ctx_parent = levels[depth]
+                np.add.at(scores, ctx_node, per_ctx)
+                per_ctx = np.bincount(
+                    ctx_parent, weights=per_ctx, minlength=len(levels[depth - 1][0]) - 1
+                ).astype(np.int64)
+            np.add.at(scores, levels[0][2], per_ctx)
+    return scores

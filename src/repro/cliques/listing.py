@@ -6,9 +6,23 @@ once from its largest-rank node (*root*) by recursively intersecting
 out-neighbourhoods. The degeneracy ordering yields the standard
 ``O(k · m · (d/2)^(k-2))`` bound.
 
-Cliques are yielded as tuples whose first element is the root and whose
-remaining elements descend through the recursion; use ``sorted(c)`` for a
-canonical form.
+Two interchangeable execution backends walk that recursion:
+
+``"sets"``
+    The original Python ``set`` intersections — lowest constant factors
+    on small graphs.
+``"csr"``
+    Sorted-array kernels over an oriented CSR
+    (:mod:`repro.cliques.csr_kernels`) — vectorised intersections that
+    win on large sparse graphs.
+``"auto"`` (default)
+    Picks ``"csr"`` once the graph has at least
+    :data:`repro.cliques.csr_kernels.AUTO_EDGE_THRESHOLD` edges.
+
+Both backends produce exactly the same cliques; only enumeration order
+may differ. Cliques are yielded as tuples whose first element is the
+root and whose remaining elements descend through the recursion; use
+``sorted(c)`` for a canonical form.
 """
 
 from __future__ import annotations
@@ -16,8 +30,14 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.errors import InvalidParameterError
-from repro.graph.dag import OrientedGraph
+from repro.graph.dag import OrientedCSR, OrientedGraph
 from repro.graph.graph import Graph
+from repro.graph import ordering as _ordering
+from repro.cliques.csr_kernels import (
+    count_cliques_csr,
+    iter_cliques_csr,
+    resolve_backend,
+)
 
 
 def _check_k(k: int) -> None:
@@ -25,7 +45,9 @@ def _check_k(k: int) -> None:
         raise InvalidParameterError(f"k must be >= 1, got {k}")
 
 
-def iter_cliques(graph: Graph, k: int, order="degeneracy") -> Iterator[tuple[int, ...]]:
+def iter_cliques(
+    graph: Graph, k: int, order="degeneracy", backend: str = "auto"
+) -> Iterator[tuple[int, ...]]:
     """Yield every k-clique of ``graph`` exactly once.
 
     Parameters
@@ -37,15 +59,31 @@ def iter_cliques(graph: Graph, k: int, order="degeneracy") -> Iterator[tuple[int
     order:
         Ordering name, rank array or callable (see
         :func:`repro.graph.ordering.resolve`).
+    backend:
+        ``"auto" | "sets" | "csr"`` — execution backend (see module
+        docstring). The clique set is backend-independent.
     """
     _check_k(k)
-    dag = OrientedGraph.orient(graph, order)
-    return iter_cliques_oriented(dag, k)
+    if resolve_backend(backend, graph.m) == "csr":
+        # Build the oriented CSR directly from the rank array; the
+        # set-based out-neighbourhoods are never materialised.
+        rank = _ordering.resolve(order, graph)
+        return iter_cliques_csr(OrientedCSR.from_rank(graph, rank), k)
+    return iter_cliques_oriented(OrientedGraph.orient(graph, order), k, backend="sets")
 
 
-def iter_cliques_oriented(dag: OrientedGraph, k: int) -> Iterator[tuple[int, ...]]:
+def iter_cliques_oriented(
+    dag: OrientedGraph, k: int, backend: str = "auto"
+) -> Iterator[tuple[int, ...]]:
     """Yield every k-clique of an already-oriented graph exactly once."""
     _check_k(k)
+    if resolve_backend(backend, dag.graph.m) == "csr":
+        return iter_cliques_csr(dag.csr(), k)
+    return _iter_cliques_sets(dag, k)
+
+
+def _iter_cliques_sets(dag: OrientedGraph, k: int) -> Iterator[tuple[int, ...]]:
+    """The set-backend listing recursion."""
     n = dag.n
     if k == 1:
         for u in range(n):
@@ -76,20 +114,37 @@ def iter_cliques_oriented(dag: OrientedGraph, k: int) -> Iterator[tuple[int, ...
             yield from extend((u,), out[u], k - 1)
 
 
-def list_cliques(graph: Graph, k: int, order="degeneracy") -> list[tuple[int, ...]]:
+def list_cliques(
+    graph: Graph, k: int, order="degeneracy", backend: str = "auto"
+) -> list[tuple[int, ...]]:
     """Materialise all k-cliques (use :func:`iter_cliques` when possible)."""
-    return list(iter_cliques(graph, k, order))
+    return list(iter_cliques(graph, k, order, backend=backend))
 
 
-def count_cliques(graph: Graph, k: int, order="degeneracy") -> int:
-    """Total number of k-cliques, enumerated without storing them."""
+def count_cliques(
+    graph: Graph,
+    k: int,
+    order="degeneracy",
+    backend: str = "auto",
+    dag: OrientedGraph | None = None,
+) -> int:
+    """Total number of k-cliques, enumerated without storing them.
+
+    ``dag`` supplies an already-oriented graph (e.g. a session cache),
+    in which case ``order`` is ignored.
+    """
     _check_k(k)
-    dag = OrientedGraph.orient(graph, order)
-    n = dag.n
     if k == 1:
-        return n
+        return graph.n
     if k == 2:
         return graph.m
+    if resolve_backend(backend, graph.m) == "csr":
+        if dag is not None:
+            return count_cliques_csr(dag.csr(), k)
+        rank = _ordering.resolve(order, graph)
+        return count_cliques_csr(OrientedCSR.from_rank(graph, rank), k)
+    if dag is None:
+        dag = OrientedGraph.orient(graph, order)
     out = dag.out
 
     def count(candidates: set[int], depth: int) -> int:
@@ -108,7 +163,7 @@ def count_cliques(graph: Graph, k: int, order="degeneracy") -> int:
                 total += count(nxt, depth - 1)
         return total
 
-    return sum(count(out[u], k - 1) for u in range(n) if len(out[u]) >= k - 1)
+    return sum(count(out[u], k - 1) for u in range(dag.n) if len(out[u]) >= k - 1)
 
 
 def cliques_through_edge(

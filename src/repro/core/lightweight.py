@@ -20,6 +20,22 @@ Theorem 4 equality is preserved; see ``tests/test_theorem4.py``).
 
 The heap key is the package-wide deterministic clique key
 ``(clique score, sorted node tuple)``.
+
+Two ``FindMin`` engines implement the walk (pick with ``backend=``):
+
+* ``"sets"`` — :class:`_FindMin` on mutable out-neighbour sets (the
+  original implementation; lowest constants on small graphs);
+* ``"csr"`` — :class:`_FindMinCSR` on static sorted-array rows
+  (:class:`repro.graph.dag.OrientedCSR`) with a validity mask instead
+  of set mutation; faster on large sparse graphs.
+
+Both engines visit candidates in the same (ascending) order, so the
+solution *and* the ``findmin_calls``/``branches_pruned`` counters are
+identical across backends and worker counts. Parallel HeapInit workers
+return their own stats, which are merged into the caller's — the L/LP
+ablation counters therefore match sequential runs for any ``workers``.
+On platforms without the ``"fork"`` start method the parallel path
+falls back to sequential HeapInit (same result, no crash).
 """
 
 from __future__ import annotations
@@ -31,10 +47,12 @@ import os
 import numpy as np
 
 from repro.errors import InvalidParameterError
-from repro.graph.dag import OrientedGraph
+from repro.graph.dag import OrientedCSR, OrientedGraph
 from repro.graph.graph import Graph
+from repro.graph.csr import intersect_sorted
 from repro.graph.ordering import by_score
 from repro.cliques.counting import node_scores
+from repro.cliques.csr_kernels import resolve_backend
 from repro.core.result import CliqueSetResult
 from repro.core.scores import CliqueKey
 
@@ -42,9 +60,13 @@ _INF_KEY: CliqueKey = (np.iinfo(np.int64).max, ())
 
 
 class _FindMin:
-    """Recursive local-minimum clique search with optional score pruning."""
+    """Recursive local-minimum clique search with optional score pruning.
 
-    __slots__ = ("out", "scores", "prune", "stats", "best_key", "best")
+    Set-backend engine: ``out`` holds *live* out-neighbour sets that
+    :meth:`invalidate` physically shrinks as cliques enter the solution.
+    """
+
+    __slots__ = ("out", "scores", "prune", "stats", "graph", "valid", "best_key", "best")
 
     def __init__(
         self,
@@ -52,13 +74,34 @@ class _FindMin:
         scores: np.ndarray,
         prune: bool,
         stats: dict[str, float],
+        graph: Graph | None = None,
+        valid: list[bool] | None = None,
     ) -> None:
         self.out = out
         self.scores = scores
         self.prune = prune
         self.stats = stats
+        self.graph = graph
+        self.valid = valid
         self.best_key: CliqueKey = _INF_KEY
         self.best: tuple[int, ...] | None = None
+
+    def live_out_degree(self, u: int) -> int:
+        """Number of still-valid out-neighbours of ``u``."""
+        return len(self.out[u])
+
+    def alive(self, v: int) -> bool:
+        """Whether ``v`` is still available for a clique."""
+        return self.valid[v]
+
+    def invalidate(self, clique) -> None:
+        """Remove a chosen clique's nodes from the residual graph."""
+        for w in clique:
+            self.valid[w] = False
+        for w in clique:
+            for v in self.graph.neighbors(w):
+                self.out[v].discard(w)
+            self.out[w].clear()
 
     def search(self, root: int, k: int) -> tuple[CliqueKey, tuple[int, ...]] | None:
         """Minimum-key k-clique rooted at ``root``, or ``None``."""
@@ -121,6 +164,118 @@ class _FindMin:
                 best_score = self.best_key[0]
 
 
+class _FindMinCSR:
+    """CSR-backend FindMin: static sorted rows plus a validity mask.
+
+    Candidate sets are sorted int64 arrays; intersections go through
+    :func:`repro.graph.csr.intersect_sorted` against the immutable
+    oriented rows, and dead nodes are masked out once at the root
+    instead of being discarded from every neighbour set. Candidate
+    iteration is ascending (rows are sorted), matching the set engine's
+    ``sorted(candidates)`` loops, so all counters agree.
+    """
+
+    __slots__ = ("indptr", "cols", "scores", "prune", "stats", "valid", "best_key", "best")
+
+    def __init__(
+        self,
+        ocsr: OrientedCSR,
+        scores: np.ndarray,
+        prune: bool,
+        stats: dict[str, float],
+        valid: np.ndarray,
+    ) -> None:
+        self.indptr = ocsr.indptr
+        self.cols = ocsr.cols
+        self.scores = scores
+        self.prune = prune
+        self.stats = stats
+        self.valid = valid
+        self.best_key: CliqueKey = _INF_KEY
+        self.best: tuple[int, ...] | None = None
+
+    def live_out_degree(self, u: int) -> int:
+        """Number of still-valid out-neighbours of ``u``."""
+        row = self.cols[self.indptr[u] : self.indptr[u + 1]]
+        return int(np.count_nonzero(self.valid[row]))
+
+    def alive(self, v: int) -> bool:
+        """Whether ``v`` is still available for a clique."""
+        return bool(self.valid[v])
+
+    def invalidate(self, clique) -> None:
+        """Mask out a chosen clique's nodes (rows stay immutable)."""
+        for w in clique:
+            self.valid[w] = False
+
+    def search(self, root: int, k: int) -> tuple[CliqueKey, tuple[int, ...]] | None:
+        """Minimum-key k-clique rooted at ``root``, or ``None``."""
+        self.stats["findmin_calls"] += 1
+        self.best_key = _INF_KEY
+        self.best = None
+        row = self.cols[self.indptr[root] : self.indptr[root + 1]]
+        candidates = row[self.valid[row]]
+        if len(candidates) >= k - 1:
+            self._walk([root], candidates, k - 1, int(self.scores[root]))
+        if self.best is None:
+            return None
+        return self.best_key, self.best
+
+    def _walk(
+        self, prefix: list[int], candidates: np.ndarray, need: int, score_sum: int
+    ) -> None:
+        # Every candidate array descends from a validity-filtered root
+        # row, and intersections only shrink it, so no re-filtering is
+        # needed below the root.
+        indptr = self.indptr
+        cols = self.cols
+        scores = self.scores
+        best_score = self.best_key[0]
+        if need == 1:
+            # Only reachable for k = 2 (greedy matching degenerate case).
+            for u in candidates:
+                total = score_sum + int(scores[u])
+                if total > best_score:
+                    continue
+                clique = tuple(sorted(prefix + [int(u)]))
+                key = (total, clique)
+                if key < self.best_key:
+                    self.best_key = key
+                    self.best = clique
+                    best_score = total
+            return
+        if need == 2:
+            for u in candidates:
+                su = int(scores[u])
+                if self.prune and score_sum + su >= best_score:
+                    self.stats["branches_pruned"] += 1
+                    continue
+                row = cols[indptr[u] : indptr[u + 1]]
+                for v in intersect_sorted(candidates, row):
+                    total = score_sum + su + int(scores[v])
+                    if total > best_score:
+                        continue
+                    clique = tuple(sorted(prefix + [int(u), int(v)]))
+                    key = (total, clique)
+                    if key < self.best_key:
+                        self.best_key = key
+                        self.best = clique
+                        best_score = total
+            return
+        for u in candidates:
+            su = int(scores[u])
+            if self.prune and score_sum + su >= best_score:
+                self.stats["branches_pruned"] += 1
+                continue
+            row = cols[indptr[u] : indptr[u + 1]]
+            nxt = intersect_sorted(candidates, row)
+            if len(nxt) >= need - 1:
+                prefix.append(int(u))
+                self._walk(prefix, nxt, need - 1, score_sum + su)
+                prefix.pop()
+                best_score = self.best_key[0]
+
+
 # Copy-on-write state for forked HeapInit workers (Linux fork start
 # method: children inherit this without pickling the graph).
 _PARALLEL_STATE: dict | None = None
@@ -128,48 +283,52 @@ _PARALLEL_STATE: dict | None = None
 
 def _heapinit_worker(chunk: list[int]):  # pragma: no cover - child process
     state = _PARALLEL_STATE
-    finder = _FindMin(
-        state["out"], state["scores"], state["prune"],
-        {"findmin_calls": 0, "branches_pruned": 0},
-    )
+    stats = {"findmin_calls": 0.0, "branches_pruned": 0.0}
+    if state["backend"] == "csr":
+        finder = _FindMinCSR(
+            state["ocsr"], state["scores"], state["prune"], stats, state["valid"]
+        )
+    else:
+        finder = _FindMin(state["out"], state["scores"], state["prune"], stats)
     k = state["k"]
     found = []
     for u in chunk:
-        if len(state["out"][u]) >= k - 1:
+        if finder.live_out_degree(u) >= k - 1:
             hit = finder.search(u, k)
             if hit is not None:
                 found.append((hit[0], u, hit[1]))
-    return found
+    return found, stats
 
 
 def _parallel_heap_init(
-    out: list[set[int]],
-    scores: np.ndarray,
-    k: int,
-    prune: bool,
-    workers: int,
-    stats: dict[str, float],
+    state: dict, n: int, workers: int, stats: dict[str, float]
 ) -> list[tuple[CliqueKey, int, tuple[int, ...]]]:
     """HeapInit across forked workers (Algorithm 3 line 11, 'in parallel').
 
     Per-root local minima are independent, so the merged heap contents —
     and therefore the final solution — are identical to the sequential
-    path; only wall-clock changes.
+    path; only wall-clock changes. Each worker returns ``(found,
+    stats)`` and the per-worker ``findmin_calls``/``branches_pruned``
+    counters are summed into ``stats``, keeping ablation numbers
+    worker-count-invariant.
     """
     global _PARALLEL_STATE
-    n = len(out)
+    workers = min(workers, n)
     chunk_size = max(1, n // (workers * 4))
     chunks = [list(range(i, min(i + chunk_size, n))) for i in range(0, n, chunk_size)]
-    _PARALLEL_STATE = {"out": out, "scores": scores, "prune": prune, "k": k}
+    _PARALLEL_STATE = state
     try:
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(processes=workers) as pool:
             parts = pool.map(_heapinit_worker, chunks)
     finally:
         _PARALLEL_STATE = None
-    heap = [entry for part in parts for entry in part]
+    heap: list[tuple[CliqueKey, int, tuple[int, ...]]] = []
+    for found, worker_stats in parts:
+        heap.extend(found)
+        stats["findmin_calls"] += worker_stats["findmin_calls"]
+        stats["branches_pruned"] += worker_stats["branches_pruned"]
     stats["heap_pushes"] += len(heap)
-    stats["findmin_calls"] += sum(1 for _ in heap)  # lower bound in parallel mode
     return heap
 
 
@@ -180,6 +339,7 @@ def lightweight(
     listing_order="degeneracy",
     workers: int = 1,
     scores: np.ndarray | None = None,
+    backend: str = "auto",
 ) -> CliqueSetResult:
     """Compute a disjoint k-clique set with Algorithm 3.
 
@@ -197,10 +357,21 @@ def lightweight(
     workers:
         Processes for the HeapInit phase (the paper runs it in
         parallel). ``1`` is sequential; ``0`` uses the CPU count.
-        Results are identical for any worker count.
+        Results and stats are identical for any worker count. On
+        platforms without the ``"fork"`` start method (e.g. Windows,
+        macOS spawn-only configurations) HeapInit silently runs
+        sequentially instead of crashing.
     scores:
         Precomputed node scores for ``k`` (e.g. from a session cache);
         skips the counting pass and makes ``listing_order`` irrelevant.
+    backend:
+        ``"auto" | "sets" | "csr"`` — engine selection (see module
+        docstring). ``"auto"`` is phase-aware: the score-counting pass
+        uses the CSR kernels on large graphs (where the level-bulk
+        vectorisation pays), while the FindMin walk stays on sets
+        (per-root work over tiny candidate arrays, where numpy call
+        overhead loses). ``"sets"`` / ``"csr"`` force one engine for
+        both phases. Solutions and stats are backend-independent.
 
     Returns
     -------
@@ -210,15 +381,17 @@ def lightweight(
     """
     if k < 2:
         raise InvalidParameterError(f"k must be >= 2, got {k}")
+    # Phase-aware resolution: scores follow the auto heuristic, but the
+    # FindMin walk only leaves sets when csr is explicitly forced.
+    score_backend = resolve_backend(backend, graph.m)
+    findmin_backend = "csr" if backend == "csr" else "sets"
     if scores is None:
-        scores = node_scores(graph, k, listing_order)
+        scores = node_scores(graph, k, listing_order, backend=score_backend)
     elif len(scores) != graph.n:
         raise InvalidParameterError(
             f"scores has length {len(scores)}, expected n={graph.n}"
         )
     rank = by_score(graph, scores)
-    dag = OrientedGraph(graph, rank)
-    out = [set(s) for s in dag.out]
 
     stats: dict[str, float] = {
         "findmin_calls": 0,
@@ -228,18 +401,34 @@ def lightweight(
         "stale_pops": 0,
         "cliques_taken": 0,
     }
-    finder = _FindMin(out, scores, prune, stats)
-    valid = [True] * graph.n
+    state: dict = {"backend": findmin_backend, "scores": scores, "prune": prune, "k": k}
+    if findmin_backend == "csr":
+        ocsr = OrientedCSR.from_rank(graph, rank)
+        valid_mask = np.ones(graph.n, dtype=bool)
+        finder: _FindMin | _FindMinCSR = _FindMinCSR(
+            ocsr, scores, prune, stats, valid_mask
+        )
+        state.update(ocsr=ocsr, valid=valid_mask)
+    else:
+        dag = OrientedGraph(graph, rank)
+        out = [set(s) for s in dag.out]
+        finder = _FindMin(out, scores, prune, stats, graph, [True] * graph.n)
+        state["out"] = out
 
     # HeapInit: one local-minimum clique per eligible root.
     if workers == 0:
         workers = os.cpu_count() or 1
-    if workers > 1 and graph.n > workers:
-        heap = _parallel_heap_init(out, scores, k, prune, workers, stats)
+    use_parallel = (
+        workers > 1
+        and graph.n > workers
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    if use_parallel:
+        heap = _parallel_heap_init(state, graph.n, workers, stats)
     else:
         heap = []
         for u in range(graph.n):
-            found = finder.search(u, k) if len(out[u]) >= k - 1 else None
+            found = finder.search(u, k) if finder.live_out_degree(u) >= k - 1 else None
             if found is not None:
                 key, clique = found
                 heap.append((key, u, clique))
@@ -250,18 +439,13 @@ def lightweight(
     while heap:
         key, root, clique = heapq.heappop(heap)
         stats["heap_pops"] += 1
-        if all(valid[v] for v in clique):
+        if all(finder.alive(v) for v in clique):
             solution.append(frozenset(clique))
             stats["cliques_taken"] += 1
-            for w in clique:
-                valid[w] = False
-            for w in clique:
-                for v in graph.neighbors(w):
-                    out[v].discard(w)
-                out[w].clear()
+            finder.invalidate(clique)
             continue
         stats["stale_pops"] += 1
-        if valid[root] and len(out[root]) >= k - 1:
+        if finder.alive(root) and finder.live_out_degree(root) >= k - 1:
             found = finder.search(root, k)
             if found is not None:
                 new_key, new_clique = found

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field, fields
 from typing import Callable, Iterator
 
 from repro.errors import InvalidParameterError
+from repro.cliques.csr_kernels import BACKENDS
 from repro.core.basic import basic_framework
 from repro.core.exact import exact_optimum
 from repro.core.exact_bb import exact_optimum_bb
@@ -62,6 +63,13 @@ class SolveOptions:
 
     def validate(self) -> None:
         """Raise :class:`InvalidParameterError` on out-of-domain values."""
+
+
+def _check_backend(value) -> None:
+    if value not in BACKENDS:
+        raise InvalidParameterError(
+            f"backend must be one of {BACKENDS}, got {value!r}"
+        )
 
 
 def _check_budget(name: str, value, *, integral: bool) -> None:
@@ -105,9 +113,11 @@ class GCOptions(SolveOptions):
     """
 
     max_cliques: int | None = None
+    backend: str = "auto"
 
     def validate(self) -> None:
         _check_budget("max_cliques", self.max_cliques, integral=True)
+        _check_backend(self.backend)
 
 
 @dataclass(frozen=True)
@@ -115,13 +125,16 @@ class LightweightOptions(SolveOptions):
     """Options for Algorithm 3 (``l``/``lp``).
 
     ``workers`` parallelises HeapInit (0 = CPU count) and never changes
-    the solution. The score-counting pass runs under the session's
-    cached degeneracy orientation; pass ``listing_order=`` to
+    the solution. ``backend`` picks the FindMin/score-pass engine
+    (``"auto" | "sets" | "csr"``); solutions and stats are
+    backend-independent. The score-counting pass runs under the
+    session's cached degeneracy orientation; pass ``listing_order=`` to
     :func:`repro.core.lightweight.lightweight` directly to experiment
     with other orientations.
     """
 
     workers: int = 1
+    backend: str = "auto"
 
     def validate(self) -> None:
         if isinstance(self.workers, bool) or not isinstance(self.workers, int):
@@ -132,6 +145,7 @@ class LightweightOptions(SolveOptions):
             raise InvalidParameterError(
                 f"workers must be >= 0 (0 = CPU count), got {self.workers}"
             )
+        _check_backend(self.backend)
 
 
 @dataclass(frozen=True)
@@ -302,12 +316,12 @@ def _run_hg(prep, k: int, opts: HGOptions) -> CliqueSetResult:
     options=GCOptions,
 )
 def _run_gc(prep, k: int, opts: GCOptions) -> CliqueSetResult:
-    cliques = prep.cliques(k, max_cliques=opts.max_cliques)
+    cliques = prep.cliques(k, max_cliques=opts.max_cliques, backend=opts.backend)
     return store_all_cliques(
         prep.graph,
         k,
         max_cliques=opts.max_cliques,
-        scores=prep.scores(k),
+        scores=prep.scores(k, backend=opts.backend),
         cliques=cliques,
     )
 
@@ -320,7 +334,12 @@ def _run_gc(prep, k: int, opts: GCOptions) -> CliqueSetResult:
 )
 def _run_l(prep, k: int, opts: LightweightOptions) -> CliqueSetResult:
     return lightweight(
-        prep.graph, k, prune=False, workers=opts.workers, scores=prep.scores(k)
+        prep.graph,
+        k,
+        prune=False,
+        workers=opts.workers,
+        scores=prep.scores(k, backend=opts.backend),
+        backend=opts.backend,
     )
 
 
@@ -332,7 +351,12 @@ def _run_l(prep, k: int, opts: LightweightOptions) -> CliqueSetResult:
 )
 def _run_lp(prep, k: int, opts: LightweightOptions) -> CliqueSetResult:
     return lightweight(
-        prep.graph, k, prune=True, workers=opts.workers, scores=prep.scores(k)
+        prep.graph,
+        k,
+        prune=True,
+        workers=opts.workers,
+        scores=prep.scores(k, backend=opts.backend),
+        backend=opts.backend,
     )
 
 

@@ -43,6 +43,7 @@ from repro.graph import kcore
 from repro.graph import ordering
 from repro.graph.dag import OrientedGraph
 from repro.cliques import counting
+from repro.cliques import csr_kernels
 from repro.cliques import listing
 from repro.core.registry import REGISTRY, Method, SolverRegistry
 from repro.core.result import CliqueSetResult
@@ -70,6 +71,7 @@ class Preprocessing:
             "score_passes": 0,
             "count_passes": 0,
             "orientations": 0,
+            "csr_builds": 0,
             "core_decompositions": 0,
             "cache_hits": 0,
         }
@@ -117,12 +119,29 @@ class Preprocessing:
             self.stats["cache_hits"] += 1
         return cached
 
+    def oriented_csr(self, order: object = "degeneracy"):
+        """Oriented-CSR arrays for ``order`` (cached with the DAG).
+
+        The :class:`~repro.graph.dag.OrientedCSR` twin is built lazily
+        on the cached :class:`~repro.graph.dag.OrientedGraph` and shared
+        by every CSR-backend pass under the same orientation.
+        """
+        dag = self.oriented(order)
+        if dag.has_csr:
+            self.stats["cache_hits"] += 1
+        else:
+            self.stats["csr_builds"] += 1
+        return dag.csr()
+
     # -- per-k clique substrates ---------------------------------------
-    def scores(self, k: int) -> np.ndarray:
+    def scores(self, k: int, backend: str = "auto") -> np.ndarray:
         """Node scores ``s_n`` for ``k`` (Definition 5), cached per k.
 
         When the k-clique listing is already cached the scores are
         derived from it by accumulation — no second enumeration.
+        ``backend`` selects the enumeration engine for a cache miss
+        (``"auto" | "sets" | "csr"``); the scores are identical either
+        way, so the cache is backend-agnostic.
         """
         cached = self._scores.get(k)
         if cached is not None:
@@ -135,18 +154,32 @@ class Preprocessing:
                 for u in clique:
                     scores[u] += 1
         else:
-            scores = counting.node_scores(self.graph, k, dag=self.oriented())
+            dag = self._oriented_for(k, backend)
+            scores = counting.node_scores(self.graph, k, dag=dag, backend=backend)
             self.stats["score_passes"] += 1
         self._scores[k] = scores
         return scores
 
-    def cliques(self, k: int, max_cliques: int | None = None) -> list[tuple[int, ...]]:
+    def _oriented_for(self, k: int, backend: str) -> OrientedGraph:
+        """Cached degeneracy DAG, pre-building its CSR twin when the
+        resolved backend will need it (keeps ``csr_builds`` accounting
+        accurate regardless of which accessor triggers the build)."""
+        if k >= 3 and csr_kernels.resolve_backend(backend, self.graph.m) == "csr":
+            self.oriented_csr()
+        return self.oriented()
+
+    def cliques(
+        self, k: int, max_cliques: int | None = None, backend: str = "auto"
+    ) -> list[tuple[int, ...]]:
         """All k-cliques as canonical sorted tuples, cached per k.
 
         ``max_cliques`` keeps the paper's OOM semantics: the enumeration
         aborts with :class:`OutOfMemoryError` as soon as the budget is
         exceeded (nothing is cached on failure), and a cached listing
-        larger than the budget raises the same error.
+        larger than the budget raises the same error. The cached list is
+        sorted lexicographically, so its content *and order* are
+        independent of the enumeration ``backend`` that filled the
+        cache.
         """
         stored = self._cliques.get(k)
         if stored is not None:
@@ -154,12 +187,14 @@ class Preprocessing:
             self._check_clique_budget(len(stored), k, max_cliques)
             return stored
         stored = []
-        for clique in listing.iter_cliques_oriented(self.oriented(), k):
+        dag = self._oriented_for(k, backend)
+        for clique in listing.iter_cliques_oriented(dag, k, backend=backend):
             if max_cliques is not None and len(stored) >= max_cliques:
                 raise OutOfMemoryError(
                     f"clique listing exceeded its budget of {max_cliques} (k={k})"
                 )
             stored.append(tuple(sorted(clique)))
+        stored.sort()
         self.stats["clique_listings"] += 1
         self._cliques[k] = stored
         self._counts[k] = len(stored)
@@ -173,13 +208,18 @@ class Preprocessing:
                 f"{count} cliques"
             )
 
-    def clique_count(self, k: int) -> int:
+    def clique_count(self, k: int, backend: str = "auto") -> int:
         """Number of k-cliques, cached; counts without storing if unknown."""
         cached = self._counts.get(k)
         if cached is not None:
             self.stats["cache_hits"] += 1
             return cached
-        count = listing.count_cliques(self.graph, k, order=self.rank("degeneracy"))
+        if k >= 3 and csr_kernels.resolve_backend(backend, self.graph.m) == "csr":
+            count = csr_kernels.count_cliques_csr(self.oriented_csr(), k)
+        else:
+            count = listing.count_cliques(
+                self.graph, k, order=self.rank("degeneracy"), backend="sets"
+            )
         self.stats["count_passes"] += 1
         self._counts[k] = count
         return count
@@ -194,6 +234,9 @@ class Preprocessing:
             "ks_with_scores": tuple(sorted(self._scores)),
             "ks_with_cliques": tuple(sorted(self._cliques)),
             "orientations": tuple(sorted(self._oriented)),
+            "csr_orientations": tuple(
+                sorted(name for name, dag in self._oriented.items() if dag.has_csr)
+            ),
             "core_numbers": self._core is not None,
             **self.stats,
         }
@@ -343,17 +386,25 @@ class Session:
         return results
 
     # -- cache management ----------------------------------------------
-    def warm(self, ks: Sequence[int], *, cliques: bool = False) -> "Session":
+    def warm(
+        self, ks: Sequence[int], *, cliques: bool = False, backend: str = "auto"
+    ) -> "Session":
         """Precompute per-k substrates (scores; listings when asked).
 
         Useful before serving latency-sensitive queries or before timing
         solves whose preprocessing should not be on the clock.
+        ``backend`` selects the enumeration engine used to fill cold
+        caches (``"auto" | "sets" | "csr"``); cached values are
+        backend-independent. With the CSR backend the oriented-CSR
+        substrate is built (and cached) as a side effect, so later
+        CSR-backend solves skip that step too.
         """
+        csr_kernels.resolve_backend(backend, self.graph.m)  # validate early
         for k in ks:
             k = self._check_k(k)
             if cliques:
-                self.prep.cliques(k)
-            self.prep.scores(k)
+                self.prep.cliques(k, backend=backend)
+            self.prep.scores(k, backend=backend)
         return self
 
     def method(self, tag: str) -> Method:

@@ -2,13 +2,14 @@
 
 from repro.graph.graph import Graph
 from repro.graph.dynamic import DynamicGraph
-from repro.graph.dag import OrientedGraph
+from repro.graph.dag import OrientedCSR, OrientedGraph
 from repro.graph import datasets, generators, io, ordering
 
 __all__ = [
     "Graph",
     "DynamicGraph",
     "OrientedGraph",
+    "OrientedCSR",
     "datasets",
     "generators",
     "io",

@@ -1,14 +1,73 @@
 """Compressed-sparse-row adjacency backed by numpy arrays.
 
-The CSR view powers the vectorised parts of the pipeline: degree
-statistics, degeneracy-order computation and bulk triangle counting. The
-row for node ``u`` is ``cols[indptr[u]:indptr[u+1]]``, sorted ascending,
-which also enables ``numpy``/``bisect`` membership probes.
+The CSR view is the array-native substrate of the package: the row for
+node ``u`` is ``cols[indptr[u]:indptr[u+1]]``, sorted ascending, which
+makes neighbourhoods amenable to vectorised set algebra. Beyond the
+Table-I statistics it now powers the ``"csr"`` enumeration backend (see
+:mod:`repro.cliques.csr_kernels`): sorted-array intersections via the
+module-level helpers below replace Python ``set`` operations on the hot
+paths, following the sorted-CSR design of Rossi & Gleich's parallel
+maximum-clique work.
+
+Helpers
+-------
+:func:`concat_rows`
+    Gather the rows of many nodes in one vectorised operation.
+:func:`in_sorted`
+    Bulk membership of values in one sorted array.
+:func:`intersect_sorted`
+    Galloping (searchsorted) intersection of two sorted unique arrays.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+
+def concat_rows(
+    indptr: np.ndarray, cols: np.ndarray, nodes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate the CSR rows of ``nodes`` without a Python loop.
+
+    Returns ``(owner_pos, values)`` where ``values`` is the
+    concatenation of ``cols[indptr[u]:indptr[u+1]]`` for each ``u`` in
+    ``nodes`` (in order) and ``owner_pos[i]`` is the *position* into
+    ``nodes`` whose row produced ``values[i]`` (so
+    ``nodes[owner_pos[i]]`` is the owning node). Both are int64 arrays;
+    empty when all rows are empty.
+    """
+    starts = indptr[nodes]
+    lens = indptr[nodes + 1] - starts
+    total = int(lens.sum())
+    if not total:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    ends = np.cumsum(lens)
+    idx = np.arange(total, dtype=np.int64) + np.repeat(starts - ends + lens, lens)
+    return np.repeat(np.arange(len(nodes), dtype=np.int64), lens), cols[idx]
+
+
+def in_sorted(haystack: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Boolean mask: which ``values`` occur in the sorted array ``haystack``."""
+    if not len(haystack):
+        return np.zeros(len(values), dtype=bool)
+    pos = np.searchsorted(haystack, values).clip(max=len(haystack) - 1)
+    return haystack[pos] == values
+
+
+def intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection of two sorted unique int64 arrays (sorted result).
+
+    Binary-searches the smaller array into the larger one —
+    ``O(min log max)`` — which beats ``np.intersect1d``'s
+    concatenate-and-sort when the operands are lopsided, the common case
+    when intersecting a shrinking candidate set with adjacency rows.
+    """
+    if len(a) > len(b):
+        a, b = b, a
+    if not len(a):
+        return a
+    return a[in_sorted(b, a)]
 
 
 class CSRAdjacency:
@@ -30,15 +89,26 @@ class CSRAdjacency:
 
     @classmethod
     def from_graph(cls, graph) -> "CSRAdjacency":
-        """Build from a :class:`repro.graph.graph.Graph`."""
+        """Build from a :class:`repro.graph.graph.Graph`.
+
+        Construction is bulk numpy work: one pass drains every adjacency
+        set into a flat int64 array, then a single stable ``np.lexsort``
+        keyed on ``(row, col)`` sorts all rows at once — no per-node
+        Python ``sorted()`` calls.
+        """
         n = graph.n
         degrees = graph.degrees
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(degrees, out=indptr[1:])
-        cols = np.empty(int(indptr[-1]), dtype=np.int64)
-        for u in range(n):
-            start, stop = indptr[u], indptr[u + 1]
-            cols[start:stop] = sorted(graph.neighbors(u))
+        total = int(indptr[-1])
+        cols = np.fromiter(
+            (v for u in range(n) for v in graph.neighbors(u)),
+            dtype=np.int64,
+            count=total,
+        )
+        if total:
+            rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
+            cols = cols[np.lexsort((cols, rows))]
         return cls(indptr, cols)
 
     @property
@@ -73,26 +143,36 @@ class CSRAdjacency:
         """Number of triangles through each node.
 
         Uses the standard forward algorithm on the degeneracy-free
-        orientation ``u -> v iff (deg, id)`` increases, intersecting
-        sorted out-neighbour arrays. Intended for Table I statistics,
-        where it is markedly faster than generic k-clique listing.
+        orientation ``u -> v iff (deg, id)`` increases. The oriented
+        adjacency is built as flat CSR arrays in one vectorised filter
+        (no per-node list of row slices), and each node's triangles are
+        counted with a single bulk gather + sorted-membership test over
+        all of its out-neighbours' rows at once.
         """
         n = self.n
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
         deg = self.degrees()
-        rank = np.lexsort((np.arange(n), deg))  # positions sorted by (deg, id)
-        order = np.empty(n, dtype=np.int64)
-        order[rank] = np.arange(n)
+        pos = np.empty(n, dtype=np.int64)
+        pos[np.lexsort((np.arange(n), deg))] = np.arange(n)
+        rows = np.repeat(np.arange(n, dtype=np.int64), deg)
+        keep = pos[self.cols] > pos[rows]
+        out_cols = self.cols[keep]
+        out_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows[keep], minlength=n), out=out_indptr[1:])
         counts = np.zeros(n, dtype=np.int64)
-        out: list[np.ndarray] = []
         for u in range(n):
-            row = self.row(u)
-            out.append(row[order[row] > order[u]])
-        for u in range(n):
-            row_u = out[u]
-            for v in row_u:
-                common = np.intersect1d(row_u, out[int(v)], assume_unique=True)
-                if len(common):
-                    counts[u] += len(common)
-                    counts[int(v)] += len(common)
-                    counts[common] += 1
+            row_u = out_cols[out_indptr[u] : out_indptr[u + 1]]
+            if len(row_u) < 2:
+                continue
+            owner_pos, vals = concat_rows(out_indptr, out_cols, row_u)
+            if not len(vals):
+                continue
+            hit = in_sorted(row_u, vals)
+            nhit = int(hit.sum())
+            if not nhit:
+                continue
+            counts[u] += nhit
+            np.add.at(counts, row_u[owner_pos[hit]], 1)
+            np.add.at(counts, vals[hit], 1)
         return counts

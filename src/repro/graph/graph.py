@@ -3,10 +3,12 @@
 The paper's algorithms operate on simple undirected graphs with nodes
 labelled ``0 .. n-1``. :class:`Graph` stores adjacency twice:
 
-* a list of Python ``set`` objects — the fastest structure CPython offers
-  for the neighbourhood intersections that dominate k-clique listing, and
-* an optional CSR view (:mod:`repro.graph.csr`) built lazily for the
-  numpy-based bulk statistics (degree arrays, degeneracy ordering).
+* a list of Python ``set`` objects — the substrate of the ``"sets"``
+  enumeration backend and of incremental neighbourhood queries, and
+* a CSR view (:mod:`repro.graph.csr`) built lazily — sorted int64 row
+  arrays powering the numpy bulk statistics *and* the ``"csr"``
+  enumeration backend (oriented CSR construction, vectorised k-clique
+  counting/scoring; see :mod:`repro.cliques.csr_kernels`).
 
 Instances are immutable after construction; the dynamic-maintenance code
 uses :class:`repro.graph.dynamic.DynamicGraph` instead and converts via

@@ -1,0 +1,190 @@
+"""Property-style equivalence of the set and CSR enumeration backends.
+
+The ``"csr"`` backend must be an observationally perfect stand-in for
+the ``"sets"`` backend: identical clique listings (as canonical sets),
+identical counts, identical node scores, and byte-identical
+``lightweight`` / ``store_all`` solutions — on the paper's figures and
+on random G(n, p) graphs, across k in {3, 4, 5}.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Graph, Session
+from repro.cliques.counting import node_scores
+from repro.cliques.csr_kernels import AUTO_EDGE_THRESHOLD, resolve_backend
+from repro.cliques.listing import count_cliques, iter_cliques, list_cliques
+from repro.core.lightweight import lightweight
+from repro.core.store_all import store_all_cliques
+from repro.errors import InvalidParameterError
+from repro.graph.dag import OrientedCSR, OrientedGraph
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi_gnp,
+    powerlaw_cluster,
+)
+
+KS = (3, 4, 5)
+
+
+@pytest.fixture
+def graph_corpus(paper_graph, fig5_g1):
+    """Paper-figure graphs plus a spread of random ones."""
+    graphs = [
+        paper_graph,
+        fig5_g1,
+        complete_graph(8),
+        Graph(7, []),
+    ]
+    for seed, (n, p) in enumerate([(30, 0.3), (45, 0.25), (60, 0.2), (80, 0.15)]):
+        graphs.append(erdos_renyi_gnp(n, p, seed=seed))
+    graphs.append(powerlaw_cluster(150, 5, 0.6, seed=11))
+    return graphs
+
+
+def canonical(cliques):
+    return sorted(tuple(sorted(c)) for c in cliques)
+
+
+class TestOrientedCSR:
+    def test_matches_out_sets(self, paper_graph):
+        for order in ("id", "degree", "degeneracy"):
+            dag = OrientedGraph.orient(paper_graph, order)
+            ocsr = dag.csr()
+            for u in paper_graph.nodes():
+                row = ocsr.row(u)
+                assert list(row) == sorted(dag.out[u])
+            assert ocsr.out_degrees().tolist() == [
+                len(s) for s in dag.out
+            ]
+
+    def test_cached_on_dag(self, paper_graph):
+        dag = OrientedGraph.orient(paper_graph)
+        assert not dag.has_csr
+        assert dag.csr() is dag.csr()
+        assert dag.has_csr
+
+    def test_empty_graph(self):
+        ocsr = OrientedCSR.from_rank(Graph(0), np.empty(0, dtype=np.int64))
+        assert ocsr.n == 0 and len(ocsr.cols) == 0
+
+
+class TestResolveBackend:
+    def test_explicit_backends_pass_through(self):
+        assert resolve_backend("sets", 10**9) == "sets"
+        assert resolve_backend("csr", 0) == "csr"
+
+    def test_auto_uses_edge_threshold(self):
+        assert resolve_backend("auto", AUTO_EDGE_THRESHOLD - 1) == "sets"
+        assert resolve_backend("auto", AUTO_EDGE_THRESHOLD) == "csr"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InvalidParameterError, match="backend"):
+            resolve_backend("numpy", 100)
+
+    @pytest.mark.parametrize("fn", [count_cliques, node_scores, list_cliques])
+    def test_unknown_backend_rejected_at_entrypoints(self, paper_graph, fn):
+        with pytest.raises(InvalidParameterError, match="backend"):
+            fn(paper_graph, 3, backend="bogus")
+
+    def test_lightweight_rejects_unknown_backend(self, paper_graph):
+        with pytest.raises(InvalidParameterError, match="backend"):
+            lightweight(paper_graph, 3, backend="bogus")
+
+
+class TestEnumerationEquivalence:
+    @pytest.mark.parametrize("k", KS)
+    def test_listings_counts_scores_match(self, k, graph_corpus):
+        for g in graph_corpus:
+            listing_sets = canonical(iter_cliques(g, k, backend="sets"))
+            listing_csr = canonical(iter_cliques(g, k, backend="csr"))
+            assert listing_sets == listing_csr
+            count_sets = count_cliques(g, k, backend="sets")
+            count_csr = count_cliques(g, k, backend="csr")
+            assert count_sets == count_csr == len(listing_sets)
+            assert (
+                node_scores(g, k, backend="sets").tolist()
+                == node_scores(g, k, backend="csr").tolist()
+            )
+
+    @pytest.mark.parametrize("order", ["id", "degree", "degeneracy"])
+    def test_order_invariant_across_backends(self, paper_graph, order):
+        assert canonical(
+            iter_cliques(paper_graph, 3, order=order, backend="csr")
+        ) == canonical(iter_cliques(paper_graph, 3, order=order, backend="sets"))
+
+    def test_small_k_fast_paths(self, paper_graph):
+        for k in (1, 2):
+            assert canonical(iter_cliques(paper_graph, k, backend="csr")) == canonical(
+                iter_cliques(paper_graph, k, backend="sets")
+            )
+            assert count_cliques(paper_graph, k, backend="csr") == count_cliques(
+                paper_graph, k, backend="sets"
+            )
+
+
+class TestSolverEquivalence:
+    @pytest.mark.parametrize("k", KS)
+    @pytest.mark.parametrize("prune", [False, True])
+    def test_lightweight_identical(self, k, prune, graph_corpus):
+        for g in graph_corpus:
+            rs = lightweight(g, k, prune=prune, backend="sets")
+            rc = lightweight(g, k, prune=prune, backend="csr")
+            assert rs.sorted_cliques() == rc.sorted_cliques()
+            # Candidate iteration order matches, so even the ablation
+            # counters are backend-invariant.
+            assert rs.stats == rc.stats
+
+    @pytest.mark.parametrize("k", KS)
+    def test_store_all_identical(self, k, graph_corpus):
+        for g in graph_corpus:
+            rs = store_all_cliques(g, k, backend="sets")
+            rc = store_all_cliques(g, k, backend="csr")
+            assert rs.sorted_cliques() == rc.sorted_cliques()
+
+    def test_auto_matches_forced_backends(self):
+        g = powerlaw_cluster(200, 6, 0.5, seed=3)
+        for k in KS:
+            ra = lightweight(g, k, backend="auto")
+            rs = lightweight(g, k, backend="sets")
+            assert ra.sorted_cliques() == rs.sorted_cliques()
+            assert ra.stats == rs.stats
+
+
+class TestSessionBackend:
+    def test_solve_accepts_backend_option(self, paper_graph):
+        session = Session(paper_graph)
+        for backend in ("auto", "sets", "csr"):
+            a = session.solve(3, "lp", backend=backend)
+            b = session.solve(3, "gc", backend=backend)
+            assert a.sorted_cliques() == b.sorted_cliques()
+
+    def test_unknown_backend_option_rejected(self, paper_graph):
+        session = Session(paper_graph)
+        with pytest.raises(InvalidParameterError, match="backend"):
+            session.solve(3, "lp", backend="bogus")
+
+    def test_warm_backend_caches_are_shared(self, paper_graph):
+        warm_csr = Session(paper_graph).warm([3, 4], cliques=True, backend="csr")
+        warm_sets = Session(paper_graph).warm([3, 4], cliques=True, backend="sets")
+        for k in (3, 4):
+            assert warm_csr.prep.cliques(k) == warm_sets.prep.cliques(k)
+            assert (
+                warm_csr.prep.scores(k).tolist()
+                == warm_sets.prep.scores(k).tolist()
+            )
+        assert warm_csr.solve(3, "lp").sorted_cliques() == warm_sets.solve(
+            3, "lp"
+        ).sorted_cliques()
+
+    def test_warm_rejects_unknown_backend(self, paper_graph):
+        with pytest.raises(InvalidParameterError, match="backend"):
+            Session(paper_graph).warm([3], backend="bogus")
+
+    def test_oriented_csr_cached(self, paper_graph):
+        session = Session(paper_graph)
+        first = session.prep.oriented_csr()
+        assert session.prep.stats["csr_builds"] == 1
+        assert session.prep.oriented_csr() is first
+        assert session.prep.stats["csr_builds"] == 1
+        assert "degeneracy" in session.cache_info()["csr_orientations"]

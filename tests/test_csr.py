@@ -1,11 +1,11 @@
-"""Tests for the CSR adjacency view."""
+"""Tests for the CSR adjacency view and its sorted-array helpers."""
 
 import numpy as np
 import pytest
 
 from repro import Graph
 from repro.cliques import node_scores
-from repro.graph.csr import CSRAdjacency
+from repro.graph.csr import CSRAdjacency, concat_rows, in_sorted, intersect_sorted
 from repro.graph.generators import complete_graph, erdos_renyi_gnp
 
 
@@ -38,6 +38,48 @@ class TestStructure:
     def test_isolated_nodes(self):
         csr = CSRAdjacency.from_graph(Graph(4, [(1, 2)]))
         assert csr.degree(0) == 0 and len(csr.row(0)) == 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bulk_construction_matches_sorted_neighbors(self, seed):
+        g = erdos_renyi_gnp(120, 0.1, seed=seed)
+        csr = CSRAdjacency.from_graph(g)
+        for u in g.nodes():
+            assert csr.row(u).tolist() == sorted(g.neighbors(u))
+
+
+class TestSortedArrayHelpers:
+    def test_concat_rows(self, paper_graph):
+        csr = paper_graph.csr()
+        nodes = np.array([2, 0, 5], dtype=np.int64)
+        owner_pos, vals = concat_rows(csr.indptr, csr.cols, nodes)
+        expected_vals = [v for u in nodes for v in sorted(paper_graph.neighbors(u))]
+        expected_pos = [i for i, u in enumerate(nodes) for _ in paper_graph.neighbors(u)]
+        assert vals.tolist() == expected_vals
+        assert owner_pos.tolist() == expected_pos
+
+    def test_concat_rows_empty(self, paper_graph):
+        csr = paper_graph.csr()
+        owner_pos, vals = concat_rows(
+            csr.indptr, csr.cols, np.empty(0, dtype=np.int64)
+        )
+        assert len(owner_pos) == 0 and len(vals) == 0
+
+    def test_in_sorted(self):
+        hay = np.array([1, 4, 7, 9], dtype=np.int64)
+        values = np.array([0, 1, 5, 7, 9, 12], dtype=np.int64)
+        assert in_sorted(hay, values).tolist() == [
+            False, True, False, True, True, False,
+        ]
+        assert in_sorted(np.empty(0, dtype=np.int64), values).tolist() == [False] * 6
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_intersect_sorted_matches_set_intersection(self, seed):
+        rng = np.random.default_rng(seed)
+        a = np.unique(rng.integers(0, 60, size=rng.integers(0, 30)))
+        b = np.unique(rng.integers(0, 60, size=rng.integers(0, 30)))
+        expected = sorted(set(a.tolist()) & set(b.tolist()))
+        assert intersect_sorted(a, b).tolist() == expected
+        assert intersect_sorted(b, a).tolist() == expected
 
 
 class TestTriangleCounting:

@@ -1,8 +1,16 @@
 """Tests for the parallel HeapInit path of Algorithm 3."""
 
+import multiprocessing
+
 import pytest
 
+import importlib
+
 from repro.core.lightweight import lightweight
+
+# The package re-exports the ``lightweight`` function under the same
+# name, so fetch the module itself for monkeypatching.
+lw = importlib.import_module("repro.core.lightweight")
 from repro.graph.generators import erdos_renyi_gnp, powerlaw_cluster
 
 
@@ -30,3 +38,76 @@ class TestParallelHeapInit:
         pruned = lightweight(g, 4, prune=True, workers=2)
         plain = lightweight(g, 4, prune=False, workers=2)
         assert pruned.sorted_cliques() == plain.sorted_cliques()
+
+    @pytest.mark.parametrize("backend", ["sets", "csr"])
+    def test_parallel_works_with_both_backends(self, backend):
+        g = powerlaw_cluster(120, 5, 0.5, seed=9)
+        sequential = lightweight(g, 3, workers=1, backend=backend)
+        parallel = lightweight(g, 3, workers=3, backend=backend)
+        assert sequential.sorted_cliques() == parallel.sorted_cliques()
+
+
+class TestParallelStats:
+    """Parallel HeapInit must report the same counters as sequential.
+
+    Regression: ``findmin_calls`` used to be set to the number of heap
+    entries (only roots that produced a clique) and every worker's
+    ``branches_pruned`` was discarded, so the L/LP ablation counters
+    depended on the worker count.
+    """
+
+    @pytest.mark.parametrize("prune", [False, True])
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_stats_match_sequential(self, prune, workers):
+        g = powerlaw_cluster(200, 5, 0.5, seed=6)
+        sequential = lightweight(g, 4, prune=prune, workers=1)
+        parallel = lightweight(g, 4, prune=prune, workers=workers)
+        assert parallel.stats == sequential.stats
+
+    def test_findmin_calls_count_eligible_roots_not_heap_entries(self):
+        g = powerlaw_cluster(150, 4, 0.4, seed=8)
+        result = lightweight(g, 4, workers=2)
+        # Some eligible roots find no clique: calls must exceed pushes.
+        assert result.stats["findmin_calls"] > result.stats["heap_pushes"]
+
+
+class TestForkUnavailableFallback:
+    """``workers > 1`` must not crash where fork is unavailable.
+
+    Regression: ``multiprocessing.get_context("fork")`` raised
+    ``ValueError`` on spawn-only platforms (Windows, macOS default).
+    The guard checks ``get_all_start_methods()`` and falls back to the
+    sequential HeapInit path.
+    """
+
+    def test_falls_back_to_sequential(self, monkeypatch):
+        g = powerlaw_cluster(100, 4, 0.5, seed=2)
+        baseline = lightweight(g, 3, workers=1)
+
+        def no_fork_context(method=None):
+            raise AssertionError(
+                f"get_context({method!r}) must not be called without fork"
+            )
+
+        monkeypatch.setattr(
+            lw.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        monkeypatch.setattr(lw.multiprocessing, "get_context", no_fork_context)
+        result = lightweight(g, 3, workers=4)
+        assert result.sorted_cliques() == baseline.sorted_cliques()
+        assert result.stats == baseline.stats
+
+    def test_parallel_path_still_used_when_fork_available(self, monkeypatch):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no fork start method")
+        g = powerlaw_cluster(100, 4, 0.5, seed=2)
+        called = {}
+        real = lw._parallel_heap_init
+
+        def spy(state, n, workers, stats):
+            called["workers"] = workers
+            return real(state, n, workers, stats)
+
+        monkeypatch.setattr(lw, "_parallel_heap_init", spy)
+        lightweight(g, 3, workers=2)
+        assert called["workers"] == 2

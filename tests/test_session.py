@@ -14,9 +14,9 @@ def listing_spy(monkeypatch):
     calls = []
     real = listing.iter_cliques_oriented
 
-    def spy(dag, k):
+    def spy(dag, k, backend="auto"):
         calls.append(k)
-        return real(dag, k)
+        return real(dag, k, backend=backend)
 
     monkeypatch.setattr(listing, "iter_cliques_oriented", spy)
     return calls
@@ -28,9 +28,9 @@ def score_spy(monkeypatch):
     calls = []
     real = counting.node_scores
 
-    def spy(graph, k, order="degeneracy", dag=None):
+    def spy(graph, k, order="degeneracy", dag=None, backend="auto"):
         calls.append(k)
-        return real(graph, k, order, dag)
+        return real(graph, k, order, dag, backend=backend)
 
     monkeypatch.setattr(counting, "node_scores", spy)
     return calls
