@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Per-edge vs batched dynamic maintenance benchmark (the BENCH trajectory).
+
+Times :meth:`DynamicDisjointCliques.apply` (per-edge, Algorithms 6/7)
+against :meth:`apply_batch` (coalesce + one deferred repair pass per
+batch) on the paper's Section VI-E workloads — deletion, insertion and
+mixed — and writes updates/sec to a JSON artifact so the perf
+trajectory accumulates across PRs.
+
+Protocol, per (k, workload):
+
+* one :class:`Session` per workload start graph supplies the initial
+  static solve (shared across modes and repeats — the preprocessing is
+  not on the clock);
+* every mode starts from a freshly built, pre-stabilised maintainer
+  (an empty ``apply_batch`` drains the latent swap opportunities of the
+  static solve, so no mode gets credit or blame for them);
+* per-edge applies the stream one update at a time; batched modes run
+  one whole-stream batch and a chunked (``--chunk``) variant, both with
+  the CSR refresh backend, plus a whole-stream ``sets`` run whose final
+  solution must be *identical* to the CSR one (trajectory equality);
+* all modes must land on the same final edge set; medians of
+  ``--repeats`` runs are recorded.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic.py \
+        --nodes 10000 --attach 24 --triangle-p 0.9 --ks 3 4 5 \
+        --count 500 --repeats 3 --out BENCH_dynamic.json
+
+This file is a standalone script (not collected by pytest); the CI
+bench-smoke job runs it at reduced scale and uploads the artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.session import Session  # noqa: E402
+from repro.dynamic.maintainer import DynamicDisjointCliques  # noqa: E402
+from repro.dynamic.workload import make_workload  # noqa: E402
+from repro.graph.generators import powerlaw_cluster  # noqa: E402
+
+WORKLOADS = ("deletion", "insertion", "mixed")
+
+
+def timed_runs(build, run, repeats: int):
+    """Median wall time of ``repeats`` runs, plus the last maintainer."""
+    times = []
+    dyn = None
+    for _ in range(repeats):
+        dyn = build()
+        t0 = time.perf_counter()
+        run(dyn)
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times), dyn
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=10000)
+    parser.add_argument("--attach", type=int, default=24,
+                        help="preferential-attachment edges per node")
+    parser.add_argument("--triangle-p", type=float, default=0.9,
+                        help="triangle-closing probability (clique richness)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--ks", type=int, nargs="+", default=[3, 4, 5])
+    parser.add_argument("--count", type=int, default=500,
+                        help="sampled edges per workload (mixed applies 2x)")
+    parser.add_argument("--chunk", type=int, default=128,
+                        help="batch size of the chunked batched mode")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default="BENCH_dynamic.json")
+    args = parser.parse_args(argv)
+
+    graph = powerlaw_cluster(args.nodes, args.attach, args.triangle_p, seed=args.seed)
+    print(f"graph: n={graph.n} m={graph.m} (powerlaw_cluster, seed={args.seed})")
+
+    rows: list[dict] = []
+    mixed_speedups: dict[int, float] = {}
+    for workload in WORKLOADS:
+        start, updates = make_workload(graph, workload, args.count, args.seed + 4)
+        session = Session(start)
+        for k in args.ks:
+            initial = session.solve(k, method="lp")
+
+            def build():
+                dyn = DynamicDisjointCliques(
+                    start, k, initial=initial, validate_initial=False
+                )
+                dyn.apply_batch([])  # pre-stabilise: drain latent swaps
+                return dyn
+
+            modes = {
+                "per-edge": lambda d: d.apply(updates),
+                "batch-full-csr": lambda d: d.apply_batch(updates, backend="csr"),
+                "batch-full-sets": lambda d: d.apply_batch(updates, backend="sets"),
+                f"batch-{args.chunk}-csr": lambda d: d.apply(
+                    updates, batch_size=args.chunk, backend="csr"
+                ),
+            }
+            results = {}
+            edge_sets = {}
+            solutions = {}
+            for mode, run in modes.items():
+                seconds, dyn = timed_runs(build, run, args.repeats)
+                results[mode] = (seconds, dyn.size)
+                edge_sets[mode] = frozenset(dyn.graph.edges())
+                solutions[mode] = dyn.solution().sorted_cliques()
+            assert len(set(edge_sets.values())) == 1, \
+                f"modes diverged on the final graph ({workload}, k={k})"
+            assert solutions["batch-full-csr"] == solutions["batch-full-sets"], \
+                f"csr/sets trajectories diverged ({workload}, k={k})"
+
+            per_edge_s = results["per-edge"][0]
+            for mode, (seconds, size) in results.items():
+                row = {
+                    "workload": workload,
+                    "k": k,
+                    "mode": mode,
+                    "updates": len(updates),
+                    "seconds": round(seconds, 6),
+                    "updates_per_sec": round(len(updates) / seconds, 1),
+                    "solution_size": size,
+                    "speedup_vs_per_edge": round(per_edge_s / seconds, 3),
+                }
+                rows.append(row)
+                print(
+                    f"  {workload:<9} k={k} {mode:<16} "
+                    f"{row['updates_per_sec']:>10.0f} up/s  "
+                    f"x{row['speedup_vs_per_edge']:.2f}  |S|={size}"
+                )
+            if workload == "mixed":
+                best = min(
+                    seconds for mode, (seconds, _) in results.items()
+                    if mode != "per-edge"
+                )
+                mixed_speedups[k] = round(per_edge_s / best, 3)
+
+    payload = {
+        "bench": "dynamic",
+        "config": {
+            "generator": "powerlaw_cluster",
+            "nodes": graph.n,
+            "edges": graph.m,
+            "attach": args.attach,
+            "triangle_p": args.triangle_p,
+            "seed": args.seed,
+            "ks": args.ks,
+            "count": args.count,
+            "chunk": args.chunk,
+            "repeats": args.repeats,
+            "python": platform.python_version(),
+        },
+        "results": rows,
+        "headline": {
+            "mixed_speedup_by_k": mixed_speedups,
+            "mixed_speedup_max": max(mixed_speedups.values()),
+        },
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out} (best mixed batched speedup: "
+          f"{payload['headline']['mixed_speedup_max']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,7 @@ Examples
     python -m repro compare --dataset FB --k 5 --methods hg lp
     python -m repro methods
     python -m repro dynamic --dataset HST --k 4 --workload mixed --count 100
+    python -m repro dynamic --dataset HST --k 4 --batch-size 128 --backend csr
     python -m repro experiments table1 fig7
 """
 
@@ -117,33 +118,30 @@ def cmd_compare(args) -> int:
 def cmd_dynamic(args) -> int:
     graph = _load_graph(args)
     from repro.core.session import Session
-    from repro.dynamic.maintainer import DynamicDisjointCliques
-    from repro.dynamic.workload import (
-        deletion_workload,
-        insertion_workload,
-        mixed_workload,
-    )
+    from repro.dynamic.workload import make_workload
 
     count = min(args.count, graph.m // 4)
-    if args.workload == "deletion":
-        start_graph, updates = graph, deletion_workload(graph, count, seed=args.seed)
-    elif args.workload == "insertion":
-        removed = insertion_workload(graph, count, seed=args.seed)
-        start_graph = graph.remove_edges([(u, v) for _, u, v in removed])
-        updates = removed
-    else:
-        start_graph, updates = mixed_workload(graph, count, seed=args.seed)
+    start_graph, updates = make_workload(graph, args.workload, count, seed=args.seed)
 
     build_start = time.perf_counter()
-    dyn = DynamicDisjointCliques(start_graph, args.k)
+    dyn = Session(start_graph).dynamic(args.k)
     build = time.perf_counter() - build_start
     apply_start = time.perf_counter()
-    dyn.apply(updates)
-    per_update = (time.perf_counter() - apply_start) / len(updates)
+    if args.batch_size < 0:
+        raise SystemExit(f"error: --batch-size must be >= 0, got {args.batch_size}")
+    if args.batch_size:
+        dyn.apply(updates, batch_size=args.batch_size, backend=args.backend)
+        mode = f"batched({args.batch_size},{args.backend})"
+    else:
+        dyn.apply(updates)
+        mode = "per-edge"
+    apply_s = time.perf_counter() - apply_start
+    per_update = apply_s / len(updates)
     rebuilt = Session(dyn.graph.snapshot()).solve(args.k, method="lp")
     print(
-        f"workload={args.workload} updates={len(updates)} | build={build:.2f}s "
-        f"mean-update={per_update * 1e6:.1f}us | |S|={dyn.size} "
+        f"workload={args.workload} updates={len(updates)} mode={mode} | "
+        f"build={build:.2f}s mean-update={per_update * 1e6:.1f}us "
+        f"({len(updates) / apply_s:.0f} updates/s) | |S|={dyn.size} "
         f"(rebuild {rebuilt.size}, drift {dyn.size - rebuilt.size:+d}) | "
         f"index={dyn.index_size}"
     )
@@ -216,6 +214,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--count", type=int, default=100)
     p.add_argument("--seed", type=int, default=11)
+    p.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        help="coalesce updates into batches of this size (0 = per-edge)",
+    )
+    p.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "sets", "csr"],
+        help="dirty-region refresh engine for batched application",
+    )
     p.set_defaults(fn=cmd_dynamic)
 
     p = sub.add_parser("datasets", help="list registered datasets")

@@ -27,11 +27,23 @@ selection lives in :func:`resolve_backend`: ``"auto"`` picks ``"csr"``
 once the graph has at least :data:`AUTO_EDGE_THRESHOLD` edges — below
 that, numpy overhead outweighs the vectorisation win and the set
 backend is kept.
+
+The same frontier engine also serves the dynamic maintainer's batched
+repair path through *local patches*: :func:`local_oriented_csr`
+relabels an induced subgraph (for example a batch's dirty region and
+its neighbourhood) into a standalone oriented CSR, and
+:func:`iter_cliques_within_csr` enumerates its k-cliques with two
+engine-level restrictions — ``require`` (clique must touch a required
+node; required nodes get the smallest local ids, making the test a
+terminal-level comparison plus a per-level prune) and ``labels``
+(clique's labelled members must share one group; incompatible branches
+are dropped inside the expansion, which is how owner-mixing cliques are
+never materialised during candidate-index refreshes).
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -69,7 +81,9 @@ def resolve_backend(backend: str, m: int) -> str:
     return backend
 
 
-def iter_cliques_csr(ocsr: OrientedCSR, k: int) -> Iterator[tuple[int, ...]]:
+def iter_cliques_csr(
+    ocsr: OrientedCSR, k: int, require_below: int | None = None
+) -> Iterator[tuple[int, ...]]:
     """Yield every k-clique exactly once from an oriented CSR.
 
     Same contract as
@@ -80,27 +94,134 @@ def iter_cliques_csr(ocsr: OrientedCSR, k: int) -> Iterator[tuple[int, ...]]:
     arrays (terminal pair plus the parent chain) into one ``(C, k)``
     member matrix, so peak memory is one batch's output rather than the
     whole listing.
+
+    ``require_below`` restricts the output to cliques containing at
+    least one node with id ``< require_below``. It is only valid on an
+    **identity-ordered** CSR (rank == node id, as produced by
+    :func:`local_oriented_csr`; anything else raises
+    :class:`~repro.errors.InvalidParameterError`): there out-neighbours
+    always have smaller ids than their context, so a clique's minimum
+    member is its terminal node and the restriction is one vectorised
+    comparison at the terminal level — plus a per-level prune of
+    contexts whose candidate sets hold no eligible id (candidate rows
+    are sorted, so that is a first-element test). The dynamic
+    maintainer uses this to regenerate only the cliques touching a
+    dirty node inside a relabelled patch (dirty ids first).
+    """
+    for members in _clique_matrices_csr(ocsr, k, require_below=require_below):
+        for row in members.tolist():
+            yield tuple(row)
+
+
+def _identity_rank(ocsr: OrientedCSR) -> bool:
+    """Whether the orientation's rank array is the identity permutation."""
+    rank = np.asarray(ocsr.rank)
+    return bool(np.array_equal(rank, np.arange(len(rank), dtype=rank.dtype)))
+
+
+def _merge_labels(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Combine group labels elementwise (``-1`` is the wildcard)."""
+    return np.where(a == -1, b, a)
+
+
+def _compatible(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Whether two label arrays can coexist in one clique."""
+    return (a == -1) | (b == -1) | (a == b)
+
+
+def _mask_candidates(level, keep: np.ndarray):
+    """Apply an elementwise keep-mask to a level's candidate values.
+
+    Contexts are preserved (possibly with empty segments — downstream
+    prunes and expansions tolerate those); only candidates are dropped.
+    """
+    cand_indptr, cand_vals, ctx_node, ctx_parent = level
+    nctx = len(cand_indptr) - 1
+    if bool(keep.all()):
+        return level
+    owner = np.repeat(np.arange(nctx, dtype=np.int64), np.diff(cand_indptr))
+    indptr2 = np.zeros(nctx + 1, dtype=np.int64)
+    np.cumsum(np.bincount(owner[keep], minlength=nctx), out=indptr2[1:])
+    return indptr2, cand_vals[keep], ctx_node, ctx_parent
+
+
+def _clique_matrices_csr(
+    ocsr: OrientedCSR,
+    k: int,
+    require_below: int | None = None,
+    labels: np.ndarray | None = None,
+) -> Iterator[np.ndarray]:
+    """Yield ``(C, k)`` int64 member matrices, one per root batch.
+
+    The matrix form of :func:`iter_cliques_csr` (same cliques, same
+    per-batch memory bound); callers that post-process cliques in bulk
+    (relabelling, filtering) stay vectorised instead of paying a Python
+    loop per clique.
+
+    ``labels`` (int64 per node, ``-1`` = unlabelled) restricts output to
+    cliques whose labelled members all share one label. Unlike an after
+    -the-fact filter, incompatible branches are pruned *inside* the
+    frontier — the candidate-clique index uses this with solution-owner
+    labels, where most of a dense region's cliques mix two owners and
+    are never even expanded.
     """
     indptr, cols = ocsr.indptr, ocsr.cols
     n = len(indptr) - 1
+    if require_below is not None and not _identity_rank(ocsr):
+        # The min-member-is-terminal argument behind the prune holds
+        # only when the orientation order *is* ascending node id (true
+        # for local_oriented_csr patches, false for e.g. degeneracy
+        # orientations) — anything else would silently drop cliques.
+        raise InvalidParameterError(
+            "require_below needs an identity-ordered OrientedCSR (a "
+            "local patch from local_oriented_csr); this one is ranked "
+            "by another order"
+        )
     if k == 1:
-        for u in range(n):
-            yield (u,)
+        stop = n if require_below is None else min(n, require_below)
+        if stop > 0:
+            yield np.arange(stop, dtype=np.int64)[:, None]
         return
     if k == 2:
-        for u in range(n):
-            for v in cols[indptr[u] : indptr[u + 1]]:
-                yield (u, int(v))
+        rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        vals = cols
+        keep = np.ones(len(vals), dtype=bool)
+        if require_below is not None:
+            keep &= vals < require_below
+        if labels is not None:
+            keep &= _compatible(labels[rows], labels[vals])
+        rows, vals = rows[keep], vals[keep]
+        if len(vals):
+            yield np.stack([rows, vals], axis=1)
         return
     for roots in _root_batches(ocsr, k):
-        levels = [_root_level(ocsr, roots)]
+        level = _root_level(ocsr, roots)
+        ctx_label = None
+        if labels is not None:
+            ctx_label = labels[roots]
+            nctx = len(level[0]) - 1
+            cand_ctx = np.repeat(np.arange(nctx, dtype=np.int64), np.diff(level[0]))
+            level = _mask_candidates(
+                level, _compatible(ctx_label[cand_ctx], labels[level[1]])
+            )
+        level, ctx_label = _prune_level(level, require_below, ctx_label)
+        levels = [level]
+        last_label = ctx_label
         for need_after in range(k - 2, 1, -1):
-            levels.append(_expand(levels[-1], ocsr, n, need_after))
-            if not len(levels[-1][1]):
+            nxt, nxt_label = _expand(levels[-1], ocsr, n, need_after, labels, last_label)
+            nxt, nxt_label = _prune_level(nxt, require_below, nxt_label)
+            levels.append(nxt)
+            last_label = nxt_label
+            if not len(nxt[1]):
                 break
         else:
             cand_vals = levels[-1][1]
             pos, w, ok, owner = _level_hits(levels[-1], ocsr, n)
+            if require_below is not None:
+                ok &= w < require_below
+            if labels is not None:
+                pair_label = _merge_labels(last_label[owner], labels[cand_vals])
+                ok &= _compatible(pair_label[pos], labels[w])
             if not len(ok):
                 continue
             hit = pos[ok]
@@ -114,8 +235,143 @@ def iter_cliques_csr(ocsr: OrientedCSR, k: int) -> Iterator[tuple[int, ...]]:
                 members[:, depth] = levels[depth][2][ctx]
                 ctx = levels[depth][3][ctx]
             members[:, 0] = levels[0][2][ctx]
-            for row in members.tolist():
-                yield tuple(row)
+            yield members
+
+
+def local_oriented_csr(graph, pool: Sequence[int]) -> tuple[OrientedCSR, np.ndarray]:
+    """Orient the subgraph induced on ``pool`` as a relabelled CSR patch.
+
+    ``graph`` is anything exposing ``neighbors(u)`` (static
+    :class:`~repro.graph.graph.Graph` or mutable
+    :class:`~repro.graph.dynamic.DynamicGraph`); ``pool`` is unique node
+    ids in **any order** — the order *is* the orientation: the patch
+    uses ascending local position as the total order (any total order
+    roots each clique exactly once), which is what lets
+    ``require``-capable callers place required nodes first so the
+    engine's ``require_below`` prune applies. A single extraction pass
+    over the pool's adjacency is enough — no degeneracy pass, no
+    ``O(graph.n)`` scratch arrays.
+
+    Returns ``(ocsr, pool_arr)`` where ``pool_arr[i]`` is the global id
+    of local node ``i``.
+    """
+    pool_arr = np.asarray(pool, dtype=np.int64)
+    nloc = len(pool_arr)
+    pool_list = pool_arr.tolist()
+    # One flat drain of the pool's adjacency, then bulk relabel/filter.
+    # Two relabelling strategies: a dense global position map (O(1) per
+    # entry, but an O(graph.n) memset) when the graph is small relative
+    # to the drained volume, and binary search against a sorted view of
+    # the pool (patch-sized scratch only) when a small dirty region is
+    # extracted from a huge dynamic graph.
+    degs = [len(graph.neighbors(u)) for u in pool_list]
+    total = int(sum(degs))
+    flat = np.fromiter(
+        (v for u in pool_list for v in graph.neighbors(u)),
+        dtype=np.int64,
+        count=total,
+    )
+    if graph.n <= 8 * total + 1024:
+        local_map = np.full(graph.n, -1, dtype=np.int64)
+        local_map[pool_arr] = np.arange(nloc, dtype=np.int64)
+        loc = local_map[flat]
+    else:
+        order = np.argsort(pool_arr, kind="stable")
+        sorted_pool = pool_arr[order]
+        idx = np.minimum(np.searchsorted(sorted_pool, flat), nloc - 1)
+        loc = np.where(sorted_pool[idx] == flat, order[idx], -1)
+    rows_full = np.repeat(np.arange(nloc, dtype=np.int64), degs)
+    keep = (loc >= 0) & (loc < rows_full)
+    rows_arr = rows_full[keep]
+    cols_arr = loc[keep]
+    if len(cols_arr):
+        cols_arr = cols_arr[np.lexsort((cols_arr, rows_arr))]
+    indptr = np.zeros(nloc + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows_arr, minlength=nloc), out=indptr[1:])
+    return OrientedCSR(indptr, cols_arr, np.arange(nloc, dtype=np.int64)), pool_arr
+
+
+def iter_cliques_within_csr(
+    graph,
+    nodes: Iterable[int],
+    k: int,
+    require: Iterable[int] | None = None,
+    labels: "dict[int, int] | None" = None,
+) -> Iterator[frozenset[int]]:
+    """CSR twin of :func:`repro.dynamic.local.iter_cliques_within`.
+
+    Yields every k-clique whose nodes all lie in ``nodes`` exactly once,
+    as frozensets of global node ids, by running the level-synchronous
+    frontier engine on a relabelled local patch instead of the per-node
+    Python set recursion. Same clique set as the ``sets`` twin; only
+    the enumeration order differs.
+
+    ``require`` (a subset of ``nodes``) keeps only cliques containing at
+    least one required node: the patch is relabelled with required nodes
+    first, so the restriction rides the engine's ``require_below``
+    prune instead of a posteriori filtering.
+
+    ``labels`` (global node id → group id) keeps only cliques whose
+    labelled members all share one group; nodes absent from the mapping
+    are wildcards. Incompatible branches are pruned inside the frontier
+    (see :func:`_clique_matrices_csr`).
+    """
+    if k < 1:
+        return
+    pool_set = {int(u) for u in nodes}
+    if len(pool_set) < k:
+        return
+    if require is None:
+        pool = sorted(pool_set)
+        below = None
+    else:
+        required = sorted(pool_set & {int(u) for u in require})
+        if not required:
+            return
+        pool = required + sorted(pool_set.difference(required))
+        below = len(required)
+    ocsr, pool_arr = local_oriented_csr(graph, pool)
+    label_arr = None
+    if labels is not None:
+        label_arr = np.fromiter(
+            (labels.get(u, -1) for u in pool), dtype=np.int64, count=len(pool)
+        )
+    for members in _clique_matrices_csr(
+        ocsr, k, require_below=below, labels=label_arr
+    ):
+        for row in pool_arr[members].tolist():
+            yield frozenset(row)
+
+
+def _prune_level(level, require_below: int | None, ctx_label: np.ndarray | None = None):
+    """Drop contexts that cannot complete a clique with a node ``< require_below``.
+
+    A context's candidate segments are sorted ascending, so eligibility
+    is ``cand_vals[segment_start] < require_below`` — one gather and one
+    comparison for the whole level. Contexts whose prefix already holds
+    an eligible node pass automatically: every candidate is smaller than
+    every prefix node, so their first candidate is eligible too.
+    ``ctx_label`` (per-context group labels) is pruned in lockstep.
+    Returns ``(level, ctx_label)``.
+    """
+    if require_below is None:
+        return level, ctx_label
+    cand_indptr, cand_vals, ctx_node, ctx_parent = level
+    nctx = len(cand_indptr) - 1
+    if not nctx or not len(cand_vals):
+        return level, ctx_label
+    starts = cand_indptr[:-1]
+    lens = np.diff(cand_indptr)
+    keep = (lens > 0) & (cand_vals[np.minimum(starts, len(cand_vals) - 1)] < require_below)
+    kept = np.flatnonzero(keep)
+    if len(kept) == nctx:
+        return level, ctx_label
+    indptr2 = np.zeros(len(kept) + 1, dtype=np.int64)
+    np.cumsum(lens[kept], out=indptr2[1:])
+    _, vals2 = concat_rows(cand_indptr, cand_vals, kept)
+    parent2 = ctx_parent[kept] if len(ctx_parent) else ctx_parent
+    label2 = ctx_label[kept] if ctx_label is not None else None
+    return (indptr2, vals2, ctx_node[kept], parent2), label2
 
 
 # ----------------------------------------------------------------------
@@ -178,7 +434,14 @@ def _root_level(ocsr: OrientedCSR, roots: np.ndarray):
     return cand_indptr, cand_vals, roots, _EMPTY
 
 
-def _expand(level, ocsr: OrientedCSR, n: int, need_after: int):
+def _expand(
+    level,
+    ocsr: OrientedCSR,
+    n: int,
+    need_after: int,
+    labels: np.ndarray | None = None,
+    ctx_label: np.ndarray | None = None,
+):
     """One frontier step: branch every context on each of its candidates.
 
     The new context for ``(c, v)`` gets candidates ``C_c ∩ out(v)``,
@@ -187,9 +450,19 @@ def _expand(level, ocsr: OrientedCSR, n: int, need_after: int):
     set via biased keys. Contexts that cannot reach a k-clique any more
     (fewer than ``need_after`` candidates) are dropped, like the
     ``len(nxt) >= depth - 1`` guard of the set recursion.
+
+    With ``labels``/``ctx_label`` (group-constrained enumeration),
+    candidates incompatible with the new context's merged label are
+    dropped before grouping, and each new context's label is returned
+    alongside the level: ``(level2, ctx_label2)`` (``ctx_label2`` is
+    ``None`` in the unlabelled case).
     """
     cand_vals = level[1]
     pos, w, ok, owner = _level_hits(level, ocsr, n)
+    new_label_at_pos = None
+    if labels is not None:
+        new_label_at_pos = _merge_labels(ctx_label[owner], labels[cand_vals])
+        ok = ok & _compatible(new_label_at_pos[pos], labels[w])
     new_owner = pos[ok]
     new_lens = np.bincount(new_owner, minlength=len(cand_vals))
     keep = new_lens >= need_after
@@ -197,7 +470,8 @@ def _expand(level, ocsr: OrientedCSR, n: int, need_after: int):
     vals2 = w[ok][keep[new_owner]]
     indptr2 = np.zeros(len(kept) + 1, dtype=np.int64)
     np.cumsum(new_lens[kept], out=indptr2[1:])
-    return indptr2, vals2, cand_vals[kept], owner[kept]
+    label2 = new_label_at_pos[kept] if new_label_at_pos is not None else None
+    return (indptr2, vals2, cand_vals[kept], owner[kept]), label2
 
 
 def _level_hits(level, ocsr: OrientedCSR, n: int):
@@ -253,7 +527,7 @@ def count_cliques_csr(ocsr: OrientedCSR, k: int) -> int:
     for roots in _root_batches(ocsr, k):
         level = _root_level(ocsr, roots)
         for need_after in range(k - 2, 1, -1):
-            level = _expand(level, ocsr, n, need_after)
+            level, _ = _expand(level, ocsr, n, need_after)
             if not len(level[1]):
                 break
         else:
@@ -284,7 +558,7 @@ def node_scores_csr(ocsr: OrientedCSR, k: int, scores: np.ndarray) -> np.ndarray
     for roots in _root_batches(ocsr, k):
         levels = [_root_level(ocsr, roots)]
         for need_after in range(k - 2, 1, -1):
-            levels.append(_expand(levels[-1], ocsr, n, need_after))
+            levels.append(_expand(levels[-1], ocsr, n, need_after)[0])
             if not len(levels[-1][1]):
                 break
         else:

@@ -407,6 +407,33 @@ class Session:
             self.prep.scores(k, backend=backend)
         return self
 
+    def dynamic(self, k: int, method: str | None = None, **options):
+        """Construct a dynamic maintainer seeded from this session.
+
+        The initial static solve runs through :meth:`solve`, so it
+        reuses every cached substrate (scores, listings, orientations)
+        instead of re-deriving them the way a bare
+        :class:`~repro.dynamic.maintainer.DynamicDisjointCliques`
+        constructor would. The maintainer owns a private
+        :class:`~repro.graph.dynamic.DynamicGraph` copy and evolves
+        independently; the session (and its caches) keep describing the
+        original immutable snapshot.
+
+        Returns
+        -------
+        repro.dynamic.maintainer.DynamicDisjointCliques
+        """
+        from repro.dynamic.maintainer import DynamicDisjointCliques
+
+        k = self._check_k(k)
+        result = self.solve(k, method, **options)
+        # The solve just came from this session's own registry method;
+        # re-validating it (free-subgraph maximality enumeration) would
+        # duplicate work the caller is here to avoid.
+        return DynamicDisjointCliques(
+            self.graph, k, initial=result, validate_initial=False
+        )
+
     def method(self, tag: str) -> Method:
         """Look up a :class:`Method` (metadata) from this session's registry."""
         return self.registry.get(tag)

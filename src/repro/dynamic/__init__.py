@@ -1,16 +1,20 @@
-"""Dynamic maintenance: candidate index, swaps, and the update maintainer."""
+"""Dynamic maintenance: candidate index, swaps, batching, maintainer."""
 
+from repro.dynamic.batch import UpdateBatch
 from repro.dynamic.index import CandidateIndex, RefreshReport
 from repro.dynamic.maintainer import DynamicDisjointCliques
 from repro.dynamic.swap import select_disjoint, try_swap
 from repro.dynamic.workload import (
     deletion_workload,
     insertion_workload,
+    iter_batches,
+    make_workload,
     mixed_workload,
 )
 
 __all__ = [
     "DynamicDisjointCliques",
+    "UpdateBatch",
     "CandidateIndex",
     "RefreshReport",
     "try_swap",
@@ -18,4 +22,6 @@ __all__ = [
     "deletion_workload",
     "insertion_workload",
     "mixed_workload",
+    "make_workload",
+    "iter_batches",
 ]

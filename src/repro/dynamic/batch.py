@@ -1,0 +1,112 @@
+"""Batched update planning: coalesce an edge-update stream.
+
+The dynamic maintainer's per-edge handlers (Algorithms 6 and 7) pay a
+candidate-index discovery pass and a swap cascade for *every* update.
+Under the paper's Section VI-E workloads most of that work is redundant
+across neighbouring updates: an ``UpdateBatch`` reduces a stream of
+``("insert" | "delete", u, v)`` operations to its **net structural
+effect** against the current graph — per edge, the last operation wins,
+so duplicate inserts, re-deletions, and self-cancelling
+insert-then-delete pairs coalesce away — and the maintainer then repairs
+the solution and candidate index once over the union of dirty
+neighbourhoods (:meth:`~repro.dynamic.maintainer.DynamicDisjointCliques.apply_batch`)
+instead of once per edge.
+
+Planning is purely functional: nothing is mutated, so a batch can be
+inspected (or tested) before being applied. Validation is transactional:
+a malformed update (unknown op, self-loop, endpoint out of range)
+raises before any structural change is made, unlike the per-edge path
+which fails mid-stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import GraphError, InvalidParameterError
+
+Edge = tuple[int, int]
+Update = tuple[str, int, int]
+
+_OPS = {"insert": True, "delete": False}
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """The net structural effect of an update stream on one graph state.
+
+    Attributes
+    ----------
+    inserts:
+        Edges absent from the planning graph whose final desired state
+        is *present*, in first-touched order, as ``(min, max)`` pairs of
+        plain ints.
+    deletes:
+        Edges present in the planning graph whose final desired state is
+        *absent*, in first-touched order.
+    nops:
+        Number of stream operations coalesced away (duplicates,
+        operations matching the current state, and self-cancelling
+        pairs). ``nops + effective`` equals the stream length.
+    """
+
+    inserts: tuple[Edge, ...] = ()
+    deletes: tuple[Edge, ...] = ()
+    nops: int = 0
+
+    @property
+    def effective(self) -> int:
+        """Number of structural edge changes the batch will make."""
+        return len(self.inserts) + len(self.deletes)
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether applying the batch leaves the graph unchanged."""
+        return not self.inserts and not self.deletes
+
+    def __len__(self) -> int:
+        return self.effective + self.nops
+
+    @classmethod
+    def plan(cls, updates: Iterable[Update], graph) -> "UpdateBatch":
+        """Coalesce ``updates`` against ``graph``'s current edge set.
+
+        Per edge the last operation in stream order determines the
+        desired final state; edges whose desired state matches the graph
+        contribute nothing. Operations on distinct edges commute, so any
+        permutation of such a stream plans to the same batch.
+
+        ``graph`` is anything exposing ``n`` and ``has_edge`` (it is
+        only read). Raises :class:`~repro.errors.InvalidParameterError`
+        for unknown ops and :class:`~repro.errors.GraphError` for
+        self-loops or endpoints outside ``[0, n)`` — before any caller
+        mutation, so a rejected batch has no partial effect.
+        """
+        desired: dict[Edge, bool] = {}
+        order: list[Edge] = []
+        total = 0
+        n = graph.n
+        for op, u, v in updates:
+            total += 1
+            want = _OPS.get(op)
+            if want is None:
+                raise InvalidParameterError(f"unknown update op {op!r}")
+            u, v = int(u), int(v)
+            if u == v:
+                raise GraphError(f"self-loop on node {u} is not allowed")
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) outside node range [0, {n})")
+            edge = (u, v) if u < v else (v, u)
+            if edge not in desired:
+                order.append(edge)
+            desired[edge] = want
+        inserts: list[Edge] = []
+        deletes: list[Edge] = []
+        for edge in order:
+            present = graph.has_edge(*edge)
+            if desired[edge] and not present:
+                inserts.append(edge)
+            elif not desired[edge] and present:
+                deletes.append(edge)
+        return cls(tuple(inserts), tuple(deletes), total - len(inserts) - len(deletes))

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SolutionError
+from repro.cliques import csr_kernels
 from repro.dynamic.local import (
     cliques_through_edge,
     cliques_through_node,
@@ -27,6 +28,11 @@ from repro.dynamic.local import (
 )
 
 Clique = frozenset[int]
+
+#: ``backend="auto"`` hands a dirty region to the CSR frontier engine
+#: only when it spans at least this many nodes/edges — below that, the
+#: per-node set recursion wins on patch-extraction overhead alone.
+AUTO_DIRTY_THRESHOLD = 16
 
 
 @dataclass
@@ -72,6 +78,11 @@ class CandidateIndex:
         self.cands_by_owner: dict[int, set[Clique]] = {}
         self.cands_by_node: dict[int, set[Clique]] = {}
         self.owner_of_cand: dict[Clique, int] = {}
+        #: Owners whose candidate set changed since the consumer last
+        #: cleared this (the batched maintainer's sweep frontier: an
+        #: owner with an untouched candidate set cannot have gained a
+        #: swap opportunity, so sweeps skip it).
+        self.touched_owners: set[int] = set()
         self._next_owner = 0
 
     # ------------------------------------------------------------------
@@ -109,6 +120,9 @@ class CandidateIndex:
             del self.owner_of[u]
         for cand in list(self.cands_by_owner.pop(owner, ())):
             self._detach(cand)
+        # Keep the sweep frontier bounded by live owners: a departed
+        # owner can never be swept again (ids are never reused).
+        self.touched_owners.discard(owner)
         return clique
 
     # ------------------------------------------------------------------
@@ -130,6 +144,7 @@ class CandidateIndex:
             return False
         self.owner_of_cand[clique] = owner
         self.cands_by_owner.setdefault(owner, set()).add(clique)
+        self.touched_owners.add(owner)
         for u in clique:
             self.cands_by_node.setdefault(u, set()).add(clique)
         return True
@@ -149,6 +164,7 @@ class CandidateIndex:
         owner = self.owner_of_cand.get(cand)
         if owner is not None:
             self.cands_by_owner.get(owner, set()).discard(cand)
+            self.touched_owners.add(owner)
         self._detach(cand)
 
     def candidates_of(self, owner: int) -> set[Clique]:
@@ -180,26 +196,47 @@ class CandidateIndex:
         violations raise :class:`SolutionError` because they indicate the
         static solver handed over a non-maximal solution.
         """
-        for owner, clique in self.solution.items():
-            free_neighbours = {
-                v
-                for u in clique
-                for v in self.graph.neighbors(u)
-                if v not in self.owner_of
-            }
-            pool = set(clique) | free_neighbours
-            for cand in iter_cliques_within(self.graph, pool, self.k):
-                if cand == clique:
-                    continue
-                kind, cand_owner = self.classify(cand)
-                if kind == "candidate" and cand_owner == owner:
-                    self.add_candidate(cand, owner)
-                elif kind == "all_free":
-                    raise SolutionError(
-                        f"solution is not maximal: free k-clique {sorted(cand)}"
-                    )
+        for owner in self.solution:
+            report = self.discover_owner_candidates(owner)
+            if report.all_free:
+                raise SolutionError(
+                    "solution is not maximal: free k-clique "
+                    f"{sorted(map(sorted, report.all_free))[0]}"
+                )
 
-    def refresh_nodes(self, dirty) -> RefreshReport:
+    def discover_owner_candidates(self, owner: int, backend: str = "sets") -> RefreshReport:
+        """Register one owner's candidates from its Algorithm-5 patch.
+
+        Enumerates the k-cliques of ``C ∪ N_F(C)`` (the owner's nodes
+        plus their *free* neighbours — the only pool that can hold a
+        candidate of ``C``) and folds every clique except ``C`` itself
+        into a report: newly registered candidates under
+        ``new_by_owner[owner]``, and any all-free clique under
+        ``all_free`` (which callers treat as a maximality violation or
+        as absorption work, depending on context).
+        """
+        clique = self.solution[owner]
+        pool = set(clique)
+        for u in clique:
+            for v in self.graph.neighbors(u):
+                if v not in self.owner_of:
+                    pool.add(v)
+        report = RefreshReport()
+        if backend != "sets":
+            volume = sum(len(self.graph.neighbors(u)) for u in pool) // 2
+            if csr_kernels.resolve_backend(backend, volume) == "csr":
+                for cand in csr_kernels.iter_cliques_within_csr(
+                    self.graph, pool, self.k, labels=self.owner_of
+                ):
+                    if cand != clique:
+                        self._classify_into(cand, report)
+                return report
+        for cand in iter_cliques_within(self.graph, pool, self.k):
+            if cand != clique:
+                self._classify_into(cand, report)
+        return report
+
+    def refresh_nodes(self, dirty, *, backend: str = "sets") -> RefreshReport:
         """Re-derive all candidates touching ``dirty`` nodes.
 
         Call after the free status of ``dirty`` changed (solution cliques
@@ -207,6 +244,15 @@ class CandidateIndex:
         candidate whose validity could have changed contains a dirty
         node, so removing those and re-discovering cliques through each
         dirty node restores exactness.
+
+        ``backend`` selects the re-discovery engine: ``"sets"`` (default)
+        runs the per-node set recursion of
+        :func:`repro.dynamic.local.cliques_through_node`; ``"csr"`` builds
+        one relabelled CSR patch over ``dirty`` and its neighbourhood and
+        enumerates the whole dirty region with the frontier engine
+        (:func:`repro.cliques.csr_kernels.iter_cliques_within_csr`);
+        ``"auto"`` picks by the patch's adjacency volume. The resulting
+        report is identical either way.
         """
         report = RefreshReport()
         doomed: set[Clique] = set()
@@ -216,19 +262,57 @@ class CandidateIndex:
             self.remove_candidate(cand)
         report.removed = doomed
 
+        # Canonical processing order: discovery order differs between
+        # the sets and csr engines, and it leaks into the owner queue
+        # (dict insertion order) hence into downstream swap
+        # trajectories. Sorting makes refresh backend-invariant.
+        dirty_set = set(dirty)
+        discovered = sorted(self._cliques_through_dirty(dirty_set, backend), key=sorted)
+        for clique in discovered:
+            kind, owner = self.classify(clique)
+            if kind == "candidate":
+                if self.add_candidate(clique, owner) and clique not in doomed:
+                    report.new_by_owner.setdefault(owner, set()).add(clique)
+            elif kind == "all_free":
+                report.all_free.add(clique)
+        return report
+
+    def _cliques_through_dirty(self, dirty: set[int], backend: str):
+        """Every *classifiable* k-clique touching a dirty node, once each.
+
+        The ``sets`` engine unions per-node enumerations (dedup via a
+        ``seen`` set) and leaves discarding owner-mixing cliques to
+        ``classify``. The ``csr`` engine enumerates the patch induced on
+        ``dirty ∪ N(dirty)`` in one frontier pass — any clique through a
+        dirty node lies inside that node's closed neighbourhood, hence
+        inside the patch — restricted to cliques through a dirty node
+        (``require``) whose covered members share one owner (``labels``,
+        pruned inside the frontier). The engines may therefore yield
+        different *invalid* cliques, but classification maps both to the
+        same refresh report. ``auto`` resolves on the patch's summed
+        adjacency volume (the analogue of the global edge-count
+        threshold).
+        """
+        # ``auto`` only considers the frontier engine once the dirty set
+        # is large enough for patch extraction to amortise (the engine's
+        # win is batching many neighbourhoods into one pass); a forced
+        # ``csr`` always honours the caller.
+        if backend == "csr" or (backend == "auto" and len(dirty) >= AUTO_DIRTY_THRESHOLD):
+            pool: set[int] = set(dirty)
+            for node in dirty:
+                pool |= self.graph.neighbors(node)
+            volume = sum(len(self.graph.neighbors(u)) for u in pool) // 2
+            if csr_kernels.resolve_backend(backend, volume) == "csr":
+                yield from csr_kernels.iter_cliques_within_csr(
+                    self.graph, pool, self.k, require=dirty, labels=self.owner_of
+                )
+                return
         seen: set[Clique] = set()
         for node in dirty:
             for clique in cliques_through_node(self.graph, node, self.k):
-                if clique in seen:
-                    continue
-                seen.add(clique)
-                kind, owner = self.classify(clique)
-                if kind == "candidate":
-                    if self.add_candidate(clique, owner) and clique not in doomed:
-                        report.new_by_owner.setdefault(owner, set()).add(clique)
-                elif kind == "all_free":
-                    report.all_free.add(clique)
-        return report
+                if clique not in seen:
+                    seen.add(clique)
+                    yield clique
 
     def discover_through_edge(self, u: int, v: int) -> RefreshReport:
         """Classify every k-clique through edge ``(u, v)`` (fresh insert).
@@ -238,13 +322,74 @@ class CandidateIndex:
         """
         report = RefreshReport()
         for clique in cliques_through_edge(self.graph, u, v, self.k):
-            kind, owner = self.classify(clique)
-            if kind == "candidate":
-                if self.add_candidate(clique, owner):
-                    report.new_by_owner.setdefault(owner, set()).add(clique)
-            elif kind == "all_free":
-                report.all_free.add(clique)
+            self._classify_into(clique, report)
         return report
+
+    def discover_through_edges(self, edges, *, backend: str = "sets") -> RefreshReport:
+        """Batched :meth:`discover_through_edge` over many fresh edges.
+
+        The ``sets`` engine recurses per edge; the ``csr`` engine builds
+        one relabelled patch over the union of the edges' closed common
+        neighbourhoods (every clique through edge ``(u, v)`` lies in
+        ``{u, v} ∪ (N(u) ∩ N(v))``) and runs a single frontier
+        enumeration restricted to cliques touching an endpoint. The
+        patch may surface cliques through an endpoint but not through
+        any new edge; those are exactly the cliques the index already
+        holds (or, when they touch freed nodes, ones a refresh already
+        reported), so candidate dedup keeps the merged report identical
+        to per-edge discovery up to set union.
+        """
+        report = RefreshReport()
+        edges = list(edges)
+        if (
+            self.k >= 3
+            and len(edges) >= 2
+            and (
+                backend == "csr"
+                or (backend == "auto" and len(edges) >= AUTO_DIRTY_THRESHOLD)
+            )
+        ):
+            patch: set[int] = set()
+            touch: set[int] = set()
+            for u, v in edges:
+                common = self.graph.neighbors(u) & self.graph.neighbors(v)
+                if len(common) >= self.k - 2:
+                    patch.add(u)
+                    patch.add(v)
+                    patch |= common
+                    touch.add(u)
+                    touch.add(v)
+            if touch:
+                volume = sum(len(self.graph.neighbors(u)) for u in patch) // 2
+                if csr_kernels.resolve_backend(backend, volume) == "csr":
+                    for clique in sorted(
+                        csr_kernels.iter_cliques_within_csr(
+                            self.graph, patch, self.k,
+                            require=touch, labels=self.owner_of,
+                        ),
+                        key=sorted,
+                    ):
+                        self._classify_into(clique, report)
+                    return report
+        # Canonical order here too: without it the sets fallback would
+        # classify in raw edge/enumeration order and diverge from the
+        # csr branch's trajectory (same clique set, different owner
+        # queue order downstream).
+        seen: set[Clique] = set()
+        for u, v in edges:
+            seen.update(cliques_through_edge(self.graph, u, v, self.k))
+        for clique in sorted(seen, key=sorted):
+            self._classify_into(clique, report)
+        return report
+
+    def _classify_into(self, clique: Clique, report: RefreshReport) -> None:
+        """Classify a discovered clique and fold it into ``report``."""
+        kind, owner = self.classify(clique)
+        if kind == "candidate":
+            if self.add_candidate(clique, owner):
+                report.new_by_owner.setdefault(owner, set()).add(clique)
+        elif kind == "all_free":
+            report.all_free.add(clique)
 
     # ------------------------------------------------------------------
     # Validation (test hook)

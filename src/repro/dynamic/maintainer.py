@@ -3,8 +3,13 @@
 :class:`DynamicDisjointCliques` is the paper's Section V put together:
 an initial static solve (LP by default), the candidate index
 (Algorithm 5), swap operations (Algorithm 4) and the insertion/deletion
-handlers (Algorithms 6 and 7). After every public update the following
-invariants hold (property-tested in ``tests/test_dynamic_*.py``):
+handlers (Algorithms 6 and 7), plus a batched update engine
+(:meth:`DynamicDisjointCliques.apply_batch`) that coalesces a stream to
+its net structural effect (:class:`repro.dynamic.batch.UpdateBatch`)
+and repairs the solution and index with one deferred pass per batch.
+After every public update — per-edge or batched — the following
+invariants hold (property-tested in ``tests/test_dynamic_*.py`` and
+differentially in ``tests/test_dynamic_batch_equivalence.py``):
 
 * the solution is a valid disjoint k-clique set of the current graph;
 * the solution is maximal (no k-clique among free nodes), hence still a
@@ -17,11 +22,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable
 
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, SolutionError
 from repro.graph.dynamic import DynamicGraph
 from repro.graph.graph import Graph
 from repro.core.api import find_disjoint_cliques
-from repro.core.result import CliqueSetResult
+from repro.core.result import CliqueSetResult, is_maximal, verify_solution
+from repro.dynamic.batch import UpdateBatch
 from repro.dynamic.index import CandidateIndex, Clique, RefreshReport
 from repro.dynamic.swap import select_disjoint, try_swap
 
@@ -37,6 +43,17 @@ class DynamicDisjointCliques:
         Clique size, ``>= 2``.
     method:
         Static solver for the initial solution (default ``"lp"``).
+    initial:
+        Optional precomputed initial solution (must be a valid *maximal*
+        disjoint k-clique set of ``graph``); when given, ``method`` is
+        not consulted and no static solve is run. This is how
+        :meth:`repro.core.session.Session.dynamic` shares a session's
+        cached preprocessing with the maintainer.
+    validate_initial:
+        Verify a supplied ``initial`` (validity and maximality) before
+        building the index. Maximality checking enumerates the free
+        subgraph; benchmarks constructing many maintainers from one
+        already-validated solve can pass ``False``.
 
     Examples
     --------
@@ -53,7 +70,14 @@ class DynamicDisjointCliques:
     3
     """
 
-    def __init__(self, graph, k: int, method: str = "lp") -> None:
+    def __init__(
+        self,
+        graph,
+        k: int,
+        method: str = "lp",
+        initial: CliqueSetResult | None = None,
+        validate_initial: bool = True,
+    ) -> None:
         if k < 2:
             raise InvalidParameterError(f"k must be >= 2, got {k}")
         if isinstance(graph, Graph):
@@ -75,8 +99,23 @@ class DynamicDisjointCliques:
             "swap_gain": 0,
             "direct_additions": 0,
             "destroyed_cliques": 0,
+            "batches": 0,
+            "coalesced_updates": 0,
         }
-        initial = find_disjoint_cliques(static, k, method=method)
+        if initial is None:
+            initial = find_disjoint_cliques(static, k, method=method)
+        else:
+            if initial.k != k:
+                raise InvalidParameterError(
+                    f"initial solution was solved for k={initial.k}, expected {k}"
+                )
+            if validate_initial:
+                verify_solution(static, k, initial.cliques)
+                if not is_maximal(static, k, initial.cliques):
+                    raise SolutionError(
+                        "initial solution is not maximal; the dynamic index "
+                        "requires a maximal starting point (Theorem 3)"
+                    )
         self.index = CandidateIndex(self.graph, k)
         for clique in initial.cliques:
             self.index.add_solution_clique(clique)
@@ -190,45 +229,213 @@ class DynamicDisjointCliques:
                 removed += 1
         return removed
 
-    def apply(self, updates: Iterable[tuple[str, int, int]]) -> None:
-        """Apply a stream of ``("insert" | "delete", u, v)`` updates."""
-        for op, u, v in updates:
-            if op == "insert":
-                self.insert_edge(u, v)
-            elif op == "delete":
-                self.delete_edge(u, v)
-            else:
-                raise InvalidParameterError(f"unknown update op {op!r}")
+    def apply(
+        self,
+        updates: Iterable[tuple[str, int, int]],
+        *,
+        batch_size: int | None = None,
+        backend: str = "auto",
+    ) -> None:
+        """Apply a stream of ``("insert" | "delete", u, v)`` updates.
+
+        With ``batch_size=None`` (default) every update goes through the
+        per-edge handlers (Algorithms 6/7) — the legacy behaviour. With a
+        positive ``batch_size``, consecutive chunks of that size are
+        coalesced and applied through :meth:`apply_batch`, which shares
+        one deferred repair pass per chunk; ``backend`` then selects the
+        dirty-region re-enumeration engine (``"auto" | "sets" | "csr"``).
+        """
+        if batch_size is None:
+            for op, u, v in updates:
+                if op == "insert":
+                    self.insert_edge(u, v)
+                elif op == "delete":
+                    self.delete_edge(u, v)
+                else:
+                    raise InvalidParameterError(f"unknown update op {op!r}")
+            return
+        from repro.dynamic.workload import iter_batches
+
+        for chunk in iter_batches(updates, batch_size):
+            self.apply_batch(chunk, backend=backend)
+
+    def apply_batch(
+        self,
+        updates: Iterable[tuple[str, int, int]],
+        *,
+        backend: str = "auto",
+    ) -> UpdateBatch:
+        """Apply a whole update stream with one deferred repair pass.
+
+        The stream is first coalesced to its net structural effect
+        (:meth:`UpdateBatch.plan`), then all graph changes land at once,
+        and the solution/index are repaired in one sweep instead of once
+        per edge:
+
+        1. purge candidates containing a deleted edge (inverted index);
+        2. drop solution cliques broken by deletions, freeing their
+           nodes;
+        3. one candidate-index refresh over the union of freed nodes
+           (their status changed — CSR-backed for large regions when
+           ``backend`` allows) plus one clique discovery per net
+           inserted edge with a free endpoint (only cliques through a
+           new edge can be new);
+        4. one absorb pass over discovered all-free cliques and one swap
+           cascade (the maximality sweep) over every owner whose
+           candidate set changed and still holds >= 2 candidates.
+
+        All Section V invariants (validity, maximality, exact index)
+        hold on return, exactly as after a per-edge stream. Returns the
+        planned batch (net inserts/deletes and coalesced-op count).
+
+        ``backend`` governs the *batch-level* passes (freed-union
+        refresh, shared insert discovery, absorb discovery); the
+        re-enumerations inside individual swaps stay on the set engine
+        by design — their dirty regions are a handful of nodes, below
+        any patch-extraction break-even.
+
+        Correctness of the single repair pass: every clique whose index
+        status can change either contains a deleted edge (purged in
+        step 1), touches a freed node (refreshed in step 3), or is a
+        brand-new clique through an inserted edge (discovered in
+        step 3). Inserted edges between two covered nodes cannot appear
+        in a candidate or all-free clique — their endpoints belong to
+        distinct owners, since same-owner endpoints would already be
+        adjacent — so skipping their discovery is exact.
+        """
+        batch = UpdateBatch.plan(updates, self.graph)
+        self.stats["batches"] += 1
+        self.stats["coalesced_updates"] += batch.nops
+        if batch.is_noop:
+            # No structural change, but still drain the sweep frontier:
+            # an empty batch doubles as an explicit stabilisation point
+            # (e.g. right after construction, to harvest latent swap
+            # opportunities of the initial static solve).
+            self._sweep_touched_owners()
+            return batch
+
+        # 1. Structural changes, all up front (nets touch distinct edges).
+        self.graph.delete_edges(batch.deletes)
+        self.graph.insert_edges(batch.inserts)
+        self.stats["insertions"] += len(batch.inserts)
+        self.stats["deletions"] += len(batch.deletes)
+
+        # 2. Candidate purge + broken solution cliques.
+        destroyed: set[int] = set()
+        for u, v in batch.deletes:
+            self.index.remove_candidates_with_edge(u, v)
+            owner_u = self.index.owner_of.get(u)
+            if owner_u is not None and owner_u == self.index.owner_of.get(v):
+                destroyed.add(owner_u)
+        freed: set[int] = set()
+        for owner in destroyed:
+            freed |= self.index.remove_solution_clique(owner)
+            self.stats["destroyed_cliques"] += 1
+
+        # 3. One deferred repair over the union of dirty regions: a
+        # node-granular refresh where free status changed, and an
+        # edge-granular discovery for each effective insertion.
+        report = RefreshReport()
+        if freed:
+            report = self.index.refresh_nodes(freed, backend=backend)
+        eligible = [
+            (u, v)
+            for u, v in batch.inserts
+            if self.index.is_free(u) or self.index.is_free(v)
+        ]
+        if eligible:
+            ins_report = self.index.discover_through_edges(eligible, backend=backend)
+            for owner, cands in ins_report.new_by_owner.items():
+                report.new_by_owner.setdefault(owner, set()).update(cands)
+            report.all_free |= ins_report.all_free
+
+        # 4. One absorb pass and one swap cascade. The explicit queue
+        # (owners that gained candidates, in canonical report order,
+        # then freshly absorbed owners) overlaps the touched-owner
+        # sweep below, but the overlap is kept deliberately: cascading
+        # from the gaining owners first is measurably faster than a
+        # sorted-order sweep alone, and a re-examined unchanged owner
+        # costs one failed select_disjoint.
+        new_owners = self._absorb_all_free(report.all_free, backend=backend)
+        queue: deque[int] = deque(
+            owner for owner in report.new_by_owner if owner in self.index.solution
+        )
+        for owner in new_owners:
+            if owner not in queue:
+                queue.append(owner)
+        try_swap(self.index, queue, self.stats)
+
+        # 5. Maximality sweep over the rest of the touched frontier.
+        self._sweep_touched_owners()
+        return batch
+
+    def _sweep_touched_owners(self) -> None:
+        """Swap-sweep owners whose candidate sets changed since last sweep.
+
+        Per-edge application sees intermediate candidate sets batching
+        never materialises, so swap opportunities can survive in owners
+        that gained nothing *new* this batch. Sweeping every owner the
+        index marked touched (an untouched candidate set cannot have
+        gained an opportunity, and losses never create one) harvests
+        those without rescanning the whole solution. The first sweep
+        pays for the latent opportunities of the initial static solve;
+        later sweeps are incremental.
+        """
+        sweep: deque[int] = deque(
+            owner
+            for owner in sorted(self.index.touched_owners)
+            if owner in self.index.solution
+            and len(self.index.cands_by_owner.get(owner, ())) >= 2
+        )
+        self.index.touched_owners.clear()
+        try_swap(self.index, sweep, self.stats)
+        self.index.touched_owners.clear()
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _absorb_all_free(self, all_free: set[Clique]) -> list[int]:
+    def _absorb_all_free(
+        self, all_free: set[Clique], *, backend: str = "sets"
+    ) -> list[int]:
         """Greedily add disjoint all-free cliques to ``S`` (keeps S maximal).
 
-        Absorption makes nodes non-free, which can only *reveal new
-        candidates* for the just-added owners, never new all-free
-        cliques — so one refresh pass per absorption round suffices.
+        Absorption makes nodes non-free, which cuts both ways in the
+        index — candidates that used those nodes as free members die
+        (dropped via the inverted node index, no enumeration), and the
+        just-added owners gain candidates, discovered from each one's
+        own Algorithm-5 patch ``C ∪ N_F(C)``. Existing owners can only
+        *lose* candidates and no new all-free clique can appear, so one
+        pass per absorption round suffices. ``backend`` selects the
+        per-owner discovery engine (batched application forwards its
+        own; the per-edge handlers keep ``"sets"``).
         """
         new_owners: list[int] = []
         pending = set(all_free)
         while pending:
             chosen = select_disjoint(pending, self.k)
             pending.clear()
-            dirty: set[int] = set()
+            added: list[int] = []
+            covered: set[int] = set()
             for clique in chosen:
                 # Re-validate: earlier additions may have consumed nodes.
                 if any(not self.index.is_free(w) for w in clique):
                     continue
                 if not self.graph.is_clique(clique):
                     continue
-                new_owners.append(self.index.add_solution_clique(clique))
+                added.append(self.index.add_solution_clique(clique))
                 self.stats["direct_additions"] += 1
-                dirty |= clique
-            if not dirty:
+                covered |= clique
+            if not added:
                 break
-            report = self.index.refresh_nodes(dirty)
-            pending = report.all_free
+            doomed: set[Clique] = set()
+            for node in covered:
+                doomed |= self.index.cands_by_node.get(node, set())
+            for cand in doomed:
+                self.index.remove_candidate(cand)
+            for owner in added:
+                report = self.index.discover_owner_candidates(owner, backend=backend)
+                pending |= report.all_free
+            new_owners.extend(added)
         return new_owners
 
     # ------------------------------------------------------------------

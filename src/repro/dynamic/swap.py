@@ -84,24 +84,50 @@ def try_swap(
 
         # Perform the swap: C out, replacement in.
         removed = index.remove_solution_clique(owner)
-        dirty: set[int] = set(removed)
+        covered: set[int] = set()
         new_ids: list[int] = []
         for clique in replacement:
             new_ids.append(index.add_solution_clique(clique))
-            dirty |= clique
+            covered |= clique
         stats["swaps"] += 1
         stats["swap_gain"] += len(replacement) - 1
 
-        report = index.refresh_nodes(dirty)
-        # A maximal replacement leaves no all-free clique behind: any such
-        # clique would have been a candidate of the removed owner disjoint
-        # from everything chosen, contradicting greedy maximality.
-        if report.all_free:
-            raise AssertionError(
-                f"swap left uncovered free cliques: "
-                f"{sorted(map(sorted, report.all_free))}"
-            )
-        for gained_owner in report.new_by_owner:
+        # Repair the index around the swap in three targeted moves
+        # (together equivalent to a full refresh of removed ∪ covered):
+        # candidates using newly covered free nodes die via the node
+        # index; nodes of C left uncovered get a through-node refresh
+        # (they may now seed candidates of *other* owners); and each
+        # replacement owner's own candidates come from its Algorithm-5
+        # patch. Covered-to-covered cliques need no enumeration at all.
+        doomed = set()
+        for node in covered:
+            doomed |= index.cands_by_node.get(node, set())
+        for cand in doomed:
+            index.remove_candidate(cand)
+
+        gained: list[int] = []
+        freed = set(removed) - covered
+        if freed:
+            report = index.refresh_nodes(freed)
+            # A maximal replacement leaves no all-free clique behind: any
+            # such clique would have been a candidate of the removed owner
+            # disjoint from everything chosen, contradicting greedy
+            # maximality.
+            if report.all_free:
+                raise AssertionError(
+                    f"swap left uncovered free cliques: "
+                    f"{sorted(map(sorted, report.all_free))}"
+                )
+            gained.extend(report.new_by_owner)
+        for new_id in new_ids:
+            report = index.discover_owner_candidates(new_id)
+            if report.all_free:
+                raise AssertionError(
+                    f"swap left uncovered free cliques: "
+                    f"{sorted(map(sorted, report.all_free))}"
+                )
+            gained.extend(report.new_by_owner)
+        for gained_owner in gained:
             if gained_owner in index.solution and gained_owner not in queue:
                 queue.append(gained_owner)
         created.extend(new_ids)

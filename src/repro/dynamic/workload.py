@@ -9,11 +9,17 @@ Three workloads are evaluated there:
   ``count`` different edges to delete online, then interleave the
   ``count`` re-insertions and ``count`` deletions in random order.
 
-All generators are seeded and return plain ``(op, u, v)`` tuples that
-:meth:`repro.dynamic.maintainer.DynamicDisjointCliques.apply` consumes.
+All generators are seeded and return plain ``(op, u, v)`` tuples — the
+endpoints are Python ints even when the graph's adjacency or the
+sampler hands back numpy integers — that
+:meth:`repro.dynamic.maintainer.DynamicDisjointCliques.apply` consumes,
+either per edge or chunked through :func:`iter_batches` for the batched
+path.
 """
 
 from __future__ import annotations
+
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -30,7 +36,54 @@ def _sample_edges(graph: Graph, count: int, rng: np.random.Generator) -> list[tu
             f"cannot sample {count} edges from a graph with {len(edges)}"
         )
     picks = rng.choice(len(edges), size=count, replace=False)
-    return [edges[i] for i in picks]
+    # int() per endpoint: graphs built from numpy data carry np.int64
+    # through edges(), and downstream consumers (serialisation, exact
+    # tuple comparisons) rely on plain-int updates.
+    return [(int(u), int(v)) for u, v in (edges[i] for i in picks)]
+
+
+def make_workload(
+    graph: Graph, kind: str, count: int, seed: int | None = None
+) -> tuple[Graph, list[Update]]:
+    """Build one Section VI-E workload: ``(start_graph, updates)``.
+
+    ``kind`` is ``"deletion"`` (start = ``graph``), ``"insertion"``
+    (start = ``graph`` minus the sampled edges, stream re-inserts them)
+    or ``"mixed"``. One dispatch point shared by the CLI, the dynamic
+    benchmark and the differential tests, so they all measure the same
+    streams.
+    """
+    if kind == "deletion":
+        return graph, deletion_workload(graph, count, seed=seed)
+    if kind == "insertion":
+        updates = insertion_workload(graph, count, seed=seed)
+        start = graph.remove_edges([(u, v) for _, u, v in updates])
+        return start, updates
+    if kind == "mixed":
+        return mixed_workload(graph, count, seed=seed)
+    raise InvalidParameterError(
+        f"unknown workload kind {kind!r}; expected deletion, insertion or mixed"
+    )
+
+
+def iter_batches(updates: Iterable[Update], batch_size: int) -> Iterator[list[Update]]:
+    """Split an update stream into consecutive chunks of ``batch_size``.
+
+    The last chunk may be shorter; an empty stream yields nothing.
+    Chunks preserve stream order, so applying them in sequence through
+    :meth:`~repro.dynamic.maintainer.DynamicDisjointCliques.apply_batch`
+    reaches the same final graph as the per-edge path.
+    """
+    if batch_size < 1:
+        raise InvalidParameterError(f"batch_size must be >= 1, got {batch_size}")
+    chunk: list[Update] = []
+    for update in updates:
+        chunk.append(update)
+        if len(chunk) == batch_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
 
 
 def deletion_workload(graph: Graph, count: int, seed: int | None = None) -> list[Update]:

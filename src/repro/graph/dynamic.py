@@ -53,6 +53,14 @@ class DynamicGraph:
         self._m -= 1
         return True
 
+    def insert_edges(self, edges: Iterable[Edge]) -> int:
+        """Bulk insert; returns how many edges were actually created."""
+        return sum(1 for u, v in edges if self.insert_edge(u, v))
+
+    def delete_edges(self, edges: Iterable[Edge]) -> int:
+        """Bulk delete; returns how many edges were actually removed."""
+        return sum(1 for u, v in edges if self.delete_edge(u, v))
+
     def add_node(self) -> int:
         """Append an isolated node and return its id."""
         self._adj.append(set())

@@ -188,3 +188,90 @@ class TestSessionBackend:
         assert session.prep.oriented_csr() is first
         assert session.prep.stats["csr_builds"] == 1
         assert "degeneracy" in session.cache_info()["csr_orientations"]
+
+
+class TestLocalPatchEnumeration:
+    """The dynamic path's patch engine vs the set recursion it replaces."""
+
+    def canonical(self, cliques):
+        return sorted(sorted(c) for c in cliques)
+
+    @pytest.mark.parametrize("k", KS)
+    def test_iter_cliques_within_csr_matches_sets(self, k):
+        from repro.cliques.csr_kernels import iter_cliques_within_csr
+        from repro.dynamic.local import iter_cliques_within
+
+        rng = np.random.default_rng(5)
+        for seed in range(4):
+            g = erdos_renyi_gnp(30, 0.3, seed=seed)
+            pool = {int(u) for u in rng.choice(30, size=18, replace=False)}
+            assert self.canonical(iter_cliques_within_csr(g, pool, k)) == \
+                self.canonical(iter_cliques_within(g, pool, k))
+
+    @pytest.mark.parametrize("k", (2, 3, 4))
+    def test_require_filters_by_membership(self, k):
+        from repro.cliques.csr_kernels import iter_cliques_within_csr
+        from repro.dynamic.local import iter_cliques_within
+
+        g = erdos_renyi_gnp(26, 0.35, seed=9)
+        pool = set(range(26))
+        require = {0, 3, 7, 11}
+        expected = [
+            c for c in iter_cliques_within(g, pool, k) if c & require
+        ]
+        assert self.canonical(
+            iter_cliques_within_csr(g, pool, k, require=require)
+        ) == self.canonical(expected)
+
+    @pytest.mark.parametrize("k", (2, 3, 4))
+    def test_labels_restrict_to_single_group(self, k):
+        from repro.cliques.csr_kernels import iter_cliques_within_csr
+        from repro.dynamic.local import iter_cliques_within
+
+        g = erdos_renyi_gnp(26, 0.35, seed=4)
+        pool = set(range(26))
+        labels = {u: u % 3 for u in range(12)}  # nodes >= 12 are wildcards
+        def ok(clique):
+            groups = {labels[u] for u in clique if u in labels}
+            return len(groups) <= 1
+        expected = [c for c in iter_cliques_within(g, pool, k) if ok(c)]
+        assert self.canonical(
+            iter_cliques_within_csr(g, pool, k, labels=labels)
+        ) == self.canonical(expected)
+
+    def test_require_and_labels_compose(self):
+        from repro.cliques.csr_kernels import iter_cliques_within_csr
+        from repro.dynamic.local import iter_cliques_within
+
+        g = erdos_renyi_gnp(24, 0.4, seed=2)
+        pool = set(range(24))
+        require = {1, 2, 5}
+        labels = {u: u % 2 for u in range(10)}
+        def ok(clique):
+            groups = {labels[u] for u in clique if u in labels}
+            return len(groups) <= 1 and bool(clique & require)
+        expected = [c for c in iter_cliques_within(g, pool, 3) if ok(c)]
+        assert self.canonical(
+            iter_cliques_within_csr(g, pool, 3, require=require, labels=labels)
+        ) == self.canonical(expected)
+
+    def test_local_oriented_csr_roundtrip(self):
+        from repro.cliques.csr_kernels import local_oriented_csr
+
+        g = erdos_renyi_gnp(20, 0.3, seed=1)
+        pool = [2, 3, 5, 8, 13, 19]
+        ocsr, pool_arr = local_oriented_csr(g, pool)
+        assert pool_arr.tolist() == pool
+        for i, u in enumerate(pool):
+            for j in ocsr.row(i).tolist():
+                assert j < i and g.has_edge(u, pool[j])
+
+    def test_require_below_rejects_non_identity_orientation(self):
+        from repro.cliques.csr_kernels import iter_cliques_csr
+
+        g = erdos_renyi_gnp(40, 0.3, seed=3)
+        ocsr = OrientedGraph.orient(g, "degeneracy").csr()
+        with pytest.raises(InvalidParameterError, match="identity-ordered"):
+            next(iter_cliques_csr(ocsr, 3, require_below=10))
+        # Without the restriction the degeneracy orientation is fine.
+        assert sum(1 for _ in iter_cliques_csr(ocsr, 3)) == count_cliques(g, 3)

@@ -60,6 +60,15 @@ class TestOtherCommands:
         ]) == 0
         assert "workload=insertion" in capsys.readouterr().out
 
+    def test_dynamic_batched(self, capsys):
+        assert main([
+            "dynamic", "--dataset", "FTB", "--k", "3",
+            "--workload", "mixed", "--count", "15",
+            "--batch-size", "8", "--backend", "csr",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mode=batched(8,csr)" in out and "updates/s" in out
+
     def test_datasets(self, capsys):
         assert main(["datasets"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,207 @@
+"""Property tests for the batched-update planner (UpdateBatch) and
+the stream chunker (iter_batches)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dynamic import DynamicDisjointCliques, UpdateBatch, iter_batches
+from repro.errors import GraphError, InvalidParameterError
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.generators import erdos_renyi_gnm
+
+N = 10
+
+node = st.integers(0, N - 1)
+update = st.tuples(
+    st.sampled_from(["insert", "delete"]), node, node
+).filter(lambda t: t[1] != t[2])
+streams = st.lists(update, max_size=30)
+graphs = st.builds(
+    erdos_renyi_gnm,
+    n=st.just(N),
+    m=st.integers(0, 20),
+    seed=st.integers(0, 500),
+)
+
+
+def replay(graph: DynamicGraph, updates) -> set[tuple[int, int]]:
+    """Sequential edge-set semantics of a stream (the ground truth)."""
+    edges = set(graph.edges())
+    for op, u, v in updates:
+        e = (min(u, v), max(u, v))
+        if op == "insert":
+            edges.add(e)
+        else:
+            edges.discard(e)
+    return edges
+
+
+class TestCoalescing:
+    def test_insert_then_delete_is_noop(self):
+        g = DynamicGraph(4, [(0, 1)])
+        batch = UpdateBatch.plan([("insert", 2, 3), ("delete", 2, 3)], g)
+        assert batch.is_noop
+        assert batch.nops == 2 and batch.effective == 0
+        assert len(batch) == 2
+
+    def test_delete_then_insert_of_present_edge_is_noop(self):
+        g = DynamicGraph(4, [(0, 1)])
+        batch = UpdateBatch.plan([("delete", 0, 1), ("insert", 0, 1)], g)
+        assert batch.is_noop and batch.nops == 2
+
+    def test_last_op_wins(self):
+        g = DynamicGraph(4)
+        batch = UpdateBatch.plan(
+            [("insert", 0, 1), ("delete", 0, 1), ("insert", 0, 1)], g
+        )
+        assert batch.inserts == ((0, 1),) and not batch.deletes
+        assert batch.nops == 2
+
+    def test_duplicates_collapse(self):
+        g = DynamicGraph(4)
+        batch = UpdateBatch.plan([("insert", 1, 0)] * 5, g)
+        assert batch.inserts == ((0, 1),)
+        assert batch.nops == 4
+
+    def test_matching_state_is_nop(self):
+        g = DynamicGraph(4, [(0, 1)])
+        batch = UpdateBatch.plan([("insert", 0, 1), ("delete", 2, 3)], g)
+        assert batch.is_noop and batch.nops == 2
+
+    def test_endpoints_normalised_to_plain_ints(self):
+        import numpy as np
+
+        g = DynamicGraph(4)
+        batch = UpdateBatch.plan([("insert", np.int64(3), np.int64(1))], g)
+        (edge,) = batch.inserts
+        assert edge == (1, 3)
+        assert all(type(x) is int for x in edge)
+
+    @settings(max_examples=60, deadline=None)
+    @given(g=graphs, updates=streams)
+    def test_plan_matches_sequential_replay(self, g, updates):
+        dyn = DynamicGraph.from_graph(g)
+        batch = UpdateBatch.plan(updates, dyn)
+        dyn.delete_edges(batch.deletes)
+        dyn.insert_edges(batch.inserts)
+        assert set(dyn.edges()) == replay(DynamicGraph.from_graph(g), updates)
+        assert batch.effective + batch.nops == len(updates)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        g=graphs,
+        updates=st.lists(update, max_size=12, unique_by=lambda t: (min(t[1], t[2]), max(t[1], t[2]))),
+        seed=st.integers(0, 1000),
+    )
+    def test_commuting_updates_permute_to_identical_plans(self, g, updates, seed):
+        """Ops on distinct edges commute: any order plans identically."""
+        import random
+
+        dyn = DynamicGraph.from_graph(g)
+        base = UpdateBatch.plan(updates, dyn)
+        shuffled = updates[:]
+        random.Random(seed).shuffle(shuffled)
+        other = UpdateBatch.plan(shuffled, dyn)
+        assert set(base.inserts) == set(other.inserts)
+        assert set(base.deletes) == set(other.deletes)
+        assert base.nops == other.nops
+
+    @settings(max_examples=25, deadline=None)
+    @given(updates=st.lists(update, max_size=10), seed=st.integers(0, 1000))
+    def test_permuted_commuting_batches_yield_identical_graphs(self, updates, seed):
+        """Applying a permutation of a distinct-edge batch through the
+        maintainer lands on the same graph (and a valid state)."""
+        import random
+
+        seen = set()
+        distinct = []
+        for op, u, v in updates:
+            e = (min(u, v), max(u, v))
+            if e not in seen:
+                seen.add(e)
+                distinct.append((op, u, v))
+        g = erdos_renyi_gnm(N, 12, seed=3)
+        a = DynamicDisjointCliques(g, 3)
+        a.apply_batch(distinct)
+        shuffled = distinct[:]
+        random.Random(seed).shuffle(shuffled)
+        b = DynamicDisjointCliques(g, 3)
+        b.apply_batch(shuffled)
+        assert set(a.graph.edges()) == set(b.graph.edges())
+        a.check_invariants()
+        b.check_invariants()
+
+
+class TestValidation:
+    def test_unknown_op_rejected(self):
+        g = DynamicGraph(4)
+        with pytest.raises(InvalidParameterError):
+            UpdateBatch.plan([("frobnicate", 0, 1)], g)
+
+    def test_self_loop_rejected(self):
+        g = DynamicGraph(4)
+        with pytest.raises(GraphError):
+            UpdateBatch.plan([("insert", 2, 2)], g)
+
+    def test_out_of_range_rejected(self):
+        g = DynamicGraph(4)
+        with pytest.raises(GraphError):
+            UpdateBatch.plan([("insert", 0, 9)], g)
+
+    def test_validation_is_transactional(self):
+        """A bad op anywhere in the stream leaves the maintainer untouched."""
+        g = erdos_renyi_gnm(8, 10, seed=1)
+        dyn = DynamicDisjointCliques(g, 3)
+        edges_before = set(dyn.graph.edges())
+        size_before = dyn.size
+        with pytest.raises(InvalidParameterError):
+            dyn.apply_batch([("insert", 0, 1), ("bogus", 1, 2)])
+        assert set(dyn.graph.edges()) == edges_before
+        assert dyn.size == size_before
+        dyn.check_invariants()
+
+
+class TestIterBatches:
+    def test_chunking(self):
+        updates = [("insert", 0, i) for i in range(1, 8)]
+        chunks = list(iter_batches(updates, 3))
+        assert [len(c) for c in chunks] == [3, 3, 1]
+        assert [u for c in chunks for u in c] == updates
+
+    def test_empty_stream(self):
+        assert list(iter_batches([], 4)) == []
+
+    def test_bad_batch_size(self):
+        with pytest.raises(InvalidParameterError):
+            list(iter_batches([("insert", 0, 1)], 0))
+
+    def test_apply_with_batch_size_equals_plain_apply_graphwise(self):
+        g = erdos_renyi_gnm(12, 30, seed=2)
+        from repro.dynamic.workload import mixed_workload
+
+        start, updates = mixed_workload(g, 8, seed=5)
+        a = DynamicDisjointCliques(start, 3)
+        a.apply(updates)
+        b = DynamicDisjointCliques(start, 3)
+        b.apply(updates, batch_size=3)
+        assert set(a.graph.edges()) == set(b.graph.edges())
+        b.check_invariants()
+
+
+class TestEmptyAndStabilise:
+    def test_empty_batch_is_cheap_noop(self):
+        g = erdos_renyi_gnm(10, 15, seed=0)
+        dyn = DynamicDisjointCliques(g, 3)
+        batch = dyn.apply_batch([])
+        assert batch.is_noop and len(batch) == 0
+        dyn.check_invariants()
+
+    def test_empty_batch_harvests_latent_swaps(self, fig5_g1):
+        # G2 = G1 + (v5, v7) solved by HG can start swap-unstable; an
+        # empty batch acts as an explicit stabilisation point.
+        g2 = fig5_g1.add_edges([(4, 6)])
+        dyn = DynamicDisjointCliques(g2, 3, method="hg")
+        before = dyn.size
+        dyn.apply_batch([])
+        dyn.check_invariants()
+        assert dyn.size >= before

@@ -1,5 +1,6 @@
 """Tests for the update-workload generators."""
 
+import numpy as np
 import pytest
 
 from repro.dynamic.workload import (
@@ -9,6 +10,7 @@ from repro.dynamic.workload import (
 )
 from repro.errors import InvalidParameterError
 from repro.graph.generators import erdos_renyi_gnm
+from repro.graph.graph import Graph
 
 
 @pytest.fixture
@@ -39,6 +41,25 @@ class TestDeletionInsertion:
     def test_oversample_rejected(self, base_graph):
         with pytest.raises(InvalidParameterError):
             deletion_workload(base_graph, 10_000, seed=1)
+
+    def test_endpoints_are_plain_ints(self):
+        """Regression: graphs built from numpy data must not leak
+        np.int64 endpoints into the update stream (callers compare and
+        serialise updates as exact plain-int tuples)."""
+        edges = [
+            (np.int64(u), np.int64(v))
+            for u, v in [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]
+        ]
+        graph = Graph(5, edges)
+        for workload in (
+            deletion_workload(graph, 4, seed=1),
+            insertion_workload(graph, 4, seed=1),
+        ):
+            for _, u, v in workload:
+                assert type(u) is int and type(v) is int
+        start, updates = mixed_workload(graph, 2, seed=1)
+        for _, u, v in updates:
+            assert type(u) is int and type(v) is int
 
 
 class TestMixed:
