@@ -1,0 +1,338 @@
+#!/usr/bin/env python
+"""Serving-layer benchmark: warm pool vs cold sessions, worker scaling.
+
+Drives the in-process :class:`repro.serve.client.Client` (which speaks
+the real NDJSON schemas, so serialisation is on the clock) and records
+two cells to a JSON artifact:
+
+**Cell 1 — warm pool vs cold sessions (same graph).** A mixed
+solve/count/bounds request stream over one mid-size tenant, repeated
+for ``--rounds`` rounds. *cold* clears the session pool before every
+request, so each one pays the full preprocessing bill; *warm* keeps the
+pool, so repeats hit cached substrates. Every served solve is asserted
+identical to a direct ``Session.solve`` — serving must be a transport,
+never a different algorithm. Expectation: warm throughput ≥ 2x cold
+(``--min-warm-ratio``).
+
+**Cell 2 — scheduler scaling on a multi-graph mix.** Wave traffic
+against four tenants: one expensive solve (big graph, generous
+deadline, ``normal`` lane) followed by a burst of cheap solves (small
+graphs, tight deadline, ``high`` lane), all submitted asynchronously.
+Run once with 1 worker and once with ``--workers``. The scaling metric
+is **deadline goodput** (deadline-met requests per second): on
+multi-core machines extra workers also raise raw throughput, but on a
+single core the honest and still-real win is that cheap requests get
+GIL timeslices instead of being starved behind the long solve, so they
+meet deadlines that a 1-worker queue blows. Expectation: goodput
+scaling > 1x (``--min-scaling``). Cheap-request latency percentiles
+(from scheduler ticket timestamps) are recorded for both configs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_serve.json
+
+This file is a standalone script (not collected by pytest); the CI
+bench-smoke job runs it at reduced scale and uploads the artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.session import Session  # noqa: E402
+from repro.errors import DeadlineExceededError  # noqa: E402
+from repro.graph.generators import powerlaw_cluster  # noqa: E402
+from repro.serve import Client, Server  # noqa: E402
+
+#: Cell-1 request mix: what a tenant repeatedly asks about one graph.
+MIX = (
+    ("solve", 3, "lp"),
+    ("count", 3, None),
+    ("solve", 3, "gc"),
+    ("bounds", 3, None),
+    ("solve", 4, "lp"),
+    ("count", 4, None),
+    ("solve", 4, "gc"),
+    ("bounds", 4, None),
+)
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (q in [0, 100])."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_mix_request(client: Client, kind: str, k: int, method: str | None):
+    if kind == "solve":
+        return client.solve("tenant", k, method)
+    if kind == "count":
+        return client.count("tenant", k)
+    return client.bounds("tenant", k)
+
+
+def bench_warm_vs_cold(graph, rounds: int) -> dict:
+    """Cell 1: identical request stream, pooled vs per-request sessions."""
+    reference = {}
+    session = Session(graph)
+    for kind, k, method in MIX:
+        if kind == "solve":
+            reference[(k, method)] = [
+                list(c) for c in session.solve(k, method).sorted_cliques()
+            ]
+
+    results = {}
+    for mode in ("cold", "warm"):
+        server = Server(workers=1, queue_limit=256)
+        client = Client(server)
+        client.register_graph("tenant", graph)
+        latencies = []
+        round_times = []
+        for _ in range(rounds):
+            round_start = time.perf_counter()
+            for kind, k, method in MIX:
+                if mode == "cold":
+                    server.pool.clear()
+                t0 = time.perf_counter()
+                payload = run_mix_request(client, kind, k, method)
+                latencies.append(time.perf_counter() - t0)
+                if kind == "solve":
+                    assert payload["cliques"] == reference[(k, method)], (
+                        f"serving diverged from direct Session.solve "
+                        f"({mode}, {method}, k={k})"
+                    )
+            round_times.append(time.perf_counter() - round_start)
+        server.close()
+        requests = rounds * len(MIX)
+        # Throughput from the median round: robust to one-off noise
+        # spikes (GC, background load) that would skew an aggregate.
+        median_round = statistics.median(round_times)
+        results[mode] = {
+            "requests": requests,
+            "seconds": round(sum(round_times), 4),
+            "median_round_s": round(median_round, 4),
+            "requests_per_sec": round(len(MIX) / median_round, 2),
+            "latency_p50_ms": round(1e3 * percentile(latencies, 50), 3),
+            "latency_p90_ms": round(1e3 * percentile(latencies, 90), 3),
+            "latency_p99_ms": round(1e3 * percentile(latencies, 99), 3),
+        }
+    results["warm_vs_cold_x"] = round(
+        results["warm"]["requests_per_sec"] / results["cold"]["requests_per_sec"], 3
+    )
+    return results
+
+
+def run_waves(
+    server: Server,
+    client: Client,
+    waves: int,
+    cheap_per_wave: int,
+    cheap_tenants: list[str],
+    cheap_deadline: float,
+) -> dict:
+    """Submit the wave traffic; return goodput and latency numbers.
+
+    Each wave models an interactive burst arriving while a long
+    analytics solve is *already running*: the expensive request is
+    submitted first and the wave waits for a worker to pick it up
+    before the cheap burst lands. With one worker that is classic
+    head-of-line blocking (the burst can only be served after the long
+    solve, far past its deadline); with N workers the high lane drains
+    concurrently.
+    """
+    ok, shed, other = 0, 0, 0
+    cheap_latencies = []
+    start = time.perf_counter()
+    for wave in range(waves):
+        expensive = client.start(
+            "solve", graph="big", k=4, method="lp",
+            deadline=60.0, include_cliques=False,
+        )
+        while expensive.ticket.started_at is None and not expensive.done:
+            time.sleep(0.001)
+        pending = [expensive]
+        for i in range(cheap_per_wave):
+            tenant = cheap_tenants[(wave * cheap_per_wave + i) % len(cheap_tenants)]
+            pending.append(
+                client.start(
+                    "solve", graph=tenant, k=3, method="lp",
+                    priority="high", deadline=cheap_deadline,
+                    include_cliques=False,
+                )
+            )
+        for index, call in enumerate(pending):
+            try:
+                call.result(120)
+            except DeadlineExceededError:
+                shed += 1
+                continue
+            except Exception:  # noqa: BLE001 - tallied, not expected
+                other += 1
+                continue
+            ok += 1
+            ticket = call.ticket
+            if index > 0 and ticket.finished_at is not None:
+                cheap_latencies.append(ticket.finished_at - ticket.submitted_at)
+    elapsed = time.perf_counter() - start
+    stats = server.scheduler.info()
+    return {
+        "workers": stats["workers"],
+        "requests": waves * (1 + cheap_per_wave),
+        "ok": ok,
+        "shed_deadline": shed,
+        "errors": other,
+        "seconds": round(elapsed, 4),
+        "goodput_per_sec": round(ok / elapsed, 2),
+        "cheap_latency_p50_ms": round(
+            1e3 * percentile(cheap_latencies, 50), 3
+        ) if cheap_latencies else None,
+        "cheap_latency_p99_ms": round(
+            1e3 * percentile(cheap_latencies, 99), 3
+        ) if cheap_latencies else None,
+    }
+
+
+def bench_worker_scaling(args) -> dict:
+    """Cell 2: the same wave traffic under 1 vs N scheduler workers."""
+    big = powerlaw_cluster(
+        args.big_nodes, args.big_attach, args.triangle_p, seed=args.seed
+    )
+    smalls = {
+        f"small-{i}": powerlaw_cluster(
+            args.small_nodes, 6, 0.6, seed=args.seed + 10 + i
+        )
+        for i in range(3)
+    }
+    results = {}
+    for workers in (1, args.workers):
+        server = Server(workers=workers, queue_limit=1024)
+        client = Client(server)
+        client.register_graph("big", big)
+        for name, graph in smalls.items():
+            client.register_graph(name, graph)
+        client.warm("big", [4])
+        for name in smalls:
+            client.warm(name, [3])
+        results[f"workers-{workers}"] = run_waves(
+            server,
+            client,
+            args.waves,
+            args.cheap_per_wave,
+            list(smalls),
+            args.cheap_deadline,
+        )
+        server.close()
+    one = results["workers-1"]["goodput_per_sec"]
+    many = results[f"workers-{args.workers}"]["goodput_per_sec"]
+    results["goodput_scaling_x"] = round(many / one, 3)
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=4000,
+                        help="cell-1 tenant graph size")
+    parser.add_argument("--attach", type=int, default=12)
+    parser.add_argument("--triangle-p", type=float, default=0.85)
+    parser.add_argument("--rounds", type=int, default=10,
+                        help="cell-1 repetitions of the request mix")
+    parser.add_argument("--big-nodes", type=int, default=16000,
+                        help="cell-2 expensive tenant size")
+    parser.add_argument("--big-attach", type=int, default=16)
+    parser.add_argument("--small-nodes", type=int, default=600,
+                        help="cell-2 cheap tenant size")
+    parser.add_argument("--waves", type=int, default=6)
+    parser.add_argument("--cheap-per-wave", type=int, default=10)
+    parser.add_argument("--cheap-deadline", type=float, default=0.25,
+                        help="deadline (s) on cheap wave requests")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="cell-2 N-worker configuration")
+    parser.add_argument("--seed", type=int, default=9)
+    parser.add_argument("--min-warm-ratio", type=float, default=2.0,
+                        help="fail below this warm/cold throughput ratio")
+    parser.add_argument("--min-scaling", type=float, default=1.0,
+                        help="fail at or below this goodput scaling")
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+
+    graph = powerlaw_cluster(args.nodes, args.attach, args.triangle_p,
+                             seed=args.seed)
+    print(f"cell 1 tenant: n={graph.n} m={graph.m}; "
+          f"mix of {len(MIX)} requests x {args.rounds} rounds")
+    pool_cell = bench_warm_vs_cold(graph, args.rounds)
+    for mode in ("cold", "warm"):
+        row = pool_cell[mode]
+        print(f"  {mode:<5} {row['requests_per_sec']:>8.2f} req/s  "
+              f"p50={row['latency_p50_ms']:.1f}ms p99={row['latency_p99_ms']:.1f}ms")
+    print(f"  warm pool speedup: x{pool_cell['warm_vs_cold_x']:.2f}")
+
+    print(f"cell 2: waves={args.waves}, 1 expensive + {args.cheap_per_wave} "
+          f"cheap (deadline {args.cheap_deadline}s) per wave")
+    scaling_cell = bench_worker_scaling(args)
+    for key in (f"workers-1", f"workers-{args.workers}"):
+        row = scaling_cell[key]
+        p50 = row["cheap_latency_p50_ms"]
+        print(f"  {key:<10} goodput={row['goodput_per_sec']:>7.2f}/s  "
+              f"ok={row['ok']}/{row['requests']} shed={row['shed_deadline']} "
+              f"cheap-p50={p50 if p50 is not None else 'n/a'}ms")
+    print(f"  goodput scaling: x{scaling_cell['goodput_scaling_x']:.2f} "
+          f"(deadline-met requests/sec, {args.workers} vs 1 workers)")
+
+    payload = {
+        "bench": "serve",
+        "config": {
+            "generator": "powerlaw_cluster",
+            "nodes": args.nodes,
+            "attach": args.attach,
+            "triangle_p": args.triangle_p,
+            "rounds": args.rounds,
+            "mix": [list(entry) for entry in MIX],
+            "big_nodes": args.big_nodes,
+            "small_nodes": args.small_nodes,
+            "waves": args.waves,
+            "cheap_per_wave": args.cheap_per_wave,
+            "cheap_deadline": args.cheap_deadline,
+            "workers": args.workers,
+            "seed": args.seed,
+            "python": platform.python_version(),
+        },
+        "warm_vs_cold": pool_cell,
+        "worker_scaling": scaling_cell,
+        "headline": {
+            "warm_vs_cold_x": pool_cell["warm_vs_cold_x"],
+            "worker_scaling_x": scaling_cell["goodput_scaling_x"],
+            "worker_scaling_metric": "deadline goodput (ok requests/sec)",
+        },
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+    print(f"wrote {args.out}")
+
+    failures = []
+    if pool_cell["warm_vs_cold_x"] < args.min_warm_ratio:
+        failures.append(
+            f"warm pool speedup x{pool_cell['warm_vs_cold_x']:.2f} "
+            f"< x{args.min_warm_ratio}"
+        )
+    if scaling_cell["goodput_scaling_x"] <= args.min_scaling:
+        failures.append(
+            f"goodput scaling x{scaling_cell['goodput_scaling_x']:.2f} "
+            f"<= x{args.min_scaling}"
+        )
+    if failures:
+        print("FAILED: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

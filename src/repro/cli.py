@@ -7,6 +7,8 @@ Commands
 ``compare``      run several methods side by side with certificates
 ``methods``      print the solver registry (tags, exactness, options)
 ``dynamic``      apply an update workload and report latency and drift
+``serve``        run the multi-tenant NDJSON server on stdin/stdout
+                 (see ``docs/serving.md`` for the protocol)
 ``experiments``  regenerate the paper's tables/figures (delegates to
                  :mod:`repro.bench.experiments`)
 ``datasets``     list the registered datasets
@@ -30,6 +32,7 @@ Examples
     python -m repro methods
     python -m repro dynamic --dataset HST --k 4 --workload mixed --count 100
     python -m repro dynamic --dataset HST --k 4 --batch-size 128 --backend csr
+    python -m repro serve --workers 2 --pool-sessions 8
     python -m repro experiments table1 fig7
 """
 
@@ -148,6 +151,25 @@ def cmd_dynamic(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serve.server import Server
+
+    server = Server(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        max_sessions=args.pool_sessions,
+        max_bytes=args.pool_bytes,
+    )
+    if not args.quiet:
+        print(
+            f"repro serve: workers={args.workers} queue_limit={args.queue_limit} "
+            f"pool_sessions={args.pool_sessions} pool_bytes={args.pool_bytes} "
+            "(NDJSON on stdin/stdout; send {\"op\": \"shutdown\"} or EOF to stop)",
+            file=sys.stderr,
+        )
+    return server.serve_stdio(sys.stdin, sys.stdout)
+
+
 def cmd_datasets(_args) -> int:
     for spec in datasets.specs():
         print(f"{spec.name:<10} [{spec.tier:<6}] {spec.description}")
@@ -158,14 +180,16 @@ def cmd_methods(_args) -> int:
     from repro.core.registry import REGISTRY
 
     print(
-        f"{'tag':<8} {'kind':<10} {'time_budget':<12} {'warm_start':<11} options"
+        f"{'tag':<8} {'kind':<10} {'time_budget':<12} {'deadline':<9} "
+        f"{'warm_start':<11} options"
     )
     for method in REGISTRY:
         kind = "exact" if method.exact else "heuristic"
         budget = "yes" if method.supports_time_budget else "no"
+        deadline = "yes" if method.can_meet_deadline else "no"
         warm = "yes" if method.supports_warm_start else "no"
         print(
-            f"{method.tag:<8} {kind:<10} {budget:<12} {warm:<11} "
+            f"{method.tag:<8} {kind:<10} {budget:<12} {deadline:<9} {warm:<11} "
             f"{method.options_cls.describe()}"
         )
         print(f"{'':<8} {method.summary}")
@@ -227,6 +251,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="dirty-region refresh engine for batched application",
     )
     p.set_defaults(fn=cmd_dynamic)
+
+    p = sub.add_parser("serve", help="serve NDJSON requests on stdin/stdout")
+    p.add_argument("--workers", type=int, default=1,
+                   help="scheduler worker threads")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="bounded-queue admission limit (backpressure)")
+    p.add_argument("--pool-sessions", type=int, default=None,
+                   help="max resident sessions in the pool")
+    p.add_argument("--pool-bytes", type=int, default=None,
+                   help="session-pool byte budget")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the startup banner on stderr")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("datasets", help="list registered datasets")
     p.set_defaults(fn=cmd_datasets)

@@ -186,6 +186,13 @@ class Method:
     supports_warm_start:
         Whether the solver can start from a previous solution (reserved
         for the dynamic-maintenance integration; no static method does).
+    deadline_safe:
+        Whether the solver's running time is predictably bounded
+        (near-linear heuristics) so a serving deadline is meaningful
+        even without a cooperative ``time_budget`` hook. The scheduler
+        in :mod:`repro.serve` only accepts per-request deadlines for
+        methods where :attr:`can_meet_deadline` holds; others would
+        occupy a worker long past their deadline with no way to stop.
     """
 
     tag: str
@@ -195,6 +202,18 @@ class Method:
     run: Callable[..., CliqueSetResult] = field(repr=False, compare=False)
     supports_time_budget: bool = False
     supports_warm_start: bool = False
+    deadline_safe: bool = False
+
+    @property
+    def can_meet_deadline(self) -> bool:
+        """Whether a per-request deadline is enforceable for this method.
+
+        True when the method either honours a cooperative
+        ``time_budget`` (the scheduler forwards the remaining deadline)
+        or is declared ``deadline_safe`` (bounded-work heuristics that
+        finish promptly on their own).
+        """
+        return self.deadline_safe or self.supports_time_budget
 
     def parse_options(self, kwargs: dict) -> SolveOptions:
         """Validate raw keyword arguments into a typed options object.
@@ -242,6 +261,7 @@ class SolverRegistry:
         options: type[SolveOptions] = SolveOptions,
         supports_time_budget: bool = False,
         supports_warm_start: bool = False,
+        deadline_safe: bool = False,
     ) -> Callable:
         """Decorator registering a ``(prep, k, options)`` solve function."""
 
@@ -257,6 +277,7 @@ class SolverRegistry:
                 run=fn,
                 supports_time_budget=supports_time_budget,
                 supports_warm_start=supports_warm_start,
+                deadline_safe=deadline_safe,
             )
             return fn
 
@@ -302,6 +323,7 @@ REGISTRY = SolverRegistry()
     summary="Algorithm 1, basic greedy framework (maximal, k-approximate)",
     exact=False,
     options=HGOptions,
+    deadline_safe=True,
 )
 def _run_hg(prep, k: int, opts: HGOptions) -> CliqueSetResult:
     return basic_framework(
@@ -331,6 +353,7 @@ def _run_gc(prep, k: int, opts: GCOptions) -> CliqueSetResult:
     summary="Algorithm 3 without score pruning (O(n+m) space)",
     exact=False,
     options=LightweightOptions,
+    deadline_safe=True,
 )
 def _run_l(prep, k: int, opts: LightweightOptions) -> CliqueSetResult:
     return lightweight(
@@ -348,6 +371,7 @@ def _run_l(prep, k: int, opts: LightweightOptions) -> CliqueSetResult:
     summary="Algorithm 3 with score pruning (the paper's headline method)",
     exact=False,
     options=LightweightOptions,
+    deadline_safe=True,
 )
 def _run_lp(prep, k: int, opts: LightweightOptions) -> CliqueSetResult:
     return lightweight(

@@ -27,10 +27,20 @@ construction (solvers copy the DAG out-sets and never mutate score
 arrays or clique lists), and nothing here depends on the method tag —
 only on ``(graph, k)`` and the orientation name — so any method mix
 shares them safely.
+
+Thread safety: a session may be shared by concurrent solves (the
+serving layer in :mod:`repro.serve` does exactly that). Every
+:class:`Preprocessing` accessor takes the cache's re-entrant lock
+around the check-compute-store sequence, so an expensive substrate is
+computed exactly once no matter how many threads race for it, and the
+``stats`` counters stay consistent. Solver execution itself runs
+outside the lock and only *reads* the returned substrates, which are
+immutable by the cache invariant above.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
@@ -56,10 +66,16 @@ class Preprocessing:
     hits. ``stats`` counts the expensive passes actually performed
     (clique enumerations, score passes, orientations) plus cache hits,
     so tests and services can assert work is not repeated.
+
+    All accessors are thread-safe: the internal re-entrant lock guards
+    the whole check-compute-store sequence, so under concurrency each
+    substrate is computed once and handed to every waiter.
     """
 
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
+        self._lock = threading.RLock()
+        self._last_estimate = 0
         self._core: np.ndarray | None = None
         self._ranks: dict[str, np.ndarray] = {}
         self._oriented: dict[str, OrientedGraph] = {}
@@ -79,24 +95,26 @@ class Preprocessing:
     # -- orderings and orientations ------------------------------------
     def core_numbers(self) -> np.ndarray:
         """Core number per node (cached k-core decomposition)."""
-        if self._core is None:
-            self._core = kcore.core_numbers(self.graph)
-            self.stats["core_decompositions"] += 1
-        else:
-            self.stats["cache_hits"] += 1
-        return self._core
+        with self._lock:
+            if self._core is None:
+                self._core = kcore.core_numbers(self.graph)
+                self.stats["core_decompositions"] += 1
+            else:
+                self.stats["cache_hits"] += 1
+            return self._core
 
     def rank(self, order: object = "degeneracy") -> np.ndarray:
         """Rank array for a named ordering (cached per name)."""
         if not isinstance(order, str):
             return ordering.resolve(order, self.graph)
-        cached = self._ranks.get(order)
-        if cached is None:
-            cached = ordering.resolve(order, self.graph)
-            self._ranks[order] = cached
-        else:
-            self.stats["cache_hits"] += 1
-        return cached
+        with self._lock:
+            cached = self._ranks.get(order)
+            if cached is None:
+                cached = ordering.resolve(order, self.graph)
+                self._ranks[order] = cached
+            else:
+                self.stats["cache_hits"] += 1
+            return cached
 
     def degeneracy_order(self) -> np.ndarray:
         """The degeneracy (smallest-last) rank array."""
@@ -110,14 +128,15 @@ class Preprocessing:
         """
         if not isinstance(order, str):
             return OrientedGraph(self.graph, self.rank(order))
-        cached = self._oriented.get(order)
-        if cached is None:
-            cached = OrientedGraph(self.graph, self.rank(order))
-            self._oriented[order] = cached
-            self.stats["orientations"] += 1
-        else:
-            self.stats["cache_hits"] += 1
-        return cached
+        with self._lock:
+            cached = self._oriented.get(order)
+            if cached is None:
+                cached = OrientedGraph(self.graph, self.rank(order))
+                self._oriented[order] = cached
+                self.stats["orientations"] += 1
+            else:
+                self.stats["cache_hits"] += 1
+            return cached
 
     def oriented_csr(self, order: object = "degeneracy"):
         """Oriented-CSR arrays for ``order`` (cached with the DAG).
@@ -126,12 +145,13 @@ class Preprocessing:
         on the cached :class:`~repro.graph.dag.OrientedGraph` and shared
         by every CSR-backend pass under the same orientation.
         """
-        dag = self.oriented(order)
-        if dag.has_csr:
-            self.stats["cache_hits"] += 1
-        else:
-            self.stats["csr_builds"] += 1
-        return dag.csr()
+        with self._lock:
+            dag = self.oriented(order)
+            if dag.has_csr:
+                self.stats["cache_hits"] += 1
+            else:
+                self.stats["csr_builds"] += 1
+            return dag.csr()
 
     # -- per-k clique substrates ---------------------------------------
     def scores(self, k: int, backend: str = "auto") -> np.ndarray:
@@ -143,22 +163,23 @@ class Preprocessing:
         (``"auto" | "sets" | "csr"``); the scores are identical either
         way, so the cache is backend-agnostic.
         """
-        cached = self._scores.get(k)
-        if cached is not None:
-            self.stats["cache_hits"] += 1
-            return cached
-        stored = self._cliques.get(k)
-        if stored is not None:
-            scores = np.zeros(self.graph.n, dtype=np.int64)
-            for clique in stored:
-                for u in clique:
-                    scores[u] += 1
-        else:
-            dag = self._oriented_for(k, backend)
-            scores = counting.node_scores(self.graph, k, dag=dag, backend=backend)
-            self.stats["score_passes"] += 1
-        self._scores[k] = scores
-        return scores
+        with self._lock:
+            cached = self._scores.get(k)
+            if cached is not None:
+                self.stats["cache_hits"] += 1
+                return cached
+            stored = self._cliques.get(k)
+            if stored is not None:
+                scores = np.zeros(self.graph.n, dtype=np.int64)
+                for clique in stored:
+                    for u in clique:
+                        scores[u] += 1
+            else:
+                dag = self._oriented_for(k, backend)
+                scores = counting.node_scores(self.graph, k, dag=dag, backend=backend)
+                self.stats["score_passes"] += 1
+            self._scores[k] = scores
+            return scores
 
     def _oriented_for(self, k: int, backend: str) -> OrientedGraph:
         """Cached degeneracy DAG, pre-building its CSR twin when the
@@ -181,24 +202,25 @@ class Preprocessing:
         independent of the enumeration ``backend`` that filled the
         cache.
         """
-        stored = self._cliques.get(k)
-        if stored is not None:
-            self.stats["cache_hits"] += 1
-            self._check_clique_budget(len(stored), k, max_cliques)
+        with self._lock:
+            stored = self._cliques.get(k)
+            if stored is not None:
+                self.stats["cache_hits"] += 1
+                self._check_clique_budget(len(stored), k, max_cliques)
+                return stored
+            stored = []
+            dag = self._oriented_for(k, backend)
+            for clique in listing.iter_cliques_oriented(dag, k, backend=backend):
+                if max_cliques is not None and len(stored) >= max_cliques:
+                    raise OutOfMemoryError(
+                        f"clique listing exceeded its budget of {max_cliques} (k={k})"
+                    )
+                stored.append(tuple(sorted(clique)))
+            stored.sort()
+            self.stats["clique_listings"] += 1
+            self._cliques[k] = stored
+            self._counts[k] = len(stored)
             return stored
-        stored = []
-        dag = self._oriented_for(k, backend)
-        for clique in listing.iter_cliques_oriented(dag, k, backend=backend):
-            if max_cliques is not None and len(stored) >= max_cliques:
-                raise OutOfMemoryError(
-                    f"clique listing exceeded its budget of {max_cliques} (k={k})"
-                )
-            stored.append(tuple(sorted(clique)))
-        stored.sort()
-        self.stats["clique_listings"] += 1
-        self._cliques[k] = stored
-        self._counts[k] = len(stored)
-        return stored
 
     @staticmethod
     def _check_clique_budget(count: int, k: int, max_cliques: int | None) -> None:
@@ -210,36 +232,84 @@ class Preprocessing:
 
     def clique_count(self, k: int, backend: str = "auto") -> int:
         """Number of k-cliques, cached; counts without storing if unknown."""
-        cached = self._counts.get(k)
-        if cached is not None:
-            self.stats["cache_hits"] += 1
-            return cached
-        if k >= 3 and csr_kernels.resolve_backend(backend, self.graph.m) == "csr":
-            count = csr_kernels.count_cliques_csr(self.oriented_csr(), k)
-        else:
-            count = listing.count_cliques(
-                self.graph, k, order=self.rank("degeneracy"), backend="sets"
-            )
-        self.stats["count_passes"] += 1
-        self._counts[k] = count
-        return count
+        with self._lock:
+            cached = self._counts.get(k)
+            if cached is not None:
+                self.stats["cache_hits"] += 1
+                return cached
+            if k >= 3 and csr_kernels.resolve_backend(backend, self.graph.m) == "csr":
+                count = csr_kernels.count_cliques_csr(self.oriented_csr(), k)
+            else:
+                count = listing.count_cliques(
+                    self.graph, k, order=self.rank("degeneracy"), backend="sets"
+                )
+            self.stats["count_passes"] += 1
+            self._counts[k] = count
+            return count
 
     def cached_ks(self) -> tuple[int, ...]:
         """The k values with at least one cached per-k substrate."""
-        return tuple(sorted(set(self._scores) | set(self._cliques)))
+        with self._lock:
+            return tuple(sorted(set(self._scores) | set(self._cliques)))
 
     def cache_info(self) -> dict:
         """A snapshot of cache contents and work counters."""
-        return {
-            "ks_with_scores": tuple(sorted(self._scores)),
-            "ks_with_cliques": tuple(sorted(self._cliques)),
-            "orientations": tuple(sorted(self._oriented)),
-            "csr_orientations": tuple(
-                sorted(name for name, dag in self._oriented.items() if dag.has_csr)
-            ),
-            "core_numbers": self._core is not None,
-            **self.stats,
-        }
+        with self._lock:
+            return {
+                "ks_with_scores": tuple(sorted(self._scores)),
+                "ks_with_cliques": tuple(sorted(self._cliques)),
+                "orientations": tuple(sorted(self._oriented)),
+                "csr_orientations": tuple(
+                    sorted(name for name, dag in self._oriented.items() if dag.has_csr)
+                ),
+                "core_numbers": self._core is not None,
+                **self.stats,
+            }
+
+    def estimated_bytes(self, blocking: bool = True) -> int:
+        """Rough resident size of the graph plus every cached substrate.
+
+        The estimate is intentionally cheap (no ``sys.getsizeof`` walks):
+        numpy arrays report ``nbytes`` exactly, while Python-object
+        substrates (adjacency sets, clique tuples) use fixed per-entry
+        costs calibrated to CPython 3.11. The serving layer's
+        :class:`~repro.serve.pool.SessionPool` uses this for its byte
+        budget, so what matters is that the estimate is monotone in the
+        real footprint and stable across processes, not byte-exact.
+
+        With ``blocking=False``, a cache busy computing a substrate (the
+        lock is held for the whole pass) is not waited for: the last
+        measured size is returned instead — or the graph-only baseline
+        if the session was never measured. Latency-sensitive callers
+        (pool eviction surveys, the ``stats`` endpoint) use this so one
+        long enumeration never stalls them.
+        """
+        graph = self.graph
+        # Adjacency sets: ~60 bytes per directed entry, two per edge.
+        total = graph.n * 64 + graph.m * 2 * 60
+        if not self._lock.acquire(blocking=blocking):
+            return self._last_estimate if self._last_estimate else total
+        try:
+            if graph._csr_cache is not None:  # noqa: SLF001 - sizing peek
+                csr = graph._csr_cache
+                total += int(csr.indptr.nbytes + csr.cols.nbytes)
+            if self._core is not None:
+                total += int(self._core.nbytes)
+            for rank in self._ranks.values():
+                total += int(rank.nbytes)
+            for dag in self._oriented.values():
+                total += graph.n * 64 + graph.m * 60 + int(dag.rank.nbytes)
+                if dag.has_csr:
+                    csr = dag.csr()
+                    total += int(csr.indptr.nbytes + csr.cols.nbytes)
+            for scores in self._scores.values():
+                total += int(scores.nbytes)
+            for k, cliques in self._cliques.items():
+                total += len(cliques) * (56 + 28 * max(k, 1))
+            self._last_estimate = total
+        finally:
+            self._lock.release()
+        return total
 
 
 @dataclass(frozen=True)
@@ -307,6 +377,7 @@ class Session:
         self.registry = registry
         self.default_method = registry.get(default_method).tag
         self.prep = Preprocessing(graph)
+        self._fingerprint: str | None = None
 
     # -- solving -------------------------------------------------------
     @staticmethod
@@ -441,6 +512,24 @@ class Session:
     def cache_info(self) -> dict:
         """Snapshot of the preprocessing cache (see :meth:`Preprocessing.cache_info`)."""
         return self.prep.cache_info()
+
+    def fingerprint(self) -> str:
+        """Content hash of the bound graph's edge set (cached).
+
+        Two sessions over equal graphs — same node count, same edge set,
+        regardless of construction order — share the fingerprint, which
+        is how :class:`repro.serve.pool.SessionPool` detects that a
+        request can reuse an already-warm session.
+        """
+        if self._fingerprint is None:
+            from repro.graph.fingerprint import graph_fingerprint
+
+            self._fingerprint = graph_fingerprint(self.graph)
+        return self._fingerprint
+
+    def estimated_bytes(self, blocking: bool = True) -> int:
+        """Rough resident size (see :meth:`Preprocessing.estimated_bytes`)."""
+        return self.prep.estimated_bytes(blocking=blocking)
 
     def __repr__(self) -> str:
         return (

@@ -32,6 +32,28 @@ Update = tuple[str, int, int]
 _OPS = {"insert": True, "delete": False}
 
 
+def validate_update(op: str, u, v, n: int) -> tuple[bool, int, int]:
+    """Validate one ``(op, u, v)`` update against a graph of ``n`` nodes.
+
+    Returns ``(want_present, u, v)`` with the endpoints coerced to plain
+    ints. Raises :class:`~repro.errors.InvalidParameterError` for an
+    unknown op and :class:`~repro.errors.GraphError` for a self-loop or
+    an endpoint outside ``[0, n)``. Shared by :meth:`UpdateBatch.plan`
+    and the serving layer's push-time validation
+    (:meth:`repro.serve.feeds.DynamicFeed.push`), so what a feed buffers
+    is exactly what planning will accept.
+    """
+    want = _OPS.get(op)
+    if want is None:
+        raise InvalidParameterError(f"unknown update op {op!r}")
+    u, v = int(u), int(v)
+    if u == v:
+        raise GraphError(f"self-loop on node {u} is not allowed")
+    if not (0 <= u < n and 0 <= v < n):
+        raise GraphError(f"edge ({u}, {v}) outside node range [0, {n})")
+    return want, u, v
+
+
 @dataclass(frozen=True)
 class UpdateBatch:
     """The net structural effect of an update stream on one graph state.
@@ -89,14 +111,7 @@ class UpdateBatch:
         n = graph.n
         for op, u, v in updates:
             total += 1
-            want = _OPS.get(op)
-            if want is None:
-                raise InvalidParameterError(f"unknown update op {op!r}")
-            u, v = int(u), int(v)
-            if u == v:
-                raise GraphError(f"self-loop on node {u} is not allowed")
-            if not (0 <= u < n and 0 <= v < n):
-                raise GraphError(f"edge ({u}, {v}) outside node range [0, {n})")
+            want, u, v = validate_update(op, u, v, n)
             edge = (u, v) if u < v else (v, u)
             if edge not in desired:
                 order.append(edge)

@@ -35,3 +35,42 @@ class OutOfTimeError(BudgetExceededError):
 
 class OutOfMemoryError(BudgetExceededError):
     """Computation exceeded its memory budget (paper marker: ``OOM``)."""
+
+
+class ServeError(ReproError):
+    """Base class for errors raised by the serving layer (:mod:`repro.serve`)."""
+
+
+class ProtocolError(ServeError):
+    """A serving request is malformed (bad JSON, missing/invalid fields)."""
+
+
+class UnknownGraphError(ServeError):
+    """A serving request names a graph that was never registered (or evicted)."""
+
+
+class UnknownFeedError(ServeError):
+    """A serving request names a dynamic feed that is not open."""
+
+
+class OverloadedError(ServeError):
+    """The scheduler shed the request at admission (bounded queue full).
+
+    This is the backpressure signal: clients should retry with jitter or
+    reduce their request rate; the server is protecting its latency for
+    already-admitted work instead of queueing without bound.
+    """
+
+
+class RequestCancelledError(ServeError):
+    """The request was cancelled before it started running."""
+
+
+class DeadlineExceededError(ServeError, OutOfTimeError):
+    """The request's deadline passed before (or while) it ran.
+
+    Subclasses :class:`OutOfTimeError` so code treating the paper's
+    ``OOT`` marker generically keeps working, while serving clients can
+    distinguish a missed per-request deadline from a solver's own
+    ``time_budget`` overrun.
+    """

@@ -1,0 +1,53 @@
+"""Content-addressed graph identity (edge-set hashing).
+
+Answers "are these two graphs the same graph?" by value rather than by
+object: a SHA-256 digest over the node count and the canonical
+(lexicographically sorted, undirected) edge array. The serving layer
+keys its session pool on this — tenants that built equal graphs
+independently share one warm session — but the function itself is a
+pure graph property, which is why it lives here rather than up in
+:mod:`repro.serve`.
+
+The digest is computed from the graph's CSR view — sorted int64 rows —
+so it is invariant under edge insertion order and duplicate edges, and
+costs one ``indptr``/``cols`` serialisation rather than a Python-level
+edge sort.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+
+#: Fingerprints are prefixed so logs and wire payloads are self-describing.
+_PREFIX = "g1-"
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """SHA-256 content hash of ``graph``'s edge set (and node count).
+
+    Properties relied on by the session pool and its tests:
+
+    * **stability** — equal graphs (same ``n``, same undirected edge
+      set) hash identically regardless of construction order;
+    * **sensitivity** — adding/removing an edge, or changing ``n``
+      (isolated nodes count: they change coverage denominators), yields
+      a different fingerprint;
+    * **portability** — the digest only covers little-endian int64
+      arrays, so it is stable across processes and platforms.
+    """
+    if not isinstance(graph, Graph):
+        raise InvalidParameterError(
+            f"can only fingerprint a repro Graph, got {type(graph).__name__}; "
+            "call .snapshot() on DynamicGraph first"
+        )
+    csr = graph.csr()
+    digest = hashlib.sha256()
+    digest.update(np.int64(graph.n).tobytes())
+    digest.update(np.ascontiguousarray(csr.indptr, dtype="<i8").tobytes())
+    digest.update(np.ascontiguousarray(csr.cols, dtype="<i8").tobytes())
+    return _PREFIX + digest.hexdigest()

@@ -1,0 +1,54 @@
+"""Multi-tenant serving layer: session pool, scheduler, dynamic feeds.
+
+This package turns the one-shot solver library into a long-lived
+service (see ``docs/serving.md`` for the protocol reference and
+``docs/architecture.md`` for how it sits on the rest of the stack):
+
+* :class:`~repro.serve.pool.SessionPool` — warm
+  :class:`~repro.core.session.Session` objects keyed by graph content
+  fingerprint, with LRU + byte-budget eviction;
+* :class:`~repro.serve.scheduler.Scheduler` — bounded-queue thread pool
+  with priority lanes, per-request deadlines, cancellation and
+  load-shedding;
+* :class:`~repro.serve.feeds.DynamicFeed` — per-tenant edge streams
+  buffered into the dynamic maintainer's batched update engine;
+* :class:`~repro.serve.server.Server` /
+  :class:`~repro.serve.client.Client` — the NDJSON protocol engine and
+  its in-process client (``python -m repro serve`` is the CLI
+  transport).
+
+Quickstart::
+
+    from repro import Graph
+    from repro.serve import Client, Server
+
+    server = Server(workers=2, max_sessions=8)
+    client = Client(server)
+    client.register_graph("social", my_graph)
+    teams = client.solve("social", k=4)           # warm after first call
+    feed = client.feed_open("social", k=4)["feed"]
+    client.feed_push(feed, [("insert", 0, 7)])
+    client.feed_solution(feed)
+    server.close()
+"""
+
+from repro.serve.client import Client, PendingCall
+from repro.serve.feeds import DynamicFeed, FlushPolicy, FlushReport
+from repro.graph.fingerprint import graph_fingerprint
+from repro.serve.pool import SessionPool
+from repro.serve.scheduler import PRIORITIES, Scheduler, Ticket
+from repro.serve.server import Server
+
+__all__ = [
+    "Client",
+    "PendingCall",
+    "DynamicFeed",
+    "FlushPolicy",
+    "FlushReport",
+    "graph_fingerprint",
+    "SessionPool",
+    "Scheduler",
+    "Ticket",
+    "PRIORITIES",
+    "Server",
+]

@@ -1,0 +1,215 @@
+"""In-process protocol client for :class:`repro.serve.server.Server`.
+
+The client speaks the *wire* protocol even though it never leaves the
+process: every request is serialised to its NDJSON form and decoded
+back before dispatch, so anything that works here works byte-for-byte
+over ``python -m repro serve`` — tests and benchmarks driving the
+client exercise the real schemas, and numbers measured through it
+include serialisation cost.
+
+Failures come back as the typed :mod:`repro.errors` exceptions the
+error code maps to (:data:`repro.serve.protocol.CODE_TO_ERROR`), so
+callers handle overload/deadline/cancellation exactly like library
+users do.
+
+Synchronous calls (:meth:`Client.call` and the per-op conveniences)
+block for the response; :meth:`Client.start` returns a
+:class:`PendingCall` immediately, which is how the benchmark keeps N
+scheduler workers busy from one submitting thread.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.errors import ServeError
+from repro.graph.graph import Graph
+from repro.serve import protocol
+from repro.serve.scheduler import Ticket
+from repro.serve.server import Server
+
+Update = tuple[str, int, int]
+
+
+def _raise_for_envelope(envelope: dict) -> dict:
+    """Return the result payload, raising the mapped typed error on failure."""
+    if envelope.get("ok"):
+        return envelope["result"]
+    error = envelope.get("error") or {}
+    exc_cls = protocol.CODE_TO_ERROR.get(error.get("code"), ServeError)
+    raise exc_cls(error.get("message", "serving request failed"))
+
+
+class PendingCall:
+    """Handle for an in-flight request started with :meth:`Client.start`."""
+
+    def __init__(self, ticket: Ticket | None, result: dict | None, request_id):
+        self._ticket = ticket
+        self._result = result
+        self.id = request_id
+
+    @property
+    def done(self) -> bool:
+        """Whether a response is available without blocking."""
+        return self._ticket is None or self._ticket.done
+
+    @property
+    def ticket(self):
+        """The underlying scheduler ticket (``None`` for inline ops).
+
+        Exposes the scheduler's ``submitted_at`` / ``started_at`` /
+        ``finished_at`` timestamps, which is how the serving benchmark
+        measures queue wait and service time per request.
+        """
+        return self._ticket
+
+    def result(self, timeout: float | None = None) -> dict:
+        """Block for the result payload; raise the typed error on failure."""
+        if self._ticket is None:
+            return self._result
+        return self._ticket.result(timeout)
+
+
+class Client:
+    """Typed convenience wrapper over one in-process :class:`Server`."""
+
+    def __init__(self, server: Server) -> None:
+        self.server = server
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Generic calls
+    # ------------------------------------------------------------------
+    def _encode(self, fields: dict) -> dict:
+        """Round-trip the request through its NDJSON wire form."""
+        self._next_id += 1
+        message = {"id": self._next_id, **{
+            key: value for key, value in fields.items() if value is not None
+        }}
+        return protocol.decode_request(protocol.encode(message))
+
+    def call(self, op: str, **fields) -> dict:
+        """Send one request and block for its result payload."""
+        message = self._encode({"op": op, **fields})
+        return _raise_for_envelope(self.server.handle_request(message))
+
+    def start(self, op: str, **fields) -> PendingCall:
+        """Send one request without waiting; admission errors raise now.
+
+        Compute ops return immediately with a live handle; inline ops
+        resolve before returning (their handle is already done).
+        """
+        message = self._encode({"op": op, **fields})
+        handled = self.server.submit_request(message)
+        if isinstance(handled, Ticket):
+            return PendingCall(handled, None, message.get("id"))
+        return PendingCall(None, handled, message.get("id"))
+
+    # ------------------------------------------------------------------
+    # Per-operation conveniences
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        """Liveness check."""
+        return self.call("ping")
+
+    def register_graph(
+        self,
+        name: str,
+        graph: Graph | None = None,
+        *,
+        edges: Iterable[tuple[int, int]] | None = None,
+        n: int | None = None,
+        dataset: str | None = None,
+        path: str | None = None,
+    ) -> dict:
+        """Register a tenant graph from a Graph, edge list, dataset or file."""
+        if graph is not None:
+            edges = [[int(u), int(v)] for u, v in graph.edges()]
+            n = graph.n
+        elif edges is not None:
+            edges = [[int(u), int(v)] for u, v in edges]
+        return self.call(
+            "register_graph", name=name, edges=edges, n=n, dataset=dataset, path=path
+        )
+
+    def unregister_graph(self, name: str) -> dict:
+        """Drop a tenant graph (and its pooled session if now unshared)."""
+        return self.call("unregister_graph", name=name)
+
+    def solve(
+        self,
+        graph: str,
+        k: int,
+        method: str | None = None,
+        *,
+        options: dict | None = None,
+        priority: str | None = None,
+        deadline: float | None = None,
+        include_cliques: bool = True,
+    ) -> dict:
+        """Solve on a registered graph through the pool + scheduler."""
+        return self.call(
+            "solve",
+            graph=graph,
+            k=k,
+            method=method,
+            options=options,
+            priority=priority,
+            deadline=deadline,
+            include_cliques=include_cliques,
+        )
+
+    def count(self, graph: str, k: int, **fields) -> dict:
+        """Count k-cliques on a registered graph."""
+        return self.call("count", graph=graph, k=k, **fields)
+
+    def bounds(self, graph: str, k: int, **fields) -> dict:
+        """Certified optimum upper bounds on a registered graph."""
+        return self.call("bounds", graph=graph, k=k, **fields)
+
+    def warm(self, graph: str, ks: Iterable[int], *, cliques: bool = False) -> dict:
+        """Prewarm per-k substrates on a registered graph's session."""
+        return self.call("warm", graph=graph, ks=list(ks), cliques=cliques)
+
+    def feed_open(
+        self,
+        graph: str,
+        k: int,
+        *,
+        feed: str | None = None,
+        method: str | None = None,
+        policy: dict | None = None,
+    ) -> dict:
+        """Open a dynamic feed over a registered graph."""
+        return self.call(
+            "feed_open", graph=graph, k=k, feed=feed, method=method, policy=policy
+        )
+
+    def feed_push(self, feed: str, updates: Iterable[Update]) -> dict:
+        """Push edge updates into a feed's buffer (may trigger a flush)."""
+        return self.call(
+            "feed_push",
+            feed=feed,
+            updates=[[op, int(u), int(v)] for op, u, v in updates],
+        )
+
+    def feed_flush(self, feed: str) -> dict:
+        """Apply a feed's pending updates now."""
+        return self.call("feed_flush", feed=feed)
+
+    def feed_solution(self, feed: str, *, include_cliques: bool = True) -> dict:
+        """Current maintained solution of a feed (flush-consistent)."""
+        return self.call("feed_solution", feed=feed, include_cliques=include_cliques)
+
+    def feed_close(self, feed: str) -> dict:
+        """Close a feed and drop its maintainer."""
+        return self.call("feed_close", feed=feed)
+
+    def stats(self) -> dict:
+        """Pool, scheduler, graph and feed statistics."""
+        return self.call("stats")
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop accepting requests."""
+        return self.call("shutdown")

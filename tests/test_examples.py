@@ -39,6 +39,12 @@ class TestExamples:
         out = run_example("dynamic_social_network.py")
         assert "update latency" in out
 
+    def test_serving_matchmaker(self):
+        out = run_example("serving_matchmaker.py")
+        assert "matchmaker feed open" in out
+        assert "live-squads=" in out
+        assert "scheduler:" in out and "feed closed" in out
+
     def test_community_analysis(self):
         pytest.importorskip("networkx")
         out = run_example("community_analysis.py")
@@ -52,4 +58,5 @@ class TestExamples:
             "roommate_allocation.py",
             "dynamic_social_network.py",
             "community_analysis.py",
+            "serving_matchmaker.py",
         } <= found

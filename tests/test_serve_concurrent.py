@@ -1,0 +1,115 @@
+"""Thread-safety regression: concurrent solves over one shared session.
+
+The serving layer hands one Session to many scheduler workers; these
+tests hammer that sharing pattern with barrier-started thread pools and
+assert both correctness (identical solutions to a single-threaded
+reference) and single-computation caching (each substrate is computed
+exactly once no matter how many threads race for it).
+"""
+
+import threading
+
+from repro.core.session import Session
+from repro.graph.generators import powerlaw_cluster
+
+
+def run_threads(count, fn):
+    """Start ``count`` threads through a barrier; propagate any failure."""
+    barrier = threading.Barrier(count)
+    failures = []
+
+    def wrapped(index):
+        try:
+            barrier.wait()
+            fn(index)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            failures.append(exc)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(count)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if failures:
+        raise failures[0]
+
+
+class TestConcurrentSolves:
+    def test_same_request_from_eight_threads(self):
+        graph = powerlaw_cluster(400, 6, 0.6, seed=11)
+        reference = Session(graph).solve(3, "lp").sorted_cliques()
+        session = Session(graph)
+        results = [None] * 8
+        run_threads(8, lambda i: results.__setitem__(
+            i, session.solve(3, "lp").sorted_cliques()
+        ))
+        assert all(r == reference for r in results)
+
+    def test_substrates_computed_exactly_once(self):
+        graph = powerlaw_cluster(400, 6, 0.6, seed=11)
+        session = Session(graph)
+        run_threads(8, lambda i: session.solve(3, "lp"))
+        info = session.cache_info()
+        # One score pass, one core decomposition, one orientation — the
+        # other seven threads were cache hits, not duplicate work.
+        assert info["score_passes"] == 1
+        assert info["orientations"] == 1
+
+    def test_mixed_methods_and_ks(self):
+        graph = powerlaw_cluster(300, 6, 0.6, seed=12)
+        requests = [
+            (3, "lp"), (3, "gc"), (4, "lp"), (4, "hg"),
+            (3, "l"), (4, "gc"), (3, "hg"), (4, "l"),
+        ]
+        reference_session = Session(graph)
+        reference = [
+            reference_session.solve(k, m).sorted_cliques() for k, m in requests
+        ]
+        session = Session(graph)
+        results = [None] * len(requests)
+
+        def solve(i):
+            k, method = requests[i]
+            results[i] = session.solve(k, method).sorted_cliques()
+
+        run_threads(len(requests), solve)
+        assert results == reference
+        info = session.cache_info()
+        # Substrates are per-k, not per-method: exactly one listing and
+        # at most one score pass per k (gc derives scores from listings
+        # when the listing lands first, so score_passes can be 0).
+        assert info["clique_listings"] == 2
+        assert info["score_passes"] <= 2
+
+    def test_concurrent_warm_and_solve(self):
+        graph = powerlaw_cluster(300, 6, 0.6, seed=13)
+        session = Session(graph)
+
+        def work(i):
+            if i % 2:
+                session.warm([3, 4])
+            else:
+                session.solve(3, "lp")
+
+        run_threads(6, work)
+        info = session.cache_info()
+        assert info["ks_with_scores"] == (3, 4)
+        assert info["score_passes"] == 2
+
+    def test_listing_budget_failure_does_not_poison_cache(self):
+        from repro.errors import OutOfMemoryError
+
+        graph = powerlaw_cluster(300, 6, 0.6, seed=14)
+        session = Session(graph)
+        errors = []
+
+        def work(i):
+            try:
+                session.prep.cliques(3, max_cliques=1)
+            except OutOfMemoryError as exc:
+                errors.append(exc)
+
+        run_threads(4, work)
+        assert len(errors) == 4
+        # The budget failure cached nothing; an unbudgeted call succeeds.
+        assert len(session.prep.cliques(3)) > 1

@@ -1,0 +1,97 @@
+"""The ``repro serve`` stdio transport: scripted NDJSON exchanges.
+
+These run the real CLI in a subprocess — the same path the CI serve
+smoke step and any piped deployment uses — and assert response
+matching by id, out-of-order streaming safety, and clean shutdown.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def exchange(requests, *, args=()):
+    """Pipe NDJSON requests through ``python -m repro serve``."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--quiet", *args],
+        input="".join(json.dumps(r) + "\n" for r in requests),
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={**os.environ, "PYTHONPATH": SRC},
+    )
+    assert proc.returncode == 0, proc.stderr
+    responses = [json.loads(line) for line in proc.stdout.splitlines() if line]
+    return {r["id"]: r for r in responses if r.get("id") is not None}, responses
+
+
+TINY = [[0, 1], [0, 2], [1, 2], [3, 4], [3, 5], [4, 5]]
+
+
+class TestStdioServe:
+    def test_scripted_exchange_and_clean_shutdown(self):
+        by_id, responses = exchange([
+            {"id": 1, "op": "ping"},
+            {"id": 2, "op": "register_graph", "name": "g", "edges": TINY},
+            {"id": 3, "op": "solve", "graph": "g", "k": 3},
+            {"id": 4, "op": "count", "graph": "g", "k": 3},
+            {"id": 5, "op": "stats"},
+            {"id": 6, "op": "shutdown"},
+        ])
+        assert by_id[1]["result"] == {"pong": True}
+        assert by_id[2]["result"]["m"] == 6
+        assert by_id[3]["result"]["cliques"] == [[0, 1, 2], [3, 4, 5]]
+        assert by_id[4]["result"]["count"] == 2
+        assert by_id[5]["result"]["pool"]["sessions"] == 1
+        assert by_id[6]["result"] == {"shutting_down": True}
+        assert len(responses) == 6
+
+    def test_compute_responses_arrive_even_after_shutdown_line(self):
+        # A solve may still be on a worker when the shutdown line is
+        # read; the server must drain it before exiting.
+        by_id, _ = exchange([
+            {"id": 1, "op": "register_graph", "name": "g", "edges": TINY},
+            {"id": 2, "op": "solve", "graph": "g", "k": 3},
+            {"id": 3, "op": "shutdown"},
+        ], args=("--workers", "2"))
+        assert by_id[2]["ok"] and by_id[2]["result"]["size"] == 2
+
+    def test_errors_are_enveloped_not_fatal(self):
+        by_id, responses = exchange([
+            {"id": 1, "op": "solve", "graph": "ghost", "k": 3},
+            {"id": 2, "op": "register_graph", "name": "g", "edges": TINY},
+            {"id": 3, "op": "solve", "graph": "g", "k": "three"},
+            {"id": 4, "op": "ping"},
+            {"id": 5, "op": "shutdown"},
+        ])
+        assert by_id[1]["error"]["code"] == "UNKNOWN_GRAPH"
+        assert by_id[3]["error"]["code"] == "PROTOCOL_ERROR"
+        assert by_id[4]["result"] == {"pong": True}
+
+    def test_malformed_line_gets_null_id_error(self):
+        _, responses = exchange([])
+        # EOF with no requests is a clean exit...
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--quiet"],
+            input="this is not json\n" + json.dumps({"id": 1, "op": "ping"}) + "\n",
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env={**os.environ, "PYTHONPATH": SRC},
+        )
+        assert proc.returncode == 0
+        lines = [json.loads(line) for line in proc.stdout.splitlines()]
+        assert lines[0]["ok"] is False
+        assert lines[0]["error"]["code"] == "PROTOCOL_ERROR"
+        assert lines[1]["result"] == {"pong": True}
+
+    def test_eof_without_shutdown_is_clean(self):
+        by_id, _ = exchange([
+            {"id": 1, "op": "register_graph", "name": "g", "edges": TINY},
+            {"id": 2, "op": "solve", "graph": "g", "k": 3},
+        ])
+        assert by_id[2]["result"]["size"] == 2

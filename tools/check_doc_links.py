@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""CI gate: every relative link in the docs tree must resolve.
+
+Scans ``README.md`` and ``docs/*.md`` for Markdown links and inline
+reference targets, and fails when a relative path points at a file
+that does not exist — the docs tree maps paper algorithms to concrete
+modules, so a dangling link means the map rotted.
+
+Checked:  ``[text](relative/path)`` including ``path#anchor`` forms
+          (the path part must exist; anchors are not validated).
+Skipped:  absolute URLs (``http(s)://``, ``mailto:``) and pure
+          in-page anchors (``#section``).
+
+Run:  python tools/check_doc_links.py
+Exit: 0 when all links resolve, 1 otherwise (broken links on stderr).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links: [text](target) — target captured lazily so
+#: titles ("path \"title\"") and anchors stay attached for splitting.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_doc_files():
+    """The Markdown files under the link-check contract."""
+    yield ROOT / "README.md"
+    docs = ROOT / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def check_file(path: Path) -> list[str]:
+    """Return 'file: target' entries for every broken link in ``path``."""
+    broken = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            broken.append(f"{path.relative_to(ROOT)}: {target}")
+    return broken
+
+
+def main() -> int:
+    """Check every doc file; print a summary; fail on broken links."""
+    files = list(iter_doc_files())
+    broken = [entry for path in files if path.exists() for entry in check_file(path)]
+    checked = sum(1 for path in files if path.exists())
+    print(f"link check: {checked} files scanned")
+    if broken:
+        print("broken relative links:", file=sys.stderr)
+        for entry in broken:
+            print(f"  - {entry}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
