@@ -1,0 +1,273 @@
+#!/usr/bin/env python
+"""Anytime-protocol benchmark: quality-vs-time curves and preemptive goodput.
+
+Two cells, recorded to a JSON artifact:
+
+**Cell 1 — quality-vs-time curves.** Opens ``lp`` (mid-size synthetic
+graph) and ``opt-bb`` (dense small-world graph, where branch-and-bound
+actually has to work) as resumable tasks and samples ``(elapsed, |S|,
+bound)`` every ``--chunk`` work units. The curves certify the anytime
+contract empirically: ``|S|`` is monotone non-decreasing, the bound is
+an upper envelope, and the final task answer equals the blocking
+``Session.solve`` answer (solutions *and* stats for lp — serving a task
+must never change the algorithm).
+
+**Cell 2 — preemptive scheduler vs shed-at-dequeue.** The PR 4 wave
+mix (one long normal-lane solve, then a burst of cheap tight-deadline
+high-lane solves) against a single-worker server, run twice: with the
+preemptive quantum enabled and with ``quantum=None`` (the pre-anytime
+scheduler, where the burst can only be shed at dequeue once its
+deadline passes behind the long solve). Metric: **deadline goodput**
+(deadline-met requests per second). Expectation: preemption wins
+(``--min-preempt-ratio``), because the burst now runs inside the long
+solve's timeslices and the long solve still completes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_anytime.py --out BENCH_anytime.json
+
+Standalone script (not collected by pytest); the CI bench-smoke job
+runs it at reduced scale and uploads the artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.session import Session  # noqa: E402
+from repro.errors import DeadlineExceededError  # noqa: E402
+from repro.graph.generators import powerlaw_cluster, watts_strogatz  # noqa: E402
+from repro.serve import Client, Server  # noqa: E402
+
+
+def quality_curve(session: Session, k: int, method: str, chunk: int) -> dict:
+    """Drive one task in ``chunk``-unit steps, sampling the anytime curve."""
+    task = session.task(k, method)
+    points = []
+    start = time.perf_counter()
+    while True:
+        snapshot = task.step(max_work=chunk)
+        points.append(
+            {
+                "t_s": round(time.perf_counter() - start, 5),
+                "size": snapshot.size,
+                "bound": snapshot.bound,
+                "work": snapshot.work,
+            }
+        )
+        if snapshot.done:
+            break
+    sizes = [p["size"] for p in points]
+    assert sizes == sorted(sizes), "anytime |S| must be monotone"
+    assert all(p["bound"] >= p["size"] for p in points), "bound must dominate"
+    return {"method": method, "k": k, "points": points, "final": points[-1]}
+
+
+def bench_curves(args) -> dict:
+    """Cell 1: anytime curves for lp and opt-bb, pinned to blocking solves."""
+    cells = {}
+
+    graph = powerlaw_cluster(args.nodes, args.attach, args.triangle_p,
+                             seed=args.seed)
+    session = Session(graph)
+    blocking = session.solve(args.k, "lp")
+    cell = quality_curve(session, args.k, "lp", args.chunk)
+    task_result = session.task(args.k, "lp").run()
+    assert task_result.sorted_cliques() == blocking.sorted_cliques()
+    assert task_result.stats == blocking.stats
+    cell["matches_blocking"] = True
+    cell["graph"] = {"n": graph.n, "m": graph.m}
+    cells["lp"] = cell
+
+    hard = watts_strogatz(args.bb_nodes, args.bb_degree, 0.1, seed=args.seed)
+    hard_session = Session(hard)
+    bb_blocking = hard_session.solve(3, "opt-bb")
+    cell = quality_curve(hard_session, 3, "opt-bb", args.bb_chunk)
+    assert cell["final"]["size"] == bb_blocking.size
+    assert cell["final"]["bound"] == bb_blocking.size  # optimality certified
+    cell["matches_blocking"] = True
+    cell["graph"] = {"n": hard.n, "m": hard.m}
+    cells["opt-bb"] = cell
+    return cells
+
+
+def run_waves(server: Server, client: Client, args, cheap_tenants) -> dict:
+    """One wave-mix pass (PR 4 shape); returns goodput numbers."""
+    ok, shed, partials, other = 0, 0, 0, 0
+    start = time.perf_counter()
+    for wave in range(args.waves):
+        expensive = client.start(
+            "solve", graph="big", k=4, method="lp",
+            deadline=60.0, include_cliques=False,
+        )
+        while expensive.ticket.started_at is None and not expensive.done:
+            time.sleep(0.001)
+        pending = [expensive]
+        for i in range(args.cheap_per_wave):
+            tenant = cheap_tenants[
+                (wave * args.cheap_per_wave + i) % len(cheap_tenants)
+            ]
+            pending.append(
+                client.start(
+                    "solve", graph=tenant, k=3, method="lp",
+                    priority="high", deadline=args.cheap_deadline,
+                    include_cliques=False,
+                )
+            )
+        for call in pending:
+            try:
+                call.result(120)
+            except DeadlineExceededError as exc:
+                shed += 1
+                if getattr(exc, "partial", None):
+                    partials += 1
+                continue
+            except Exception:  # noqa: BLE001 - tallied, not expected
+                other += 1
+                continue
+            ok += 1
+    elapsed = time.perf_counter() - start
+    stats = server.scheduler.info()
+    return {
+        "quantum": server.scheduler.quantum,
+        "requests": args.waves * (1 + args.cheap_per_wave),
+        "ok": ok,
+        "shed_deadline": shed,
+        "deadline_partials": partials,
+        "errors": other,
+        "preemptions": stats["preemptions"],
+        "seconds": round(elapsed, 4),
+        "goodput_per_sec": round(ok / elapsed, 2),
+    }
+
+
+def bench_preemption(args) -> dict:
+    """Cell 2: preemptive timeslicing vs shed-at-dequeue, 1 worker each."""
+    big = powerlaw_cluster(args.big_nodes, args.big_attach, args.triangle_p,
+                           seed=args.seed)
+    smalls = {
+        f"small-{i}": powerlaw_cluster(args.small_nodes, 6, 0.6,
+                                       seed=args.seed + 10 + i)
+        for i in range(3)
+    }
+    results = {}
+    for label, quantum in (("shed", None), ("preemptive", args.quantum)):
+        server = Server(workers=1, queue_limit=1024, quantum=quantum)
+        client = Client(server)
+        client.register_graph("big", big)
+        for name, graph in smalls.items():
+            client.register_graph(name, graph)
+        client.warm("big", [4])
+        for name in smalls:
+            client.warm(name, [3])
+        results[label] = run_waves(server, client, args, list(smalls))
+        server.close()
+    results["preempt_vs_shed_x"] = round(
+        results["preemptive"]["goodput_per_sec"]
+        / max(results["shed"]["goodput_per_sec"], 1e-9),
+        3,
+    )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=8000,
+                        help="cell-1 lp graph size")
+    parser.add_argument("--attach", type=int, default=12)
+    parser.add_argument("--triangle-p", type=float, default=0.85)
+    parser.add_argument("--k", type=int, default=4)
+    parser.add_argument("--chunk", type=int, default=500,
+                        help="work units per curve sample")
+    parser.add_argument("--bb-chunk", type=int, default=100,
+                        help="work units per opt-bb curve sample (branch "
+                             "expansions are much cheaper than FindMin calls)")
+    parser.add_argument("--bb-nodes", type=int, default=64,
+                        help="cell-1 opt-bb graph size (B&B cost grows "
+                             "explosively past ~70 nodes at degree 6)")
+    parser.add_argument("--bb-degree", type=int, default=6)
+    parser.add_argument("--big-nodes", type=int, default=16000,
+                        help="cell-2 expensive tenant size")
+    parser.add_argument("--big-attach", type=int, default=16)
+    parser.add_argument("--small-nodes", type=int, default=600,
+                        help="cell-2 cheap tenant size")
+    parser.add_argument("--waves", type=int, default=6)
+    parser.add_argument("--cheap-per-wave", type=int, default=10)
+    parser.add_argument("--cheap-deadline", type=float, default=0.25)
+    parser.add_argument("--quantum", type=float, default=0.02,
+                        help="cell-2 preemption timeslice")
+    parser.add_argument("--seed", type=int, default=9)
+    parser.add_argument("--min-preempt-ratio", type=float, default=1.0,
+                        help="fail at or below this preemptive/shed goodput "
+                             "ratio")
+    parser.add_argument("--out", default="BENCH_anytime.json")
+    args = parser.parse_args(argv)
+
+    print(f"cell 1: anytime curves (lp n={args.nodes}, "
+          f"opt-bb n={args.bb_nodes})")
+    curves = bench_curves(args)
+    for method, cell in curves.items():
+        final = cell["final"]
+        print(f"  {method:<7} samples={len(cell['points'])} "
+              f"final |S|={final['size']} bound={final['bound']} "
+              f"t={final['t_s']:.3f}s")
+
+    print(f"cell 2: waves={args.waves}, 1 long + {args.cheap_per_wave} cheap "
+          f"(deadline {args.cheap_deadline}s) per wave, 1 worker")
+    preempt = bench_preemption(args)
+    for label in ("shed", "preemptive"):
+        row = preempt[label]
+        print(f"  {label:<11} goodput={row['goodput_per_sec']:>7.2f}/s  "
+              f"ok={row['ok']}/{row['requests']} shed={row['shed_deadline']} "
+              f"partials={row['deadline_partials']} "
+              f"preemptions={row['preemptions']}")
+    print(f"  preemptive vs shed goodput: x{preempt['preempt_vs_shed_x']:.2f}")
+
+    payload = {
+        "bench": "anytime",
+        "config": {
+            "nodes": args.nodes,
+            "attach": args.attach,
+            "triangle_p": args.triangle_p,
+            "k": args.k,
+            "chunk": args.chunk,
+            "bb_nodes": args.bb_nodes,
+            "big_nodes": args.big_nodes,
+            "small_nodes": args.small_nodes,
+            "waves": args.waves,
+            "cheap_per_wave": args.cheap_per_wave,
+            "cheap_deadline": args.cheap_deadline,
+            "quantum": args.quantum,
+            "seed": args.seed,
+            "python": platform.python_version(),
+        },
+        "curves": curves,
+        "preemption": preempt,
+        "headline": {
+            "preempt_vs_shed_x": preempt["preempt_vs_shed_x"],
+            "metric": "deadline goodput (ok requests/sec), 1 worker",
+        },
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+    print(f"wrote {args.out}")
+
+    if preempt["preempt_vs_shed_x"] <= args.min_preempt_ratio:
+        print(
+            f"FAILED: preemptive goodput x{preempt['preempt_vs_shed_x']:.2f} "
+            f"<= x{args.min_preempt_ratio}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,6 +48,7 @@ from repro.core.registry import (
 )
 from repro.core.result import CliqueSetResult, is_maximal, is_valid, verify_solution
 from repro.core.session import Session, SolveRequest
+from repro.core.task import SolveTask, TaskSnapshot
 
 __version__ = "1.1.0"
 
@@ -56,6 +57,8 @@ __all__ = [
     "DynamicGraph",
     "Session",
     "SolveRequest",
+    "SolveTask",
+    "TaskSnapshot",
     "Method",
     "SolveOptions",
     "SolverRegistry",

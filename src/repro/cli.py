@@ -27,6 +27,7 @@ Examples
 
     python -m repro solve --dataset FTB --k 4 --method lp
     python -m repro solve --input my.edges --k 3 --output teams.txt
+    python -m repro solve --dataset FB --k 4 --anytime --progress-every 500
     python -m repro stats --dataset HST --ks 3 4 5
     python -m repro compare --dataset FB --k 5 --methods hg lp
     python -m repro methods
@@ -63,23 +64,114 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--input", help="edge-list file (u v per line)")
 
 
+def run_anytime(task, progress_every: int, should_stop, log) -> tuple[bool, int]:
+    """Drive a :class:`~repro.core.task.SolveTask` in anytime mode.
+
+    Steps ``progress_every`` work units at a time, calling
+    ``log(size, bound, work)`` whenever the solution size or bound
+    improved, until the task completes or ``should_stop()`` turns true
+    (the CLI wires that to SIGINT). Returns ``(interrupted, work)``.
+    """
+    last = None
+    while True:
+        if should_stop():
+            return True, task.work
+        snapshot = task.step(max_work=progress_every)
+        if (snapshot.size, snapshot.bound) != last:
+            last = (snapshot.size, snapshot.bound)
+            log(snapshot.size, snapshot.bound, snapshot.work)
+        if snapshot.done:
+            return False, task.work
+
+
+def _write_solution(result, args, stream=None) -> None:
+    """Write the solution file, confirming on ``stream`` (default stderr).
+
+    JSON/anytime mode keeps stdout machine-readable, so the
+    confirmation defaults to stderr; the prose path passes stdout.
+    """
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            for clique in result.sorted_cliques():
+                fh.write(" ".join(map(str, clique)) + "\n")
+        print(
+            f"wrote {result.size} cliques to {args.output}",
+            file=stream if stream is not None else sys.stderr,
+        )
+
+
 def cmd_solve(args) -> int:
+    import json
+    import signal
+
     graph = _load_graph(args)
     start = time.perf_counter()
     from repro.core.session import Session
 
-    result = Session(graph).solve(args.k, method=args.method)
+    session = Session(graph)
+    interrupted = False
+    bound = None
+    work = None
+    if args.anytime:
+        if args.progress_every < 1:
+            raise SystemExit("error: --progress-every must be >= 1")
+        from repro.errors import InvalidParameterError
+
+        try:
+            task = session.task(args.k, method=args.method)
+        except InvalidParameterError as exc:
+            raise SystemExit(f"error: {exc}")
+        stop_flag = []
+
+        def on_sigint(signum, frame):  # pragma: no cover - signal path
+            stop_flag.append(True)
+
+        def log(size, bound, work):
+            print(
+                f"anytime: |S|={size} bound={bound} work={work}",
+                file=sys.stderr,
+            )
+
+        previous = signal.signal(signal.SIGINT, on_sigint)
+        try:
+            interrupted, work = run_anytime(
+                task, args.progress_every, lambda: bool(stop_flag), log
+            )
+        finally:
+            signal.signal(signal.SIGINT, previous)
+        result = task.best()
+        bound = task.bound()
+    else:
+        result = session.solve(args.k, method=args.method)
     elapsed = time.perf_counter() - start
+
+    if args.json or args.anytime:
+        payload = {
+            "k": args.k,
+            "method": args.method,
+            "size": result.size,
+            "coverage": round(result.coverage(graph.n), 4),
+            "time_s": round(elapsed, 4),
+            "interrupted": interrupted,
+        }
+        if bound is not None:
+            payload["bound"] = bound
+            payload["work"] = work
+        if args.show:
+            payload["cliques"] = [
+                list(c) for c in result.sorted_cliques()[: args.show]
+            ]
+        print(json.dumps(payload))
+        _write_solution(result, args)
+        return 0
+
     print(
         f"graph n={graph.n} m={graph.m} | k={args.k} method={args.method} | "
         f"|S|={result.size} coverage={100 * result.coverage(graph.n):.1f}% "
         f"time={elapsed:.3f}s"
     )
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as fh:
-            for clique in result.sorted_cliques():
-                fh.write(" ".join(map(str, clique)) + "\n")
-        print(f"wrote {result.size} cliques to {args.output}")
+        _write_solution(result, args, stream=sys.stdout)
     elif args.show:
         for clique in result.sorted_cliques()[: args.show]:
             print("  " + " ".join(map(str, clique)))
@@ -159,6 +251,7 @@ def cmd_serve(args) -> int:
         queue_limit=args.queue_limit,
         max_sessions=args.pool_sessions,
         max_bytes=args.pool_bytes,
+        quantum=args.quantum if args.quantum > 0 else None,
     )
     if not args.quiet:
         print(
@@ -180,17 +273,18 @@ def cmd_methods(_args) -> int:
     from repro.core.registry import REGISTRY
 
     print(
-        f"{'tag':<8} {'kind':<10} {'time_budget':<12} {'deadline':<9} "
-        f"{'warm_start':<11} options"
+        f"{'tag':<8} {'kind':<10} {'resumable':<10} {'time_budget':<12} "
+        f"{'deadline':<9} {'warm_start':<11} options"
     )
     for method in REGISTRY:
         kind = "exact" if method.exact else "heuristic"
+        resumable = "yes" if method.resumable else "no"
         budget = "yes" if method.supports_time_budget else "no"
         deadline = "yes" if method.can_meet_deadline else "no"
         warm = "yes" if method.supports_warm_start else "no"
         print(
-            f"{method.tag:<8} {kind:<10} {budget:<12} {deadline:<9} {warm:<11} "
-            f"{method.options_cls.describe()}"
+            f"{method.tag:<8} {kind:<10} {resumable:<10} {budget:<12} "
+            f"{deadline:<9} {warm:<11} {method.options_cls.describe()}"
         )
         print(f"{'':<8} {method.summary}")
     return 0
@@ -217,6 +311,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="lp", choices=list(REGISTRY.tags()))
     p.add_argument("--output", help="write cliques to a file")
     p.add_argument("--show", type=int, default=0, help="print first N cliques")
+    p.add_argument(
+        "--anytime",
+        action="store_true",
+        help="run as a resumable task: stream improving |S|/bound lines to "
+        "stderr, print a JSON summary, and exit cleanly (code 0, "
+        '"interrupted": true) with the best-so-far solution on SIGINT',
+    )
+    p.add_argument(
+        "--progress-every",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="anytime mode: check/report progress every N work units",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON summary instead of prose",
+    )
     p.set_defaults(fn=cmd_solve)
 
     p = sub.add_parser("stats", help="graph statistics")
@@ -261,6 +374,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max resident sessions in the pool")
     p.add_argument("--pool-bytes", type=int, default=None,
                    help="session-pool byte budget")
+    p.add_argument("--quantum", type=float, default=0.05,
+                   help="preemption timeslice in seconds for resumable "
+                        "solves (0 disables preemption)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress the startup banner on stderr")
     p.set_defaults(fn=cmd_serve)

@@ -13,6 +13,7 @@ from repro.core.registry import (
     SolverRegistry,
 )
 from repro.core.session import Preprocessing, Session, SolveRequest
+from repro.core.task import SolveTask, TaskSnapshot
 from repro.core.exact import exact_optimum
 from repro.core.exact_bb import exact_optimum_bb
 from repro.core.lightweight import lightweight
@@ -32,6 +33,8 @@ __all__ = [
     "METHODS",
     "Session",
     "SolveRequest",
+    "SolveTask",
+    "TaskSnapshot",
     "Preprocessing",
     "Method",
     "SolveOptions",

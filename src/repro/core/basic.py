@@ -9,14 +9,24 @@ no clique graph are ever materialised: space is ``O(n + m)``.
 The ordering is a parameter (the paper evaluates the degree ordering and
 discusses its pitfalls in Section I); the result is always a *maximal*
 disjoint k-clique set and therefore a k-approximation (Theorem 3).
+
+The scan is implemented as a resumable state machine
+(:class:`BasicEngine`): each :meth:`BasicEngine.tick` processes exactly
+one node of the scan order, so the engine can be suspended at any
+FindOne boundary with a valid (if not yet maximal) partial solution.
+:func:`basic_framework` is the drive-to-completion wrapper and returns
+results and stats identical to the pre-engine monolithic loop; the
+anytime surface lives in :class:`repro.core.task.SolveTask`.
 """
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.errors import InvalidParameterError
 from repro.graph.dag import OrientedGraph
 from repro.graph.graph import Graph
-from repro.core.result import CliqueSetResult
+from repro.core.result import CliqueSetResult, is_seedable_clique
 
 
 def _find_one(
@@ -53,6 +63,139 @@ def _find_one(
     return None
 
 
+class BasicEngine:
+    """Resumable step machine for Algorithm 1 (one scan node per tick).
+
+    The engine owns the live out-neighbour sets (the paper's residual
+    graph); :meth:`tick` advances the ascending-rank scan by one node,
+    running FindOne when the node is eligible. At every tick boundary
+    ``solution`` is a valid disjoint k-clique set; maximality holds once
+    :attr:`finished` is true (every node has been scanned). The state is
+    fully determined by ``(graph, ordering, solution, pos, stats)``, so
+    :meth:`state_dict` / :meth:`load_state` round-trip a half-run scan
+    through JSON by replaying the solution's invalidations.
+    """
+
+    tag = "hg"
+
+    def __init__(
+        self,
+        graph: Graph,
+        k: int,
+        order="degree",
+        oriented: OrientedGraph | None = None,
+        warm_start: Iterable[frozenset[int]] | None = None,
+    ) -> None:
+        if k < 2:
+            raise InvalidParameterError(f"k must be >= 2, got {k}")
+        dag = oriented if oriented is not None else OrientedGraph.orient(graph, order)
+        self.graph = graph
+        self.k = k
+        # Live out-neighbour sets: nodes are physically removed when their
+        # clique enters S, exactly like the paper's residual graph.
+        self.out = [set(s) for s in dag.out]
+        self.valid = [True] * graph.n
+        self.scan = dag.nodes_ascending()
+        self.pos = 0
+        self.solution: list[frozenset[int]] = []
+        self.stats: dict[str, float] = {
+            "nodes_processed": 0,
+            "findone_calls": 0,
+            "cliques_taken": 0,
+        }
+        if warm_start:
+            self.stats["warm_seeded"] = 0
+            for clique in warm_start:
+                if is_seedable_clique(
+                    graph, k, clique, lambda u: self.valid[u]
+                ):
+                    self._take(clique)
+                    self.stats["warm_seeded"] += 1
+
+    # -- seeding -------------------------------------------------------
+    def _take(self, clique: Iterable[int]) -> None:
+        found = frozenset(clique)
+        self.solution.append(found)
+        self.stats["cliques_taken"] += 1
+        for w in found:
+            self.valid[w] = False
+        for w in found:
+            for v in self.graph.neighbors(w):
+                self.out[v].discard(w)
+            self.out[w].clear()
+
+    # -- stepping ------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """Whether the scan has processed every node (solution maximal)."""
+        return self.pos >= len(self.scan)
+
+    @property
+    def size(self) -> int:
+        """Current ``|S|`` of the partial solution."""
+        return len(self.solution)
+
+    def tick(self) -> None:
+        """Process the next scan node (one FindOne boundary)."""
+        if self.finished:
+            return
+        u = self.scan[self.pos]
+        self.pos += 1
+        if not self.valid[u] or len(self.out[u]) < self.k - 1:
+            return
+        self.stats["nodes_processed"] += 1
+        found = _find_one(self.out, self.k - 1, self.out[u], [u], self.stats)
+        if found is not None:
+            self._take(found)
+
+    # -- anytime surface -----------------------------------------------
+    def bound(self) -> int:
+        """Upper bound on the final ``|S|`` of this run (|S| + free/k)."""
+        free = sum(1 for alive in self.valid if alive)
+        return len(self.solution) + free // self.k
+
+    def snapshot_result(self) -> CliqueSetResult:
+        """Current partial solution (always a valid disjoint set)."""
+        return CliqueSetResult(
+            list(self.solution), k=self.k, method=self.tag, stats=dict(self.stats)
+        )
+
+    def result(self) -> CliqueSetResult:
+        """Final result; raises unless the scan ran to completion."""
+        if not self.finished:
+            raise InvalidParameterError(
+                "engine has not finished; drive tick() to completion first"
+            )
+        return CliqueSetResult(
+            self.solution, k=self.k, method=self.tag, stats=self.stats
+        )
+
+    # -- checkpoint / restore ------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable engine state (graph substrates excluded)."""
+        return {
+            "pos": self.pos,
+            "solution": [sorted(c) for c in self.solution],
+            "stats": dict(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto fresh substrates.
+
+        The out-sets and validity mask are reconstructed by replaying
+        the checkpointed solution's invalidations (removal operations
+        commute, so the residual graph is bit-identical to the one at
+        checkpoint time).
+        """
+        self.solution = []
+        for clique in state["solution"]:
+            self._take(clique)
+        # _take bumped counters while replaying; the checkpointed stats
+        # already account for that work, so they are restored wholesale.
+        self.stats = {key: value for key, value in state["stats"].items()}
+        self.pos = int(state["pos"])
+
+
 def basic_framework(
     graph: Graph, k: int, order="degree", oriented: OrientedGraph | None = None
 ) -> CliqueSetResult:
@@ -78,34 +221,11 @@ def basic_framework(
     -------
     CliqueSetResult
         Maximal disjoint k-clique set; ``stats`` records scan counters.
+        This is the drive-to-completion wrapper over
+        :class:`BasicEngine`; for anytime/interruptible execution use
+        :meth:`repro.core.session.Session.task`.
     """
-    if k < 2:
-        raise InvalidParameterError(f"k must be >= 2, got {k}")
-    dag = oriented if oriented is not None else OrientedGraph.orient(graph, order)
-    # Live out-neighbour sets: nodes are physically removed when their
-    # clique enters S, exactly like the paper's residual graph.
-    out = [set(s) for s in dag.out]
-    valid = [True] * graph.n
-    stats: dict[str, float] = {
-        "nodes_processed": 0,
-        "findone_calls": 0,
-        "cliques_taken": 0,
-    }
-    solution: list[frozenset[int]] = []
-
-    for u in dag.nodes_ascending():
-        if not valid[u] or len(out[u]) < k - 1:
-            continue
-        stats["nodes_processed"] += 1
-        found = _find_one(out, k - 1, out[u], [u], stats)
-        if found is None:
-            continue
-        solution.append(frozenset(found))
-        stats["cliques_taken"] += 1
-        for w in found:
-            valid[w] = False
-        for w in found:
-            for v in graph.neighbors(w):
-                out[v].discard(w)
-            out[w].clear()
-    return CliqueSetResult(solution, k=k, method="hg", stats=stats)
+    engine = BasicEngine(graph, k, order=order, oriented=oriented)
+    while not engine.finished:
+        engine.tick()
+    return engine.result()

@@ -15,11 +15,21 @@ devices keep it usable on small-but-nontrivial instances:
 Having two exact solvers built on disjoint theory lets the test suite
 cross-validate them against each other — a much stronger oracle than
 either alone.
+
+The search runs on an explicit frame stack (:class:`ExactBBEngine`):
+each :meth:`ExactBBEngine.tick` expands exactly one branch node, so the
+search can be suspended at any branch boundary with the incumbent (a
+valid disjoint k-clique set) and a live anytime upper bound, and the
+whole stack serialises through JSON for cross-process checkpoint /
+restore. :func:`exact_optimum_bb` is the drive-to-completion wrapper
+with the same results, stats and ``OutOfTimeError`` cadence as the
+pre-engine recursive implementation.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Iterable
 
 from repro.errors import InvalidParameterError, OutOfMemoryError, OutOfTimeError
 from repro.graph.graph import Graph
@@ -27,6 +37,222 @@ from repro.cliques.counting import node_scores
 from repro.cliques.listing import iter_cliques
 from repro.core.result import CliqueSetResult
 from repro.core.scores import clique_key
+
+#: Frame layout: ``[next_i, used_mask, owns_choice, depth]`` — the scan
+#: cursor, the bitset of covered nodes, whether this frame pushed onto
+#: ``chosen`` (and must pop it on exit), and ``len(chosen)`` at entry.
+_I, _USED, _OWNS, _DEPTH = 0, 1, 2, 3
+
+
+class ExactBBEngine:
+    """Resumable explicit-stack engine for the direct branch-and-bound.
+
+    One :meth:`tick` performs exactly one branch-node expansion — the
+    unit the recursive implementation counted as ``nodes_expanded`` —
+    so driving the engine to completion reproduces the recursion's
+    visit order, incumbent trajectory, solution and stats exactly.
+    ``best`` (the incumbent) is a valid disjoint k-clique set at every
+    tick boundary, and :meth:`bound` reports a certified anytime upper
+    bound that tightens as the stack unwinds: when :attr:`finished` is
+    true it equals ``|best|``, proving optimality.
+    """
+
+    tag = "opt-bb"
+
+    def __init__(
+        self,
+        graph: Graph,
+        k: int,
+        max_cliques: int | None = None,
+        scores=None,
+        cliques=None,
+        warm_start: Iterable[frozenset[int]] | None = None,
+    ) -> None:
+        if k < 2:
+            raise InvalidParameterError(f"k must be >= 2, got {k}")
+        if scores is None:
+            scores = node_scores(graph, k)
+        if cliques is None:
+            cliques = []
+            for clique in iter_cliques(graph, k):
+                if max_cliques is not None and len(cliques) >= max_cliques:
+                    raise OutOfMemoryError(
+                        f"exact B&B exceeded its clique budget of {max_cliques}"
+                    )
+                cliques.append(tuple(sorted(clique)))
+        else:
+            if max_cliques is not None and len(cliques) > max_cliques:
+                raise OutOfMemoryError(
+                    f"exact B&B exceeded its clique budget of {max_cliques}"
+                )
+            # The tuples are used as-is: masks and result frozensets are
+            # member-order-independent and clique_key sorts internally, so
+            # the (typically session-cached) list is only shallow-copied.
+            cliques = list(cliques)
+        cliques.sort(key=lambda c: clique_key(c, scores))
+
+        self.k = k
+        self.cliques = cliques
+        self.masks = [sum(1 << u for u in c) for c in cliques]
+        # suffix_capable[i]: nodes used by cliques[i:] — capacity bound input.
+        suffix_capable = [0] * (len(cliques) + 1)
+        for i in range(len(cliques) - 1, -1, -1):
+            suffix_capable[i] = suffix_capable[i + 1] | self.masks[i]
+        self.suffix_capable = suffix_capable
+
+        self.best: list[int] = []
+        self.chosen: list[int] = []
+        self.ticks = 0
+        self.stack: list[list] = [[0, 0, False, 0]]
+        if warm_start:
+            self._seed_incumbent(warm_start)
+
+    def _seed_incumbent(self, warm_start) -> None:
+        """Install a prior solution as the starting incumbent.
+
+        A warm incumbent never changes the optimal *size* (the search
+        stays exhaustive up to pruning-by-bound) but tightens pruning
+        from tick one; the returned set may differ from a cold run's
+        when multiple optima exist.
+        """
+        index_of = {clique: i for i, clique in enumerate(self.cliques)}
+        seeded: list[int] = []
+        used = 0
+        for clique in warm_start:
+            i = index_of.get(tuple(sorted(clique)))
+            if i is None or used & self.masks[i]:
+                continue
+            used |= self.masks[i]
+            seeded.append(i)
+        if len(seeded) > len(self.best):
+            self.best = seeded
+
+    def _bound(self, idx: int, used: int) -> int:
+        free = self.suffix_capable[idx] & ~used
+        return min(len(self.cliques) - idx, bin(free).count("1") // self.k)
+
+    # -- stepping ------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """Whether the search space is exhausted (incumbent is optimal)."""
+        return not self.stack
+
+    @property
+    def size(self) -> int:
+        """Current ``|S|`` of the incumbent."""
+        return len(self.best)
+
+    def tick(self) -> None:
+        """Expand one branch node (one ``nodes_expanded`` unit).
+
+        Mirrors one recursive ``search`` call: count the expansion,
+        promote the current branch to incumbent if longer, then scan
+        forward until the next descent (pushed for the next tick) or
+        until this frame — and any exhausted ancestors — unwind.
+        """
+        if not self.stack:
+            return
+        stack = self.stack
+        chosen = self.chosen
+        masks = self.masks
+        total = len(self.cliques)
+        frame = stack[-1]
+        self.ticks += 1
+        if len(chosen) > len(self.best):
+            self.best = chosen.copy()
+        while True:
+            i = frame[_I]
+            used = frame[_USED]
+            descended = False
+            while i < total:
+                if len(chosen) + self._bound(i, used) <= len(self.best):
+                    i = total  # suffix pruned: abandon the whole frame
+                    break
+                if not used & masks[i]:
+                    chosen.append(i)
+                    frame[_I] = i + 1
+                    stack.append([i + 1, used | masks[i], True, len(chosen)])
+                    descended = True
+                    break
+                i += 1
+            if descended:
+                return
+            frame[_I] = i
+            stack.pop()
+            if frame[_OWNS]:
+                chosen.pop()
+            if not stack:
+                return
+            frame = stack[-1]
+
+    # -- anytime surface -----------------------------------------------
+    def bound(self) -> int:
+        """Certified anytime upper bound on the optimal ``|S|``.
+
+        Every solution not yet enumerated completes some open stack
+        frame, and a frame at scan position ``i`` with ``depth`` cliques
+        chosen can reach at most ``depth + bound(i, used)`` — so the max
+        over open frames (and the incumbent) bounds the optimum. Equals
+        ``len(best)`` once the search finishes.
+        """
+        ub = len(self.best)
+        total = len(self.cliques)
+        for frame in self.stack:
+            if frame[_I] < total:
+                ub = max(ub, frame[_DEPTH] + self._bound(frame[_I], frame[_USED]))
+        return ub
+
+    def snapshot_result(self) -> CliqueSetResult:
+        """Current incumbent (always a valid disjoint set)."""
+        return CliqueSetResult(
+            [frozenset(self.cliques[i]) for i in self.best],
+            k=self.k,
+            method=self.tag,
+            stats=self._stats(),
+        )
+
+    def result(self) -> CliqueSetResult:
+        """Final (optimal) result; raises unless the search finished."""
+        if not self.finished:
+            raise InvalidParameterError(
+                "engine has not finished; drive tick() to completion first"
+            )
+        return self.snapshot_result()
+
+    def _stats(self) -> dict[str, float]:
+        return {
+            "cliques_stored": float(len(self.cliques)),
+            "nodes_expanded": float(self.ticks),
+        }
+
+    # -- checkpoint / restore ------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable search state (clique list excluded).
+
+        ``used`` bitsets can exceed 64 bits on large graphs, so they are
+        serialised as hex strings. The clique list itself is rebuilt
+        deterministically from the graph on restore.
+        """
+        return {
+            "ticks": self.ticks,
+            "best": list(self.best),
+            "chosen": list(self.chosen),
+            "stack": [
+                [frame[_I], format(frame[_USED], "x"), bool(frame[_OWNS]),
+                 frame[_DEPTH]]
+                for frame in self.stack
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.ticks = int(state["ticks"])
+        self.best = [int(i) for i in state["best"]]
+        self.chosen = [int(i) for i in state["chosen"]]
+        self.stack = [
+            [int(i), int(used, 16), bool(owns), int(depth)]
+            for i, used, owns, depth in state["stack"]
+        ]
 
 
 def exact_optimum_bb(
@@ -43,66 +269,23 @@ def exact_optimum_bb(
     violations raise :class:`OutOfTimeError` / :class:`OutOfMemoryError`.
     ``scores`` / ``cliques`` accept precomputed substrates (e.g. from a
     session cache) and skip the corresponding enumeration passes.
+
+    This is the drive-to-completion wrapper over :class:`ExactBBEngine`;
+    a raised :class:`OutOfTimeError` carries the incumbent found so far
+    on its ``partial`` attribute, so deadline-bound callers keep the
+    completed work. For step-wise anytime execution use
+    :meth:`repro.core.session.Session.task`.
     """
-    if k < 2:
-        raise InvalidParameterError(f"k must be >= 2, got {k}")
-    if scores is None:
-        scores = node_scores(graph, k)
-    if cliques is None:
-        cliques = []
-        for clique in iter_cliques(graph, k):
-            if max_cliques is not None and len(cliques) >= max_cliques:
-                raise OutOfMemoryError(
-                    f"exact B&B exceeded its clique budget of {max_cliques}"
-                )
-            cliques.append(tuple(sorted(clique)))
-    else:
-        if max_cliques is not None and len(cliques) > max_cliques:
-            raise OutOfMemoryError(
-                f"exact B&B exceeded its clique budget of {max_cliques}"
-            )
-        # The tuples are used as-is: masks and result frozensets are
-        # member-order-independent and clique_key sorts internally, so
-        # the (typically session-cached) list is only shallow-copied.
-        cliques = list(cliques)
-    cliques.sort(key=lambda c: clique_key(c, scores))
-
-    masks = [sum(1 << u for u in c) for c in cliques]
-    # suffix_capable[i]: nodes used by cliques[i:] — capacity bound input.
-    suffix_capable = [0] * (len(cliques) + 1)
-    for i in range(len(cliques) - 1, -1, -1):
-        suffix_capable[i] = suffix_capable[i + 1] | masks[i]
-
-    deadline = None if time_budget is None else time.monotonic() + time_budget
-    best: list[int] = []
-    chosen: list[int] = []
-    ticks = 0
-
-    def bound(idx: int, used: int) -> int:
-        free = suffix_capable[idx] & ~used
-        return min(len(cliques) - idx, bin(free).count("1") // k)
-
-    def search(idx: int, used: int) -> None:
-        nonlocal best, ticks
-        ticks += 1
-        if deadline is not None and not ticks % 512:
-            if time.monotonic() > deadline:
-                raise OutOfTimeError("exact B&B exceeded its time budget")
-        if len(chosen) > len(best):
-            best = chosen.copy()
-        for i in range(idx, len(cliques)):
-            if len(chosen) + bound(i, used) <= len(best):
-                return
-            if not used & masks[i]:
-                chosen.append(i)
-                search(i + 1, used | masks[i])
-                chosen.pop()
-
-    search(0, 0)
-    solution = [frozenset(cliques[i]) for i in best]
-    return CliqueSetResult(
-        solution,
-        k=k,
-        method="opt-bb",
-        stats={"cliques_stored": float(len(cliques)), "nodes_expanded": float(ticks)},
+    engine = ExactBBEngine(
+        graph, k, max_cliques=max_cliques, scores=scores, cliques=cliques
     )
+    deadline = None if time_budget is None else time.monotonic() + time_budget
+    while not engine.finished:
+        engine.tick()
+        if deadline is not None and not engine.ticks % 512:
+            if time.monotonic() > deadline:
+                raise OutOfTimeError(
+                    "exact B&B exceeded its time budget",
+                    partial=engine.snapshot_result(),
+                )
+    return engine.result()

@@ -53,7 +53,7 @@ from repro.graph.csr import intersect_sorted
 from repro.graph.ordering import by_score
 from repro.cliques.counting import node_scores
 from repro.cliques.csr_kernels import resolve_backend
-from repro.core.result import CliqueSetResult
+from repro.core.result import CliqueSetResult, is_seedable_clique
 from repro.core.scores import CliqueKey
 
 _INF_KEY: CliqueKey = (np.iinfo(np.int64).max, ())
@@ -332,6 +332,250 @@ def _parallel_heap_init(
     return heap
 
 
+class LightweightEngine:
+    """Resumable step machine for Algorithm 3 (one FindMin per tick).
+
+    The run moves through three phases — ``"init"`` (sequential
+    HeapInit, one root per tick), ``"init-parallel"`` (forked HeapInit,
+    a single coarse tick because worker results only exist merged) and
+    ``"drain"`` (the main loop, one heap pop per tick) — then finishes.
+    At every tick boundary ``solution`` is a valid disjoint k-clique
+    set; maximality holds once :attr:`finished` is true. Solutions and
+    stats are identical to the pre-engine monolithic loop for any
+    backend/worker combination (the drive-to-completion wrapper
+    :func:`lightweight` is what the pinned equivalence tests run).
+
+    :meth:`state_dict` captures ``(phase, next root, heap, solution,
+    stats)``; substrates (scores, orientation, residual sets) are
+    deterministic functions of the graph plus the replayed solution, so
+    :meth:`load_state` rebuilds them instead of serialising them.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        k: int,
+        prune: bool = True,
+        listing_order="degeneracy",
+        workers: int = 1,
+        scores: np.ndarray | None = None,
+        backend: str = "auto",
+        warm_start=None,
+        oriented: OrientedGraph | None = None,
+    ) -> None:
+        if k < 2:
+            raise InvalidParameterError(f"k must be >= 2, got {k}")
+        # Phase-aware resolution: scores follow the auto heuristic, but
+        # the FindMin walk only leaves sets when csr is explicitly forced.
+        score_backend = resolve_backend(backend, graph.m)
+        findmin_backend = "csr" if backend == "csr" else "sets"
+        if scores is None:
+            scores = node_scores(graph, k, listing_order, backend=score_backend)
+        elif len(scores) != graph.n:
+            raise InvalidParameterError(
+                f"scores has length {len(scores)}, expected n={graph.n}"
+            )
+        self.graph = graph
+        self.k = k
+        self.prune = prune
+        self.tag = "lp" if prune else "l"
+        # ``oriented`` must be the by_score orientation of ``graph``
+        # under ``scores`` (e.g. Preprocessing.score_oriented); it is
+        # only read — the engine works on copies/masks.
+        rank = oriented.rank if oriented is not None else by_score(graph, scores)
+        self.stats: dict[str, float] = {
+            "findmin_calls": 0,
+            "branches_pruned": 0,
+            "heap_pushes": 0,
+            "heap_pops": 0,
+            "stale_pops": 0,
+            "cliques_taken": 0,
+        }
+        state: dict = {
+            "backend": findmin_backend, "scores": scores, "prune": prune, "k": k
+        }
+        if findmin_backend == "csr":
+            ocsr = oriented.csr() if oriented is not None else OrientedCSR.from_rank(
+                graph, rank
+            )
+            valid_mask = np.ones(graph.n, dtype=bool)
+            self.finder: _FindMin | _FindMinCSR = _FindMinCSR(
+                ocsr, scores, prune, self.stats, valid_mask
+            )
+            state.update(ocsr=ocsr, valid=valid_mask)
+        else:
+            dag = oriented if oriented is not None else OrientedGraph(graph, rank)
+            out = [set(s) for s in dag.out]
+            self.finder = _FindMin(
+                out, scores, prune, self.stats, graph, [True] * graph.n
+            )
+            state["out"] = out
+        self._pstate = state
+
+        if workers == 0:
+            workers = os.cpu_count() or 1
+        self.workers = workers
+        use_parallel = (
+            workers > 1
+            and graph.n > workers
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+        self.phase = "init-parallel" if use_parallel else "init"
+        if self.phase == "init" and graph.n == 0:
+            self.phase = "done"  # nothing to scan; the heap stays empty
+        self.next_root = 0
+        self.heap: list[tuple[CliqueKey, int, tuple[int, ...]]] = []
+        self.solution: list[frozenset[int]] = []
+
+        if warm_start:
+            self.stats["warm_seeded"] = 0
+            for clique in warm_start:
+                if is_seedable_clique(graph, k, clique, self.finder.alive):
+                    self.solution.append(frozenset(clique))
+                    self.stats["cliques_taken"] += 1
+                    self.stats["warm_seeded"] += 1
+                    self.finder.invalidate(clique)
+
+    # -- stepping ------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """Whether the main loop drained the heap (solution maximal)."""
+        return self.phase == "done"
+
+    @property
+    def size(self) -> int:
+        """Current ``|S|`` of the partial solution."""
+        return len(self.solution)
+
+    def tick(self) -> None:
+        """Advance one work unit (a HeapInit root or a main-loop pop)."""
+        if self.phase == "init-parallel":
+            # Forked workers return only merged results, so the whole
+            # parallel HeapInit is one coarse (non-interruptible) tick.
+            self.heap = _parallel_heap_init(
+                self._pstate, self.graph.n, self.workers, self.stats
+            )
+            heapq.heapify(self.heap)
+            self.phase = "drain" if self.heap else "done"
+            return
+        if self.phase == "init":
+            u = self.next_root
+            self.next_root += 1
+            finder, k = self.finder, self.k
+            found = finder.search(u, k) if finder.live_out_degree(u) >= k - 1 else None
+            if found is not None:
+                key, clique = found
+                self.heap.append((key, u, clique))
+                self.stats["heap_pushes"] += 1
+            if self.next_root >= self.graph.n:
+                heapq.heapify(self.heap)
+                self.phase = "drain" if self.heap else "done"
+            return
+        if self.phase == "drain":
+            finder, k, stats = self.finder, self.k, self.stats
+            key, root, clique = heapq.heappop(self.heap)
+            stats["heap_pops"] += 1
+            if all(finder.alive(v) for v in clique):
+                self.solution.append(frozenset(clique))
+                stats["cliques_taken"] += 1
+                finder.invalidate(clique)
+            else:
+                stats["stale_pops"] += 1
+                if finder.alive(root) and finder.live_out_degree(root) >= k - 1:
+                    found = finder.search(root, k)
+                    if found is not None:
+                        new_key, new_clique = found
+                        heapq.heappush(self.heap, (new_key, root, new_clique))
+                        stats["heap_pushes"] += 1
+            if not self.heap:
+                self.phase = "done"
+
+    # -- anytime surface -----------------------------------------------
+    def bound(self) -> int:
+        """Upper bound on the final ``|S|`` of this run.
+
+        Every future clique is taken from a heap pop, re-pushes never
+        grow the heap, and each remaining HeapInit root contributes at
+        most one push — so ``|S| + min(free // k, heap + roots left)``
+        bounds what draining can still add.
+        """
+        if self.phase == "done":
+            return len(self.solution)
+        finder = self.finder
+        if isinstance(finder, _FindMinCSR):
+            free = int(np.count_nonzero(finder.valid))
+        else:
+            free = sum(1 for alive in finder.valid if alive)
+        roots_left = 0
+        if self.phase == "init":
+            roots_left = self.graph.n - self.next_root
+        elif self.phase == "init-parallel":
+            roots_left = self.graph.n
+        pending = len(self.heap) + roots_left
+        return len(self.solution) + min(free // self.k, pending)
+
+    def snapshot_result(self) -> CliqueSetResult:
+        """Current partial solution (always a valid disjoint set)."""
+        return CliqueSetResult(
+            list(self.solution), k=self.k, method=self.tag, stats=dict(self.stats)
+        )
+
+    def result(self) -> CliqueSetResult:
+        """Final result; raises unless the run drained to completion."""
+        if not self.finished:
+            raise InvalidParameterError(
+                "engine has not finished; drive tick() to completion first"
+            )
+        return CliqueSetResult(
+            self.solution, k=self.k, method=self.tag, stats=self.stats
+        )
+
+    # -- checkpoint / restore ------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable engine state (substrates excluded)."""
+        return {
+            "phase": self.phase,
+            "next_root": self.next_root,
+            "heap": [
+                [int(key[0]), list(key[1]), int(root), list(clique)]
+                for key, root, clique in self.heap
+            ],
+            "solution": [sorted(c) for c in self.solution],
+            "stats": dict(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto fresh substrates.
+
+        The residual graph (validity mask / live out-sets) is rebuilt by
+        replaying the checkpointed solution's invalidations; heap
+        entries keep their total order under JSON round-tripping, so pop
+        sequences — and therefore the final solution and stats — are
+        identical to an uninterrupted run.
+        """
+        self.solution = []
+        for clique in state["solution"]:
+            self.solution.append(frozenset(clique))
+            self.finder.invalidate(clique)
+        self.heap = [
+            ((int(score), tuple(key_clique)), int(root), tuple(clique))
+            for score, key_clique, root, clique in state["heap"]
+        ]
+        heapq.heapify(self.heap)
+        phase = state["phase"]
+        if phase == "init-parallel" and self.phase != "init-parallel":
+            # Checkpoint taken on a fork-capable platform, restored on a
+            # spawn-only one (or with fewer cores configured): fall back
+            # to sequential HeapInit — same heap, same stats, no crash.
+            phase = "init"
+        self.phase = phase
+        self.next_root = int(state["next_root"])
+        # In-place replacement keeps the finder's reference valid.
+        replaced = {key: value for key, value in state["stats"].items()}
+        self.stats.clear()
+        self.stats.update(replaced)
+
+
 def lightweight(
     graph: Graph,
     k: int,
@@ -340,6 +584,7 @@ def lightweight(
     workers: int = 1,
     scores: np.ndarray | None = None,
     backend: str = "auto",
+    oriented: OrientedGraph | None = None,
 ) -> CliqueSetResult:
     """Compute a disjoint k-clique set with Algorithm 3.
 
@@ -372,85 +617,31 @@ def lightweight(
         (per-root work over tiny candidate arrays, where numpy call
         overhead loses). ``"sets"`` / ``"csr"`` force one engine for
         both phases. Solutions and stats are backend-independent.
+    oriented:
+        An already-built ascending-score orientation of ``graph`` under
+        the same ``scores`` (e.g. from
+        :meth:`repro.core.session.Preprocessing.score_oriented`); skips
+        the per-call orientation build. Only read, never mutated.
 
     Returns
     -------
     CliqueSetResult
         Same solution as :func:`repro.core.store_all.store_all_cliques`
         under the shared clique key (Theorem 4), with ``O(n+m)`` space.
+        This is the drive-to-completion wrapper over
+        :class:`LightweightEngine`; for anytime/interruptible execution
+        use :meth:`repro.core.session.Session.task`.
     """
-    if k < 2:
-        raise InvalidParameterError(f"k must be >= 2, got {k}")
-    # Phase-aware resolution: scores follow the auto heuristic, but the
-    # FindMin walk only leaves sets when csr is explicitly forced.
-    score_backend = resolve_backend(backend, graph.m)
-    findmin_backend = "csr" if backend == "csr" else "sets"
-    if scores is None:
-        scores = node_scores(graph, k, listing_order, backend=score_backend)
-    elif len(scores) != graph.n:
-        raise InvalidParameterError(
-            f"scores has length {len(scores)}, expected n={graph.n}"
-        )
-    rank = by_score(graph, scores)
-
-    stats: dict[str, float] = {
-        "findmin_calls": 0,
-        "branches_pruned": 0,
-        "heap_pushes": 0,
-        "heap_pops": 0,
-        "stale_pops": 0,
-        "cliques_taken": 0,
-    }
-    state: dict = {"backend": findmin_backend, "scores": scores, "prune": prune, "k": k}
-    if findmin_backend == "csr":
-        ocsr = OrientedCSR.from_rank(graph, rank)
-        valid_mask = np.ones(graph.n, dtype=bool)
-        finder: _FindMin | _FindMinCSR = _FindMinCSR(
-            ocsr, scores, prune, stats, valid_mask
-        )
-        state.update(ocsr=ocsr, valid=valid_mask)
-    else:
-        dag = OrientedGraph(graph, rank)
-        out = [set(s) for s in dag.out]
-        finder = _FindMin(out, scores, prune, stats, graph, [True] * graph.n)
-        state["out"] = out
-
-    # HeapInit: one local-minimum clique per eligible root.
-    if workers == 0:
-        workers = os.cpu_count() or 1
-    use_parallel = (
-        workers > 1
-        and graph.n > workers
-        and "fork" in multiprocessing.get_all_start_methods()
+    engine = LightweightEngine(
+        graph,
+        k,
+        prune=prune,
+        listing_order=listing_order,
+        workers=workers,
+        scores=scores,
+        backend=backend,
+        oriented=oriented,
     )
-    if use_parallel:
-        heap = _parallel_heap_init(state, graph.n, workers, stats)
-    else:
-        heap = []
-        for u in range(graph.n):
-            found = finder.search(u, k) if finder.live_out_degree(u) >= k - 1 else None
-            if found is not None:
-                key, clique = found
-                heap.append((key, u, clique))
-                stats["heap_pushes"] += 1
-    heapq.heapify(heap)
-
-    solution: list[frozenset[int]] = []
-    while heap:
-        key, root, clique = heapq.heappop(heap)
-        stats["heap_pops"] += 1
-        if all(finder.alive(v) for v in clique):
-            solution.append(frozenset(clique))
-            stats["cliques_taken"] += 1
-            finder.invalidate(clique)
-            continue
-        stats["stale_pops"] += 1
-        if finder.alive(root) and finder.live_out_degree(root) >= k - 1:
-            found = finder.search(root, k)
-            if found is not None:
-                new_key, new_clique = found
-                heapq.heappush(heap, (new_key, root, new_clique))
-                stats["heap_pushes"] += 1
-
-    method = "lp" if prune else "l"
-    return CliqueSetResult(solution, k=k, method=method, stats=stats)
+    while not engine.finished:
+        engine.tick()
+    return engine.result()

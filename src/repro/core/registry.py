@@ -29,10 +29,10 @@ from typing import Callable, Iterator
 
 from repro.errors import InvalidParameterError
 from repro.cliques.csr_kernels import BACKENDS
-from repro.core.basic import basic_framework
+from repro.core.basic import BasicEngine, basic_framework
 from repro.core.exact import exact_optimum
-from repro.core.exact_bb import exact_optimum_bb
-from repro.core.lightweight import lightweight
+from repro.core.exact_bb import ExactBBEngine, exact_optimum_bb
+from repro.core.lightweight import LightweightEngine, lightweight
 from repro.core.result import CliqueSetResult
 from repro.core.store_all import store_all_cliques
 
@@ -184,8 +184,11 @@ class Method:
     supports_time_budget:
         Whether the solver cooperatively honours ``time_budget``.
     supports_warm_start:
-        Whether the solver can start from a previous solution (reserved
-        for the dynamic-maintenance integration; no static method does).
+        Whether the solver can be seeded from a previous solution (the
+        engine filters the seed to cliques still valid in the graph);
+        :meth:`repro.core.session.Session.task` exposes this as
+        ``warm_start=`` and :meth:`~repro.core.session.Session.dynamic`
+        uses it to warm-restart after updates.
     deadline_safe:
         Whether the solver's running time is predictably bounded
         (near-linear heuristics) so a serving deadline is meaningful
@@ -193,6 +196,14 @@ class Method:
         in :mod:`repro.serve` only accepts per-request deadlines for
         methods where :attr:`can_meet_deadline` holds; others would
         occupy a worker long past their deadline with no way to stop.
+    engine:
+        Factory ``(prep, k, options, warm_start=None) -> engine`` for
+        the method's resumable step machine, or ``None`` for methods
+        that only run monolithically. When present the method is
+        :attr:`resumable`: it can be opened as a
+        :class:`repro.core.task.SolveTask`, the serving scheduler can
+        preempt/timeslice it, and deadline expiry yields its partial
+        solution instead of discarding the work.
     """
 
     tag: str
@@ -203,17 +214,24 @@ class Method:
     supports_time_budget: bool = False
     supports_warm_start: bool = False
     deadline_safe: bool = False
+    engine: Callable | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def resumable(self) -> bool:
+        """Whether the method exposes a resumable engine (anytime-capable)."""
+        return self.engine is not None
 
     @property
     def can_meet_deadline(self) -> bool:
         """Whether a per-request deadline is enforceable for this method.
 
-        True when the method either honours a cooperative
-        ``time_budget`` (the scheduler forwards the remaining deadline)
-        or is declared ``deadline_safe`` (bounded-work heuristics that
-        finish promptly on their own).
+        True when the method is :attr:`resumable` (the scheduler
+        timeslices it and harvests ``best()`` at expiry), honours a
+        cooperative ``time_budget`` (the scheduler forwards the
+        remaining deadline), or is declared ``deadline_safe``
+        (bounded-work heuristics that finish promptly on their own).
         """
-        return self.deadline_safe or self.supports_time_budget
+        return self.resumable or self.deadline_safe or self.supports_time_budget
 
     def parse_options(self, kwargs: dict) -> SolveOptions:
         """Validate raw keyword arguments into a typed options object.
@@ -262,8 +280,14 @@ class SolverRegistry:
         supports_time_budget: bool = False,
         supports_warm_start: bool = False,
         deadline_safe: bool = False,
+        engine: Callable | None = None,
     ) -> Callable:
-        """Decorator registering a ``(prep, k, options)`` solve function."""
+        """Decorator registering a ``(prep, k, options)`` solve function.
+
+        ``engine`` optionally attaches a resumable engine factory
+        ``(prep, k, options, warm_start=None) -> engine`` making the
+        method anytime-capable (see :attr:`Method.engine`).
+        """
 
         def decorator(fn: Callable[..., CliqueSetResult]) -> Callable:
             key = tag.lower()
@@ -278,6 +302,7 @@ class SolverRegistry:
                 supports_time_budget=supports_time_budget,
                 supports_warm_start=supports_warm_start,
                 deadline_safe=deadline_safe,
+                engine=engine,
             )
             return fn
 
@@ -318,12 +343,58 @@ class SolverRegistry:
 REGISTRY = SolverRegistry()
 
 
+# ----------------------------------------------------------------------
+# Resumable engine factories (Method.engine): same substrates as the
+# blocking run functions, so a task driven to completion reproduces the
+# blocking solve bit-for-bit.
+# ----------------------------------------------------------------------
+def _engine_hg(prep, k: int, opts: HGOptions, warm_start=None) -> BasicEngine:
+    return BasicEngine(
+        prep.graph,
+        k,
+        order=opts.order,
+        oriented=prep.oriented(opts.order),
+        warm_start=warm_start,
+    )
+
+
+def _engine_lightweight(prune: bool):
+    def factory(
+        prep, k: int, opts: LightweightOptions, warm_start=None
+    ) -> LightweightEngine:
+        return LightweightEngine(
+            prep.graph,
+            k,
+            prune=prune,
+            workers=opts.workers,
+            scores=prep.scores(k, backend=opts.backend),
+            backend=opts.backend,
+            warm_start=warm_start,
+            oriented=prep.score_oriented(k, backend=opts.backend),
+        )
+
+    return factory
+
+
+def _engine_opt_bb(prep, k: int, opts: ExactOptions, warm_start=None) -> ExactBBEngine:
+    return ExactBBEngine(
+        prep.graph,
+        k,
+        max_cliques=opts.max_cliques,
+        scores=prep.scores(k),
+        cliques=prep.cliques(k, max_cliques=opts.max_cliques),
+        warm_start=warm_start,
+    )
+
+
 @REGISTRY.register(
     "hg",
     summary="Algorithm 1, basic greedy framework (maximal, k-approximate)",
     exact=False,
     options=HGOptions,
     deadline_safe=True,
+    supports_warm_start=True,
+    engine=_engine_hg,
 )
 def _run_hg(prep, k: int, opts: HGOptions) -> CliqueSetResult:
     return basic_framework(
@@ -354,6 +425,8 @@ def _run_gc(prep, k: int, opts: GCOptions) -> CliqueSetResult:
     exact=False,
     options=LightweightOptions,
     deadline_safe=True,
+    supports_warm_start=True,
+    engine=_engine_lightweight(prune=False),
 )
 def _run_l(prep, k: int, opts: LightweightOptions) -> CliqueSetResult:
     return lightweight(
@@ -363,6 +436,7 @@ def _run_l(prep, k: int, opts: LightweightOptions) -> CliqueSetResult:
         workers=opts.workers,
         scores=prep.scores(k, backend=opts.backend),
         backend=opts.backend,
+        oriented=prep.score_oriented(k, backend=opts.backend),
     )
 
 
@@ -372,6 +446,8 @@ def _run_l(prep, k: int, opts: LightweightOptions) -> CliqueSetResult:
     exact=False,
     options=LightweightOptions,
     deadline_safe=True,
+    supports_warm_start=True,
+    engine=_engine_lightweight(prune=True),
 )
 def _run_lp(prep, k: int, opts: LightweightOptions) -> CliqueSetResult:
     return lightweight(
@@ -381,6 +457,7 @@ def _run_lp(prep, k: int, opts: LightweightOptions) -> CliqueSetResult:
         workers=opts.workers,
         scores=prep.scores(k, backend=opts.backend),
         backend=opts.backend,
+        oriented=prep.score_oriented(k, backend=opts.backend),
     )
 
 
@@ -412,6 +489,8 @@ def _run_opt(prep, k: int, opts: ExactOptions) -> CliqueSetResult:
     exact=True,
     options=ExactOptions,
     supports_time_budget=True,
+    supports_warm_start=True,
+    engine=_engine_opt_bb,
 )
 def _run_opt_bb(prep, k: int, opts: ExactOptions) -> CliqueSetResult:
     cliques = prep.cliques(k, max_cliques=opts.max_cliques)

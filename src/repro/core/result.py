@@ -107,6 +107,26 @@ def verify_solution(graph, k: int, cliques: Iterable[Iterable[int]]) -> None:
         seen.update(members)
 
 
+def is_seedable_clique(graph, k: int, clique: Iterable[int], alive) -> bool:
+    """Whether ``clique`` can seed a warm-started engine.
+
+    True when the clique has exactly ``k`` distinct in-range nodes, all
+    still available per the ``alive(node) -> bool`` predicate, and is a
+    complete subgraph of ``graph``. Shared by the resumable engines'
+    ``warm_start`` filters so their seeding semantics cannot diverge.
+    """
+    members = sorted(set(clique))
+    if len(members) != k:
+        return False
+    if not all(0 <= u < graph.n and alive(u) for u in members):
+        return False
+    return all(
+        graph.has_edge(u, v)
+        for i, u in enumerate(members)
+        for v in members[i + 1 :]
+    )
+
+
 def is_valid(graph, k: int, cliques: Iterable[Iterable[int]]) -> bool:
     """Boolean form of :func:`verify_solution`."""
     try:

@@ -79,6 +79,7 @@ class Preprocessing:
         self._core: np.ndarray | None = None
         self._ranks: dict[str, np.ndarray] = {}
         self._oriented: dict[str, OrientedGraph] = {}
+        self._score_oriented: dict[int, OrientedGraph] = {}
         self._scores: dict[int, np.ndarray] = {}
         self._cliques: dict[int, list[tuple[int, ...]]] = {}
         self._counts: dict[int, int] = {}
@@ -133,6 +134,30 @@ class Preprocessing:
             if cached is None:
                 cached = OrientedGraph(self.graph, self.rank(order))
                 self._oriented[order] = cached
+                self.stats["orientations"] += 1
+            else:
+                self.stats["cache_hits"] += 1
+            return cached
+
+    def score_oriented(self, k: int, backend: str = "auto") -> OrientedGraph:
+        """The ascending-score DAG orientation for ``k`` (cached per k).
+
+        Algorithm 3's FindMin phase walks the graph oriented by node
+        score (Definition 5), an orientation that depends on ``k`` but
+        not on the solver options — so repeated ``l``/``lp`` solves and
+        tasks over one session share it instead of re-orienting the
+        graph per call (on large graphs the orientation build dominates
+        a warm solve's startup, which also bounds how long a resumable
+        task blocks before its first preemptible step). ``backend``
+        only selects the engine used if the ``k`` scores are a cache
+        miss.
+        """
+        with self._lock:
+            cached = self._score_oriented.get(k)
+            if cached is None:
+                rank = ordering.by_score(self.graph, self.scores(k, backend=backend))
+                cached = OrientedGraph(self.graph, rank)
+                self._score_oriented[k] = cached
                 self.stats["orientations"] += 1
             else:
                 self.stats["cache_hits"] += 1
@@ -297,7 +322,7 @@ class Preprocessing:
                 total += int(self._core.nbytes)
             for rank in self._ranks.values():
                 total += int(rank.nbytes)
-            for dag in self._oriented.values():
+            for dag in (*self._oriented.values(), *self._score_oriented.values()):
                 total += graph.n * 64 + graph.m * 60 + int(dag.rank.nbytes)
                 if dag.has_csr:
                     csr = dag.csr()
@@ -405,6 +430,67 @@ class Session:
         opts = m.parse_options(options)
         return m.run(self.prep, k, opts)
 
+    def task(self, k: int, method: str | None = None, *, warm_start=None, **options):
+        """Open a resumable :class:`~repro.core.task.SolveTask`.
+
+        The task wraps the method's step engine over this session's
+        shared preprocessing: drive it with ``step()``/``run()``,
+        observe ``best()``/``bound()`` at any boundary, ``pause()`` /
+        ``resume()`` it, and ``checkpoint()`` it across processes.
+        Driving a task to completion yields the same solution and stats
+        as :meth:`solve` with the same arguments.
+
+        Parameters
+        ----------
+        k / method / options:
+            As for :meth:`solve`; the method must be resumable
+            (``Method.resumable`` — ``hg``/``l``/``lp``/``opt-bb``).
+            ``time_budget`` is rejected here: the caller controls time
+            by how it drives ``step()``.
+        warm_start:
+            Optional previous solution (a
+            :class:`~repro.core.result.CliqueSetResult` or iterable of
+            cliques) to seed the engine with; cliques no longer valid in
+            this session's graph are silently skipped. Greedy engines
+            keep the seed in the solution; the exact B&B uses it as its
+            starting incumbent.
+        """
+        from repro.core.task import SolveTask, normalize_warm_start
+
+        k = self._check_k(k)
+        m = self.registry.get(method if method is not None else self.default_method)
+        if not m.resumable:
+            resumable = tuple(t.tag for t in self.registry if t.resumable)
+            raise InvalidParameterError(
+                f"method {m.tag!r} is not resumable; resumable methods: "
+                f"{resumable}"
+            )
+        if options.get("time_budget") is not None:
+            raise InvalidParameterError(
+                "tasks are driven by step()/run(); drop time_budget and "
+                "bound the work from the caller instead"
+            )
+        seed = normalize_warm_start(warm_start)
+        if seed is not None and not m.supports_warm_start:
+            raise InvalidParameterError(
+                f"method {m.tag!r} does not support warm_start"
+            )
+        opts = m.parse_options(options)
+        engine = m.engine(self.prep, k, opts, warm_start=seed)
+        return SolveTask(self, m, k, opts, engine)
+
+    def restore_task(self, checkpoint):
+        """Revive a :meth:`~repro.core.task.SolveTask.checkpoint` here.
+
+        The checkpoint must come from a session over an equal graph
+        (matching content fingerprint); continuing the restored task
+        produces the same final solution and stats as the uninterrupted
+        run. Returns the restored :class:`~repro.core.task.SolveTask`.
+        """
+        from repro.core.task import SolveTask
+
+        return SolveTask.restore(self, checkpoint)
+
     def solve_many(
         self,
         requests: Iterable,
@@ -478,7 +564,7 @@ class Session:
             self.prep.scores(k, backend=backend)
         return self
 
-    def dynamic(self, k: int, method: str | None = None, **options):
+    def dynamic(self, k: int, method: str | None = None, *, warm_start=None, **options):
         """Construct a dynamic maintainer seeded from this session.
 
         The initial static solve runs through :meth:`solve`, so it
@@ -490,6 +576,13 @@ class Session:
         independently; the session (and its caches) keep describing the
         original immutable snapshot.
 
+        ``warm_start`` warm-restarts the initial solve from a previous
+        (e.g. pre-update) solution: the solve runs as a
+        :meth:`task` seeded with the still-valid cliques, so after a
+        burst of graph updates a new maintainer starts from the old
+        answer instead of from scratch. Requires a method that supports
+        warm starts (``hg``/``l``/``lp``/``opt-bb``).
+
         Returns
         -------
         repro.dynamic.maintainer.DynamicDisjointCliques
@@ -497,7 +590,10 @@ class Session:
         from repro.dynamic.maintainer import DynamicDisjointCliques
 
         k = self._check_k(k)
-        result = self.solve(k, method, **options)
+        if warm_start is not None:
+            result = self.task(k, method, warm_start=warm_start, **options).run()
+        else:
+            result = self.solve(k, method, **options)
         # The solve just came from this session's own registry method;
         # re-validating it (free-subgraph maximality enumeration) would
         # duplicate work the caller is here to avoid.

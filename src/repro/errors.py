@@ -30,7 +30,21 @@ class BudgetExceededError(ReproError):
 
 
 class OutOfTimeError(BudgetExceededError):
-    """Computation exceeded its wall-clock budget (paper marker: ``OOT``)."""
+    """Computation exceeded its wall-clock budget (paper marker: ``OOT``).
+
+    Anytime-capable solvers attach the best solution found before the
+    budget expired as :attr:`partial` (``None`` when no partial work
+    exists), so a deadline miss no longer discards completed work: the
+    serving layer forwards it over the wire and library callers can
+    read it off the exception.
+    """
+
+    def __init__(self, *args, partial=None) -> None:
+        super().__init__(*args)
+        #: Best-so-far work at expiry: a
+        #: :class:`repro.core.result.CliqueSetResult` from solvers, a
+        #: wire payload dict from the serving layer, or ``None``.
+        self.partial = partial
 
 
 class OutOfMemoryError(BudgetExceededError):

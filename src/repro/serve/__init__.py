@@ -8,8 +8,10 @@ service (see ``docs/serving.md`` for the protocol reference and
   :class:`~repro.core.session.Session` objects keyed by graph content
   fingerprint, with LRU + byte-budget eviction;
 * :class:`~repro.serve.scheduler.Scheduler` — bounded-queue thread pool
-  with priority lanes, per-request deadlines, cancellation and
-  load-shedding;
+  with priority lanes, per-request deadlines, cancellation,
+  load-shedding, and preemptive timeslicing of resumable solves
+  (:class:`~repro.serve.scheduler.Resumable`): deadline expiry returns
+  the best-so-far solution instead of discarding it;
 * :class:`~repro.serve.feeds.DynamicFeed` — per-tenant edge streams
   buffered into the dynamic maintainer's batched update engine;
 * :class:`~repro.serve.server.Server` /
@@ -36,7 +38,7 @@ from repro.serve.client import Client, PendingCall
 from repro.serve.feeds import DynamicFeed, FlushPolicy, FlushReport
 from repro.graph.fingerprint import graph_fingerprint
 from repro.serve.pool import SessionPool
-from repro.serve.scheduler import PRIORITIES, Scheduler, Ticket
+from repro.serve.scheduler import PRIORITIES, Resumable, Scheduler, Ticket
 from repro.serve.server import Server
 
 __all__ = [
@@ -48,6 +50,7 @@ __all__ = [
     "graph_fingerprint",
     "SessionPool",
     "Scheduler",
+    "Resumable",
     "Ticket",
     "PRIORITIES",
     "Server",

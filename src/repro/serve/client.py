@@ -33,12 +33,21 @@ Update = tuple[str, int, int]
 
 
 def _raise_for_envelope(envelope: dict) -> dict:
-    """Return the result payload, raising the mapped typed error on failure."""
+    """Return the result payload, raising the mapped typed error on failure.
+
+    A failure envelope flagged ``error.partial`` carries the best-so-far
+    solution payload in ``result``; it is attached to the raised
+    exception's ``partial`` attribute so callers keep the completed
+    work (mirroring the library-side anytime contract).
+    """
     if envelope.get("ok"):
         return envelope["result"]
     error = envelope.get("error") or {}
     exc_cls = protocol.CODE_TO_ERROR.get(error.get("code"), ServeError)
-    raise exc_cls(error.get("message", "serving request failed"))
+    exc = exc_cls(error.get("message", "serving request failed"))
+    if error.get("partial") and envelope.get("result") is not None:
+        exc.partial = envelope["result"]
+    raise exc
 
 
 class PendingCall:
@@ -89,19 +98,42 @@ class Client:
         }}
         return protocol.decode_request(protocol.encode(message))
 
-    def call(self, op: str, **fields) -> dict:
-        """Send one request and block for its result payload."""
-        message = self._encode({"op": op, **fields})
-        return _raise_for_envelope(self.server.handle_request(message))
+    @staticmethod
+    def _progress_sink(on_progress):
+        """Adapt a user progress callback into an envelope sink."""
+        if on_progress is None:
+            return None
 
-    def start(self, op: str, **fields) -> PendingCall:
+        def emit(envelope: dict) -> None:
+            if envelope.get("event") == "progress":
+                on_progress(envelope.get("data") or {})
+
+        return emit
+
+    def call(self, op: str, *, on_progress=None, **fields) -> dict:
+        """Send one request and block for its result payload.
+
+        ``on_progress`` receives each streamed progress ``data`` dict
+        (``size``/``bound``/``work``/``done``) for anytime solves run
+        with ``progress=True``; callbacks fire on scheduler worker
+        threads while the call blocks.
+        """
+        message = self._encode({"op": op, **fields})
+        return _raise_for_envelope(
+            self.server.handle_request(message, self._progress_sink(on_progress))
+        )
+
+    def start(self, op: str, *, on_progress=None, **fields) -> PendingCall:
         """Send one request without waiting; admission errors raise now.
 
         Compute ops return immediately with a live handle; inline ops
         resolve before returning (their handle is already done).
+        ``on_progress`` streams progress events as in :meth:`call`.
         """
         message = self._encode({"op": op, **fields})
-        handled = self.server.submit_request(message)
+        handled = self.server.submit_request(
+            message, self._progress_sink(on_progress)
+        )
         if isinstance(handled, Ticket):
             return PendingCall(handled, None, message.get("id"))
         return PendingCall(None, handled, message.get("id"))
@@ -147,8 +179,17 @@ class Client:
         priority: str | None = None,
         deadline: float | None = None,
         include_cliques: bool = True,
+        progress: bool = False,
+        on_progress=None,
     ) -> dict:
-        """Solve on a registered graph through the pool + scheduler."""
+        """Solve on a registered graph through the pool + scheduler.
+
+        Resumable methods run preemptibly; with ``progress=True`` (or
+        an ``on_progress`` callback, which implies it) improvement
+        events stream while the solve runs. A deadline miss raises
+        :class:`~repro.errors.DeadlineExceededError` whose ``partial``
+        attribute holds the best solution found before expiry.
+        """
         return self.call(
             "solve",
             graph=graph,
@@ -158,6 +199,8 @@ class Client:
             priority=priority,
             deadline=deadline,
             include_cliques=include_cliques,
+            progress=(progress or on_progress is not None) or None,
+            on_progress=on_progress,
         )
 
     def count(self, graph: str, k: int, **fields) -> dict:

@@ -12,6 +12,19 @@ Response envelope::
 
     {"id": <echoed>, "ok": true,  "result": {...}}
     {"id": <echoed>, "ok": false, "error": {"code": "...", "message": "..."}}
+
+Two anytime extensions (``docs/serving.md`` documents both):
+
+* **partial results** — a failure whose exception carries a payload on
+  its ``partial`` attribute (deadline expiry on a resumable solve, a
+  cooperative solver's ``OutOfTimeError``) keeps the completed work:
+  the error object gains ``"partial": true`` and the envelope a
+  ``"result"`` with the best-so-far solution payload.
+* **progress events** — while a resumable solve runs with
+  ``"progress": true``, the server streams
+  ``{"id": <echoed>, "event": "progress", "data": {...}}`` lines before
+  the final response. Event lines have no ``"ok"`` key; clients route
+  on ``"event"`` and keep waiting for the terminal envelope.
 """
 
 from __future__ import annotations
@@ -100,12 +113,33 @@ def ok_response(request_id: object, result: Mapping) -> dict:
 
 
 def error_response(request_id: object, exc: BaseException) -> dict:
-    """Build a failure envelope from an exception."""
-    return {
+    """Build a failure envelope from an exception.
+
+    When the exception carries a wire-ready payload mapping on its
+    ``partial`` attribute (anytime solvers and the preemptive
+    scheduler attach one at deadline expiry), the envelope keeps the
+    completed work: ``error.partial`` is set to ``true`` and the
+    payload rides in ``result`` exactly like a success payload.
+    """
+    envelope = {
         "id": request_id,
         "ok": False,
         "error": {"code": error_code_for(exc), "message": str(exc)},
     }
+    partial = getattr(exc, "partial", None)
+    if isinstance(partial, Mapping):
+        envelope["error"]["partial"] = True
+        envelope["result"] = dict(partial)
+    return envelope
+
+
+def progress_event(request_id: object, data: Mapping) -> dict:
+    """Build a streamed progress event for an in-flight request.
+
+    Events are interim lines (no ``ok`` key): the request stays
+    in-flight until its terminal success/failure envelope arrives.
+    """
+    return {"id": request_id, "event": "progress", "data": dict(data)}
 
 
 def encode(message: Mapping) -> str:

@@ -1,4 +1,4 @@
-"""Concurrent solve scheduler: priority lanes, deadlines, backpressure.
+"""Concurrent solve scheduler: priority lanes, deadlines, preemption.
 
 The :class:`Scheduler` owns a fixed pool of worker threads and three
 FIFO lanes (``high`` / ``normal`` / ``low``). :meth:`Scheduler.submit`
@@ -14,25 +14,47 @@ Admission control and deadline semantics:
   :class:`~repro.errors.OverloadedError` instead of queueing without
   bound. Clients see the overload at once and can back off.
 * **deadlines** — a ticket's ``deadline`` is a relative wall-clock
-  budget. If it expires while the ticket is still queued, the ticket is
-  shed at dequeue with :class:`~repro.errors.DeadlineExceededError`
-  (cost: one queue pop — the worker never starts doomed work). Once a
-  ticket starts, the remaining budget is handed to the task callable,
-  which forwards it as ``time_budget`` to solvers that support
-  cooperative interruption (see
+  budget. If it expires while the ticket is still queued *and the
+  ticket carries no partial work*, it is shed at dequeue with
+  :class:`~repro.errors.DeadlineExceededError` (cost: one queue pop —
+  the worker never starts doomed work). Once a ticket starts, the
+  remaining budget is handed to the task callable, which forwards it as
+  ``time_budget`` to solvers that support cooperative interruption (see
   :attr:`repro.core.registry.Method.can_meet_deadline` for which
   methods accept deadlines at all).
 * **cancellation** — :meth:`Ticket.cancel` wins if the ticket has not
-  started; it then resolves with
-  :class:`~repro.errors.RequestCancelledError` without occupying a
-  worker. A running ticket is not preempted (Python threads cannot be
-  killed safely); ``cancel`` returns ``False``.
+  started (including a preempted ticket waiting to resume); it then
+  resolves with :class:`~repro.errors.RequestCancelledError` without
+  occupying a worker. A monolithic running ticket is not preempted
+  (Python threads cannot be killed safely); ``cancel`` returns
+  ``False``.
+
+**Preemptive timeslicing** — a submitted callable may return a
+:class:`Resumable` instead of a plain result: a step-driven runner
+(usually wrapping a :class:`repro.core.task.SolveTask`). Workers then
+run it one ``quantum`` at a time and, between slices,
+
+* *finish* it when the runner reports done;
+* *harvest* it when its deadline expired: the ticket resolves with
+  :class:`~repro.errors.DeadlineExceededError` whose ``partial``
+  attribute carries the runner's best-so-far payload — deadline expiry
+  returns the completed work instead of raising it away;
+* *preempt* it when work is queued in its own or a higher lane: the
+  ticket re-enters the back of its lane (round-robin within a lane,
+  strict priority across lanes) and the worker picks up the waiting
+  request. This is true preemption instead of PR 4's shed-at-dequeue:
+  with a single worker, an interactive high-lane burst runs within one
+  quantum even while a long normal-lane solve is in flight.
+
+``quantum=None`` disables timeslicing (runners are driven to completion
+in one go, reproducing the pre-preemption scheduler for comparison
+benchmarks).
 
 Worker counts: on multi-core machines ``workers=N`` overlaps the
-numpy-heavy substrate passes; on a single core it still pays off for
-mixed traffic, because short requests get GIL timeslices instead of
-waiting behind a long solve — the serving benchmark measures both
-effects (latency percentiles and deadline goodput).
+numpy-heavy substrate passes; on a single core mixed traffic still pays
+off twice — GIL timeslices across threads plus quantum timeslices
+within a worker — which the serving benchmarks measure as deadline
+goodput.
 """
 
 from __future__ import annotations
@@ -52,6 +74,38 @@ from repro.errors import DeadlineExceededError
 
 #: Lane names in dispatch order: workers always drain ``high`` first.
 PRIORITIES = ("high", "normal", "low")
+
+
+class Resumable:
+    """A step-driven runner a submitted callable can return.
+
+    Returning one from the submitted ``fn`` opts the ticket into
+    preemptive timeslicing (see the module docstring). The three
+    callables are invoked from worker threads, never concurrently for
+    one runner:
+
+    ``step(seconds)``
+        Run up to ``seconds`` of work (``None`` = to completion) and
+        return ``True`` when finished.
+    ``result()``
+        The final payload once ``step`` returned ``True``.
+    ``partial()``
+        Best-so-far payload for deadline harvesting (may return
+        ``None`` when no partial result exists; the deadline error then
+        carries nothing extra).
+    """
+
+    __slots__ = ("step", "result", "partial")
+
+    def __init__(
+        self,
+        step: Callable[[float | None], bool],
+        result: Callable[[], object],
+        partial: Callable[[], object] | None = None,
+    ) -> None:
+        self.step = step
+        self.result = result
+        self.partial = partial if partial is not None else lambda: None
 
 
 class Ticket:
@@ -78,6 +132,8 @@ class Ticket:
         "_callbacks",
         "_lock",
         "_scheduler",
+        "_runner",
+        "preemptions",
     )
 
     def __init__(
@@ -102,6 +158,9 @@ class Ticket:
         self._callbacks: list[Callable[["Ticket"], None]] = []
         self._lock = threading.Lock()
         self._scheduler: "Scheduler | None" = None
+        self._runner: "Resumable | None" = None
+        #: Times this ticket was timesliced out for other work.
+        self.preemptions = 0
 
     # -- outcome -------------------------------------------------------
     @property
@@ -200,7 +259,15 @@ class Scheduler:
     queue_limit:
         Maximum number of *queued* (not yet started) tickets across all
         lanes; submits beyond it raise
-        :class:`~repro.errors.OverloadedError`.
+        :class:`~repro.errors.OverloadedError`. Preempted tickets
+        waiting to resume occupy lane slots too, so sustained
+        timeslicing tightens admission — by design: resumable backlog
+        is real work the server still owes.
+    quantum:
+        Timeslice length in seconds for :class:`Resumable` tickets
+        (default 50 ms). ``None`` disables preemption: runners are
+        driven to completion in one slice, reproducing the
+        shed-at-dequeue-only scheduler.
     clock:
         Monotonic time source (injectable for deterministic tests).
     """
@@ -210,6 +277,7 @@ class Scheduler:
         workers: int = 1,
         *,
         queue_limit: int = 64,
+        quantum: float | None = 0.05,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if workers < 1:
@@ -218,8 +286,13 @@ class Scheduler:
             raise InvalidParameterError(
                 f"queue_limit must be >= 1, got {queue_limit}"
             )
+        if quantum is not None and quantum <= 0:
+            raise InvalidParameterError(
+                f"quantum must be positive seconds or None, got {quantum!r}"
+            )
         self.workers = workers
         self.queue_limit = queue_limit
+        self.quantum = quantum
         self._clock = clock
         self._cond = threading.Condition()
         self._lanes: dict[str, deque[Ticket]] = {p: deque() for p in PRIORITIES}
@@ -233,6 +306,8 @@ class Scheduler:
             "shed_overload": 0,
             "shed_deadline": 0,
             "cancelled": 0,
+            "preemptions": 0,
+            "deadline_partials": 0,
         }
         self._threads = [
             threading.Thread(
@@ -341,39 +416,149 @@ class Scheduler:
                 # Atomic queued -> running transition: from here on,
                 # cancel() can no longer win.
                 ticket.state = "running"
-                ticket.started_at = now
+                if ticket.started_at is None:
+                    ticket.started_at = now
                 cancelled = None
         if cancelled is True:
             with self._cond:
                 self.stats["cancelled"] += 1
             return
         if cancelled is False:
-            with self._cond:
-                self.stats["shed_deadline"] += 1
-            ticket._finish(
-                None,
-                DeadlineExceededError(
-                    f"deadline passed {-remaining:.3f}s before the request "
-                    "started (queued behind earlier work)"
-                ),
+            self._finish_deadline(
+                ticket,
+                f"deadline passed {-remaining:.3f}s before the request "
+                "started (queued behind earlier work)",
             )
             return
-        try:
-            value = ticket._fn(remaining)
-        except BaseException as exc:  # noqa: BLE001 - delivered to the caller
-            with self._cond:
-                self.stats["failed"] += 1
-            ticket.finished_at = self._clock()
-            ticket._finish(None, exc)
-            if not isinstance(exc, Exception):
-                # KeyboardInterrupt/SystemExit: the waiter got the error,
-                # but interpreter-exit signals must not be swallowed.
-                raise
-            return
+        runner = ticket._runner
+        if runner is None:
+            try:
+                value = ticket._fn(remaining)
+            except BaseException as exc:  # noqa: BLE001 - delivered to caller
+                with self._cond:
+                    self.stats["failed"] += 1
+                ticket.finished_at = self._clock()
+                ticket._finish(None, exc)
+                if not isinstance(exc, Exception):
+                    # KeyboardInterrupt/SystemExit: the waiter got the
+                    # error, but interpreter-exit signals must not be
+                    # swallowed.
+                    raise
+                return
+            if not isinstance(value, Resumable):
+                with self._cond:
+                    self.stats["completed"] += 1
+                ticket.finished_at = self._clock()
+                ticket._finish(value, None)
+                return
+            runner = value
+        self._drive_runner(ticket, runner)
+
+    def _finish_deadline(self, ticket: Ticket, message: str) -> None:
+        """Resolve a ticket whose deadline expired, keeping partial work.
+
+        A ticket that already ran some slices resolves with its
+        runner's best-so-far payload attached to the error — the
+        anytime contract: a missed deadline returns what was computed,
+        it does not discard it.
+        """
+        partial = None
+        if ticket._runner is not None:
+            try:
+                partial = ticket._runner.partial()
+            except Exception:  # noqa: BLE001 - partial is best-effort
+                partial = None
         with self._cond:
-            self.stats["completed"] += 1
+            if partial is None:
+                self.stats["shed_deadline"] += 1
+            else:
+                self.stats["deadline_partials"] += 1
         ticket.finished_at = self._clock()
-        ticket._finish(value, None)
+        ticket._finish(None, DeadlineExceededError(message, partial=partial))
+
+    def _should_preempt(self, priority: str) -> bool:
+        """Whether a running resumable should yield its worker.
+
+        True when any ticket waits in this lane (round-robin among
+        equals) or a higher lane (strict priority). Lower-priority
+        backlog never preempts. Never preempts during shutdown — the
+        drain finishes faster without bouncing tickets through lanes.
+        """
+        with self._cond:
+            if self._stopping:
+                return False
+            index = PRIORITIES.index(priority)
+            return any(self._lanes[p] for p in PRIORITIES[: index + 1])
+
+    def _requeue(self, ticket: Ticket, runner: Resumable) -> None:
+        """Put a timesliced-out ticket at the back of its lane."""
+        with ticket._lock:
+            if ticket._event.is_set():
+                return  # resolved concurrently (cancel); drop silently
+            ticket.state = "queued"
+            ticket._runner = runner
+            ticket.preemptions += 1
+        with self._cond:
+            self.stats["preemptions"] += 1
+            self._lanes[ticket.priority].append(ticket)
+            self._queued += 1
+            self._cond.notify()
+
+    def _drive_runner(self, ticket: Ticket, runner: Resumable) -> None:
+        """Timeslice a :class:`Resumable` until done/deadline/preempted."""
+        ticket._runner = runner
+        while True:
+            try:
+                done = runner.step(self.quantum)
+            except BaseException as exc:  # noqa: BLE001 - delivered to caller
+                with self._cond:
+                    self.stats["failed"] += 1
+                ticket.finished_at = self._clock()
+                ticket._finish(None, exc)
+                if not isinstance(exc, Exception):
+                    raise
+                return
+            if done:
+                try:
+                    value = runner.result()
+                except Exception as exc:  # noqa: BLE001 - delivered to caller
+                    with self._cond:
+                        self.stats["failed"] += 1
+                    ticket.finished_at = self._clock()
+                    ticket._finish(None, exc)
+                    return
+                with self._cond:
+                    self.stats["completed"] += 1
+                ticket.finished_at = self._clock()
+                ticket._finish(value, None)
+                return
+            if self.quantum is None:
+                # Preemption disabled: step(None) means run-to-completion,
+                # so a False return violates the Resumable contract. Fail
+                # fast instead of busy-looping a worker forever.
+                with self._cond:
+                    self.stats["failed"] += 1
+                ticket.finished_at = self._clock()
+                ticket._finish(
+                    None,
+                    InvalidParameterError(
+                        "Resumable.step(None) returned not-done; with "
+                        "preemption disabled step(None) must run to "
+                        "completion"
+                    ),
+                )
+                return
+            remaining = ticket.remaining(self._clock())
+            if remaining is not None and remaining <= 0:
+                self._finish_deadline(
+                    ticket,
+                    f"deadline expired {-remaining:.3f}s ago mid-solve; "
+                    "returning the best solution found so far",
+                )
+                return
+            if self._should_preempt(ticket.priority):
+                self._requeue(ticket, runner)
+                return
 
     # ------------------------------------------------------------------
     # Lifecycle / introspection

@@ -34,6 +34,17 @@ compute ops (``count``/``bounds``/``warm``) also take deadlines, but
 those are *queue-time only*: an expired request is shed before a worker
 starts it, while a request that has started runs to completion (their
 enumeration passes have no cooperative interruption hook).
+
+**Anytime solves.** Methods with a resumable engine
+(:attr:`~repro.core.registry.Method.resumable` — ``hg``/``l``/``lp``/
+``opt-bb``) run as :class:`repro.core.task.SolveTask` objects wrapped
+in a scheduler :class:`~repro.serve.scheduler.Resumable`, so the
+scheduler timeslices them across priority lanes, a deadline expiry
+resolves with the best-so-far solution attached to the error envelope
+(``error.partial: true`` + a ``result`` payload), and a request with
+``"progress": true`` streams ``progress`` events while the solve
+improves. Driving a task to completion returns exactly what the
+blocking path would, so results are transport-invariant either way.
 """
 
 from __future__ import annotations
@@ -56,8 +67,9 @@ from repro.graph.graph import Graph
 from repro.serve import protocol
 from repro.serve.feeds import DynamicFeed, FlushPolicy, FlushReport
 from repro.graph.fingerprint import graph_fingerprint
+from repro.errors import OutOfTimeError
 from repro.serve.pool import SessionPool
-from repro.serve.scheduler import Scheduler, Ticket
+from repro.serve.scheduler import Resumable, Scheduler, Ticket
 
 
 def _result_payload(result, include_cliques: bool) -> dict:
@@ -95,6 +107,9 @@ class Server:
         Bounded-queue admission limit (see :class:`Scheduler`).
     max_sessions / max_bytes:
         Session-pool budgets (see :class:`SessionPool`).
+    quantum:
+        Scheduler timeslice for resumable solves in seconds; ``None``
+        disables preemption (see :class:`Scheduler`).
     registry:
         Solver registry used for method lookup and new sessions.
     clock:
@@ -108,6 +123,7 @@ class Server:
         queue_limit: int = 64,
         max_sessions: int | None = None,
         max_bytes: int | None = None,
+        quantum: float | None = 0.05,
         registry: SolverRegistry = REGISTRY,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -115,7 +131,7 @@ class Server:
         self.pool = SessionPool(
             max_sessions=max_sessions, max_bytes=max_bytes, registry=registry
         )
-        self.scheduler = Scheduler(workers, queue_limit=queue_limit)
+        self.scheduler = Scheduler(workers, queue_limit=queue_limit, quantum=quantum)
         self._clock = clock
         self._lock = threading.RLock()
         self._graphs: dict[str, tuple[Graph, str]] = {}
@@ -189,16 +205,18 @@ class Server:
     # ------------------------------------------------------------------
     # Request dispatch
     # ------------------------------------------------------------------
-    def handle_request(self, message: dict) -> dict:
+    def handle_request(self, message: dict, emit: Callable | None = None) -> dict:
         """Process one decoded request synchronously; never raises.
 
         Compute requests block until their scheduler ticket resolves —
         the transport that wants streaming should use
-        :meth:`submit_request` instead.
+        :meth:`submit_request` instead. ``emit`` optionally receives
+        interim ``progress`` event envelopes (see
+        :func:`repro.serve.protocol.progress_event`).
         """
         request_id = message.get("id")
         try:
-            handled = self.submit_request(message)
+            handled = self.submit_request(message, emit)
         except Exception as exc:  # noqa: BLE001 - becomes the error envelope
             return protocol.error_response(request_id, exc)
         if isinstance(handled, Ticket):
@@ -208,12 +226,16 @@ class Server:
                 return protocol.error_response(request_id, exc)
         return protocol.ok_response(request_id, handled)
 
-    def submit_request(self, message: dict) -> dict | Ticket:
+    def submit_request(
+        self, message: dict, emit: Callable | None = None
+    ) -> dict | Ticket:
         """Dispatch one request; inline ops return a result dict, compute
         ops return the scheduler :class:`Ticket` resolving to one.
 
         Raises on admission errors (overload, unknown op/graph/feed,
         invalid fields); the caller maps those to error envelopes.
+        ``emit`` is the transport's sink for streamed ``progress``
+        events (called from worker threads; must be thread-safe).
         """
         op = message.get("op")
         if op not in protocol.OPERATIONS:
@@ -222,7 +244,7 @@ class Server:
             )
         if self._shutting_down and op != "stats":
             raise InvalidParameterError("server is shutting down")
-        return getattr(self, f"_op_{op}")(message)
+        return getattr(self, f"_op_{op}")(message, emit)
 
     def _submit_compute(
         self, message: dict, fn: Callable[[float | None], dict]
@@ -237,10 +259,10 @@ class Server:
         )
 
     # -- admin ---------------------------------------------------------
-    def _op_ping(self, message: dict) -> dict:
+    def _op_ping(self, message: dict, emit: Callable | None = None) -> dict:
         return {"pong": True}
 
-    def _op_stats(self, message: dict) -> dict:
+    def _op_stats(self, message: dict, emit: Callable | None = None) -> dict:
         # Snapshot under the lock, query outside it: feed.info() waits on
         # that feed's lock (a flush may be in progress), and holding the
         # server lock through that would stall every other request.
@@ -256,11 +278,11 @@ class Server:
             "sweep_errors": self._sweep_errors,
         }
 
-    def _op_shutdown(self, message: dict) -> dict:
+    def _op_shutdown(self, message: dict, emit: Callable | None = None) -> dict:
         self._shutting_down = True
         return {"shutting_down": True}
 
-    def _op_register_graph(self, message: dict) -> dict:
+    def _op_register_graph(self, message: dict, emit: Callable | None = None) -> dict:
         name = protocol.require(message, "name", str, "a graph name")
         sources = [key for key in ("edges", "dataset", "path") if key in message]
         if len(sources) != 1:
@@ -301,41 +323,95 @@ class Server:
             )
         return self.register_graph(name, graph)
 
-    def _op_unregister_graph(self, message: dict) -> dict:
+    def _op_unregister_graph(self, message: dict, emit: Callable | None = None) -> dict:
         return self.unregister_graph(
             protocol.require(message, "name", str, "a registered graph name")
         )
 
     # -- compute -------------------------------------------------------
-    def _op_solve(self, message: dict) -> Ticket:
+    def _op_solve(self, message: dict, emit: Callable | None = None) -> Ticket:
         graph, fingerprint = self._resolve_graph(message)
         k = protocol.require(message, "k", int, "an integer clique size")
         method = self.registry.get(message.get("method", "lp"))
         options = dict(message.get("options") or {})
         method.parse_options(options)  # validate at admission, not on a worker
         include_cliques = bool(message.get("include_cliques", True))
+        want_progress = bool(message.get("progress", False))
         if message.get("deadline") is not None and not method.can_meet_deadline:
             raise InvalidParameterError(
                 f"method {method.tag!r} cannot honour a deadline (no "
-                "time_budget support and not deadline_safe); drop the "
-                "deadline or pick a deadline-capable method"
+                "resumable engine, no time_budget support and not "
+                "deadline_safe); drop the deadline or pick a "
+                "deadline-capable method"
             )
+        # An explicit time_budget keeps the cooperative blocking path:
+        # the option bounds solver work, while tasks are step-bounded.
+        # With preemption disabled (quantum=None) the task path would
+        # drive to completion with no mid-run deadline checks, so the
+        # cooperative path is the only one that can enforce deadlines —
+        # fall back to it (PR 4 semantics).
+        resumable = (
+            method.resumable
+            and options.get("time_budget") is None
+            and self.scheduler.quantum is not None
+        )
+        request_id = message.get("id")
 
-        def run(remaining: float | None) -> dict:
+        def run(remaining: float | None) -> dict | Resumable:
             session = self.pool.get(graph, fingerprint=fingerprint)
-            opts = dict(options)
-            if (
-                remaining is not None
-                and method.supports_time_budget
-                and "time_budget" not in opts
-            ):
-                opts["time_budget"] = remaining
-            result = session.solve(k, method.tag, **opts)
-            return _result_payload(result, include_cliques)
+            if not resumable:
+                opts = dict(options)
+                if (
+                    remaining is not None
+                    and method.supports_time_budget
+                    and "time_budget" not in opts
+                ):
+                    opts["time_budget"] = remaining
+                try:
+                    result = session.solve(k, method.tag, **opts)
+                except OutOfTimeError as exc:
+                    # Cooperative solvers attach their incumbent; make it
+                    # wire-ready so the error envelope keeps the work.
+                    partial = getattr(exc, "partial", None)
+                    if hasattr(partial, "sorted_cliques"):
+                        exc.partial = {
+                            **_result_payload(partial, include_cliques),
+                            "partial": True,
+                        }
+                    raise
+                return _result_payload(result, include_cliques)
+
+            task = session.task(k, method.tag, **options)
+            if want_progress and emit is not None:
+                def report(snapshot) -> None:
+                    emit(protocol.progress_event(request_id, {
+                        "size": snapshot.size,
+                        "bound": snapshot.bound,
+                        "work": snapshot.work,
+                        "done": snapshot.done,
+                    }))
+
+                task.on_progress(report)
+
+            def step(seconds: float | None) -> bool:
+                return task.step(max_seconds=seconds).done
+
+            def final() -> dict:
+                return _result_payload(task.result(), include_cliques)
+
+            def partial() -> dict:
+                return {
+                    **_result_payload(task.best(), include_cliques),
+                    "partial": True,
+                    "bound": task.bound(),
+                    "work": task.work,
+                }
+
+            return Resumable(step, final, partial)
 
         return self._submit_compute(message, run)
 
-    def _op_count(self, message: dict) -> Ticket:
+    def _op_count(self, message: dict, emit: Callable | None = None) -> Ticket:
         graph, fingerprint = self._resolve_graph(message)
         k = protocol.require(message, "k", int, "an integer clique size")
 
@@ -345,7 +421,7 @@ class Server:
 
         return self._submit_compute(message, run)
 
-    def _op_bounds(self, message: dict) -> Ticket:
+    def _op_bounds(self, message: dict, emit: Callable | None = None) -> Ticket:
         graph, fingerprint = self._resolve_graph(message)
         k = protocol.require(message, "k", int, "an integer clique size")
 
@@ -367,7 +443,7 @@ class Server:
 
         return self._submit_compute(message, run)
 
-    def _op_warm(self, message: dict) -> Ticket:
+    def _op_warm(self, message: dict, emit: Callable | None = None) -> Ticket:
         graph, fingerprint = self._resolve_graph(message)
         ks = protocol.require(message, "ks", list, "a list of integer k values")
         if not all(protocol.is_int(k) for k in ks):
@@ -382,7 +458,7 @@ class Server:
         return self._submit_compute(message, run)
 
     # -- feed traffic (inline, order-preserving) -----------------------
-    def _op_feed_open(self, message: dict) -> dict:
+    def _op_feed_open(self, message: dict, emit: Callable | None = None) -> dict:
         graph, fingerprint = self._resolve_graph(message)
         k = protocol.require(message, "k", int, "an integer clique size")
         method = self.registry.get(message.get("method", "lp")).tag
@@ -434,7 +510,7 @@ class Server:
             updates.append((entry[0], entry[1], entry[2]))
         return updates
 
-    def _op_feed_push(self, message: dict) -> dict:
+    def _op_feed_push(self, message: dict, emit: Callable | None = None) -> dict:
         feed_id, feed = self._resolve_feed(message)
         report = feed.push(self._parse_updates(message))
         payload = {"feed": feed_id, **_flush_payload(report)}
@@ -444,17 +520,17 @@ class Server:
         payload.setdefault("pending", feed.pending)
         return payload
 
-    def _op_feed_flush(self, message: dict) -> dict:
+    def _op_feed_flush(self, message: dict, emit: Callable | None = None) -> dict:
         feed_id, feed = self._resolve_feed(message)
         return {"feed": feed_id, **_flush_payload(feed.flush())}
 
-    def _op_feed_solution(self, message: dict) -> dict:
+    def _op_feed_solution(self, message: dict, emit: Callable | None = None) -> dict:
         feed_id, feed = self._resolve_feed(message)
         include_cliques = bool(message.get("include_cliques", True))
         result = feed.solution()
         return {"feed": feed_id, **_result_payload(result, include_cliques)}
 
-    def _op_feed_close(self, message: dict) -> dict:
+    def _op_feed_close(self, message: dict, emit: Callable | None = None) -> dict:
         feed_id, feed = self._resolve_feed(message)
         # Final flush first: if it raises, the feed stays open (the
         # client sees the error and can retry or inspect), instead of
@@ -530,7 +606,7 @@ class Server:
                 continue
             request_id = message.get("id")
             try:
-                handled = self.submit_request(message)
+                handled = self.submit_request(message, write)
             except Exception as exc:  # noqa: BLE001 - KeyboardInterrupt et al.
                 # propagate so the operator can actually stop the server
                 write(protocol.error_response(request_id, exc))

@@ -33,6 +33,59 @@ class TestSolve:
             main(["solve", "--k", "3"])
 
 
+class TestSolveAnytime:
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["solve", "--dataset", "FTB", "--k", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["interrupted"] is False
+        assert payload["size"] > 0 and payload["method"] == "lp"
+
+    def test_anytime_runs_to_completion(self, capsys):
+        import json
+
+        assert main([
+            "solve", "--dataset", "FTB", "--k", "3",
+            "--anytime", "--progress-every", "10",
+        ]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["interrupted"] is False
+        assert payload["bound"] >= payload["size"] > 0
+        assert payload["work"] > 0
+        assert "anytime: |S|=" in captured.err
+
+    def test_anytime_interrupt_returns_best_so_far(self, capsys):
+        """SIGINT semantics via the driver: stop mid-run, keep the work."""
+        import json
+
+        from repro.cli import run_anytime
+        from repro.core.session import Session
+        from repro.graph import datasets
+        from repro.core.result import verify_solution
+
+        graph = datasets.load("FTB")
+        task = Session(graph).task(3, "lp")
+        calls = []
+        interrupted, work = run_anytime(
+            task,
+            progress_every=5,
+            should_stop=lambda: len(calls) >= 3,
+            log=lambda *args: calls.append(args),
+        )
+        # stopped by the flag, not by completion, with usable work done
+        assert interrupted is True
+        assert not task.done
+        assert work > 0
+        verify_solution(graph, 3, task.best().cliques)
+
+    def test_anytime_rejects_non_resumable_method(self):
+        with pytest.raises(SystemExit, match="not resumable"):
+            main(["solve", "--dataset", "FTB", "--k", "3",
+                  "--method", "gc", "--anytime"])
+
+
 class TestOtherCommands:
     def test_stats(self, capsys):
         assert main(["stats", "--dataset", "FTB", "--ks", "3", "4"]) == 0

@@ -50,10 +50,12 @@ class TestConcurrentSolves:
         session = Session(graph)
         run_threads(8, lambda i: session.solve(3, "lp"))
         info = session.cache_info()
-        # One score pass, one core decomposition, one orientation — the
-        # other seven threads were cache hits, not duplicate work.
+        # One score pass and exactly two orientations — the degeneracy
+        # DAG for the score pass plus the cached ascending-score DAG
+        # for FindMin (previously rebuilt inline by every solve) — with
+        # the other seven threads pure cache hits, not duplicate work.
         assert info["score_passes"] == 1
-        assert info["orientations"] == 1
+        assert info["orientations"] == 2
 
     def test_mixed_methods_and_ks(self):
         graph = powerlaw_cluster(300, 6, 0.6, seed=12)

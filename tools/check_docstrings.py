@@ -36,6 +36,7 @@ PUBLIC_MODULES = (
     "repro.core.session",
     "repro.core.registry",
     "repro.core.result",
+    "repro.core.task",
     "repro.graph.graph",
     "repro.graph.dynamic",
     "repro.graph.fingerprint",
