@@ -1,3 +1,16 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-disjoint-kcliques",
+    version="0.6.0",
+    description=(
+        "Reproduction of 'Finding Near-Optimal Maximum Set of Disjoint "
+        "k-Cliques in Real-World Social Networks' (ICDE 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    # PEP 561: the package ships inline type information.
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

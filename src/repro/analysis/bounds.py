@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.graph.graph import Graph
 from repro.cliques.counting import node_scores
 from repro.cliques.listing import count_cliques
@@ -67,7 +69,10 @@ def _capable_components(graph: Graph, capable: list[bool]) -> list[int]:
 
 
 def optimum_upper_bounds(
-    graph: Graph, k: int, scores=None, total_cliques: int | None = None
+    graph: Graph,
+    k: int,
+    scores: np.ndarray | None = None,
+    total_cliques: int | None = None,
 ) -> OptimumBounds:
     """Compute all certified upper bounds on the optimum.
 

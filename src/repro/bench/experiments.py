@@ -161,7 +161,7 @@ def run_static_sweep(
 
 def run_fig6(
     sweep: dict | None = None, names: Sequence[str] | None = None, ks: Sequence[int] = KS,
-    **kwargs,
+    **kwargs: Any,
 ) -> ExperimentResult:
     """Figure 6: average running time per algorithm with varying k."""
     from repro.bench.plotting import ascii_log_chart
@@ -193,7 +193,7 @@ def run_fig6(
 
 def run_table2(
     sweep: dict | None = None, names: Sequence[str] | None = None, ks: Sequence[int] = KS,
-    **kwargs,
+    **kwargs: Any,
 ) -> ExperimentResult:
     """Table II: |S| per algorithm (GC/LP shown as delta vs HG)."""
     names = list(names or datasets.TABLE1_NAMES)
@@ -233,7 +233,7 @@ def run_table2(
 
 def run_table3(
     sweep: dict | None = None, names: Sequence[str] | None = None, ks: Sequence[int] = KS,
-    **kwargs,
+    **kwargs: Any,
 ) -> ExperimentResult:
     """Table III: peak traced memory per algorithm (MB)."""
     names = list(names or datasets.TABLE1_NAMES)
@@ -330,7 +330,12 @@ def run_synthetic_sweep(
     return grid
 
 
-def run_table5(sweep: dict | None = None, degrees=(8, 16, 32, 64), ks=KS, **kwargs) -> ExperimentResult:
+def run_table5(
+    sweep: dict | None = None,
+    degrees: Sequence[int] = (8, 16, 32, 64),
+    ks: Sequence[int] = KS,
+    **kwargs: Any,
+) -> ExperimentResult:
     """Table V: running time on synthetic Watts-Strogatz graphs."""
     sweep = sweep if sweep is not None else run_synthetic_sweep(degrees, ks=ks, **kwargs)
     columns = ["Degree"] + [f"{m.upper()} k={k}" for k in ks for m in ("hg", "gc", "lp")]
@@ -349,7 +354,12 @@ def run_table5(sweep: dict | None = None, degrees=(8, 16, 32, 64), ks=KS, **kwar
     return ExperimentResult("table5", text, sweep)
 
 
-def run_table6(sweep: dict | None = None, degrees=(8, 16, 32, 64), ks=KS, **kwargs) -> ExperimentResult:
+def run_table6(
+    sweep: dict | None = None,
+    degrees: Sequence[int] = (8, 16, 32, 64),
+    ks: Sequence[int] = KS,
+    **kwargs: Any,
+) -> ExperimentResult:
     """Table VI: |S| on synthetic Watts-Strogatz graphs (deltas vs HG)."""
     sweep = sweep if sweep is not None else run_synthetic_sweep(degrees, ks=ks, **kwargs)
     columns = ["Degree"]
@@ -470,7 +480,12 @@ def run_dynamic_sweep(
     return grid
 
 
-def run_fig7(sweep: dict | None = None, names=None, ks=KS, **kwargs) -> ExperimentResult:
+def run_fig7(
+    sweep: dict | None = None,
+    names: Sequence[str] | None = None,
+    ks: Sequence[int] = KS,
+    **kwargs: Any,
+) -> ExperimentResult:
     """Figure 7: average update time per workload with varying k."""
     from repro.bench.plotting import ascii_log_chart
 
@@ -498,7 +513,12 @@ def run_fig7(sweep: dict | None = None, names=None, ks=KS, **kwargs) -> Experime
     return ExperimentResult("fig7", "\n\n".join(blocks), sweep)
 
 
-def run_table8(sweep: dict | None = None, names=None, ks=KS, **kwargs) -> ExperimentResult:
+def run_table8(
+    sweep: dict | None = None,
+    names: Sequence[str] | None = None,
+    ks: Sequence[int] = KS,
+    **kwargs: Any,
+) -> ExperimentResult:
     """Table VIII: |S| drift after updates vs rebuilding from scratch."""
     names = list(names or datasets.TABLE1_NAMES)
     sweep = sweep if sweep is not None else run_dynamic_sweep(names, ks, **kwargs)

@@ -27,7 +27,12 @@ import os
 import time
 import tracemalloc
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # imported for annotations only
+    import queue as _queue
+
+    from repro.core.session import Session
 
 from repro.errors import OutOfMemoryError, OutOfTimeError
 
@@ -108,7 +113,7 @@ def run_cell(
 
 
 def run_solve_cell(
-    session,
+    session: "Session",
     k: int,
     method: str,
     *,
@@ -137,7 +142,7 @@ def run_solve_cell(
     )
 
 
-def _subprocess_target(fn, queue) -> None:  # pragma: no cover - child process
+def _subprocess_target(fn: Callable[[], Any], queue: "_queue.Queue") -> None:  # pragma: no cover - child process
     try:
         queue.put(("ok", fn()))
     except OutOfTimeError:

@@ -49,7 +49,7 @@ def mb(num_bytes: int) -> float:
     return num_bytes / (1024 * 1024)
 
 
-def graph_footprint_mb(graph) -> float:
+def graph_footprint_mb(graph: Any) -> float:
     """Deep size of a graph object in MiB."""
     return mb(deep_sizeof(graph))
 

@@ -13,6 +13,7 @@ import platform
 import sys
 import time
 from pathlib import Path
+from typing import Sequence
 
 from repro.bench import experiments as exp
 from repro.bench.harness import BENCH_SCALE, DEFAULT_CLIQUE_BUDGET, DEFAULT_TIME_BUDGET
@@ -141,7 +142,7 @@ def build_report() -> str:
     return "\n".join(lines)
 
 
-def main(argv=None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     """Write the report to the given path (default: EXPERIMENTS.md)."""
     args = list(argv if argv is not None else sys.argv[1:])
     out_path = Path(args[0]) if args else Path("EXPERIMENTS.md")

@@ -8,7 +8,7 @@ so ``EXPERIMENTS.md`` and the bench logs read like the paper.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 
 def format_count(value: Any) -> str:
@@ -72,7 +72,7 @@ def render_series(
     x_label: str,
     x_values: Sequence[Any],
     series: dict[str, Sequence[Any]],
-    fmt=format_seconds,
+    fmt: Callable[[Any], str] = format_seconds,
 ) -> str:
     """Render figure data as one row per series (x values as columns)."""
     columns = [x_label] + [str(x) for x in x_values]

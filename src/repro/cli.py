@@ -43,14 +43,18 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # imported for annotations only
+    from repro.core.result import CliqueSetResult
+    from repro.core.task import SolveTask
 
 from repro.graph import datasets
 from repro.graph.graph import Graph
 from repro.graph.io import read_edge_list
 
 
-def _load_graph(args) -> Graph:
+def _load_graph(args: argparse.Namespace) -> Graph:
     if args.dataset:
         return datasets.load(args.dataset)
     if args.input:
@@ -64,7 +68,12 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--input", help="edge-list file (u v per line)")
 
 
-def run_anytime(task, progress_every: int, should_stop, log) -> tuple[bool, int]:
+def run_anytime(
+    task: "SolveTask",
+    progress_every: int,
+    should_stop: Callable[[], bool],
+    log: Callable[[int, int, int], None],
+) -> tuple[bool, int]:
     """Drive a :class:`~repro.core.task.SolveTask` in anytime mode.
 
     Steps ``progress_every`` work units at a time, calling
@@ -84,7 +93,11 @@ def run_anytime(task, progress_every: int, should_stop, log) -> tuple[bool, int]
             return False, task.work
 
 
-def _write_solution(result, args, stream=None) -> None:
+def _write_solution(
+    result: "CliqueSetResult",
+    args: argparse.Namespace,
+    stream: "object | None" = None,
+) -> None:
     """Write the solution file, confirming on ``stream`` (default stderr).
 
     JSON/anytime mode keeps stdout machine-readable, so the
@@ -100,7 +113,7 @@ def _write_solution(result, args, stream=None) -> None:
         )
 
 
-def cmd_solve(args) -> int:
+def cmd_solve(args: argparse.Namespace) -> int:
     import json
     import signal
 
@@ -178,7 +191,7 @@ def cmd_solve(args) -> int:
     return 0
 
 
-def cmd_stats(args) -> int:
+def cmd_stats(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     from repro.cliques.counting import clique_profile
     from repro.graph.kcore import core_numbers
@@ -193,7 +206,7 @@ def cmd_stats(args) -> int:
     return 0
 
 
-def cmd_compare(args) -> int:
+def cmd_compare(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     from repro.analysis.compare import compare_methods
     from repro.core.session import Session
@@ -210,7 +223,7 @@ def cmd_compare(args) -> int:
     return 0
 
 
-def cmd_dynamic(args) -> int:
+def cmd_dynamic(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     from repro.core.session import Session
     from repro.dynamic.workload import make_workload
@@ -243,7 +256,7 @@ def cmd_dynamic(args) -> int:
     return 0
 
 
-def cmd_serve(args) -> int:
+def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.server import Server
 
     server = Server(
@@ -263,13 +276,13 @@ def cmd_serve(args) -> int:
     return server.serve_stdio(sys.stdin, sys.stdout)
 
 
-def cmd_datasets(_args) -> int:
+def cmd_datasets(_args: argparse.Namespace) -> int:
     for spec in datasets.specs():
         print(f"{spec.name:<10} [{spec.tier:<6}] {spec.description}")
     return 0
 
 
-def cmd_methods(_args) -> int:
+def cmd_methods(_args: argparse.Namespace) -> int:
     from repro.core.registry import REGISTRY
 
     print(
@@ -290,7 +303,7 @@ def cmd_methods(_args) -> int:
     return 0
 
 
-def cmd_experiments(args) -> int:
+def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.bench.experiments import main as experiments_main
 
     return experiments_main(args.artefacts or ["all"])

@@ -10,6 +10,7 @@ square of the clique count, so callers should cap instance sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.graph.graph import Graph
 from repro.cliques.listing import iter_cliques
@@ -42,7 +43,10 @@ class CliqueGraph:
 
 
 def build_clique_graph(
-    graph: Graph, k: int, max_cliques: int | None = None, cliques=None
+    graph: Graph,
+    k: int,
+    max_cliques: int | None = None,
+    cliques: Sequence[tuple[int, ...]] | None = None,
 ) -> CliqueGraph:
     """Construct the clique graph of ``graph`` for clique size ``k``.
 

@@ -8,6 +8,8 @@ at ``O(n + m)`` — this module is that pass.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.errors import InvalidParameterError
@@ -20,7 +22,7 @@ from repro.cliques.csr_kernels import node_scores_csr, resolve_backend
 def node_scores(
     graph: Graph,
     k: int,
-    order="degeneracy",
+    order: _ordering.OrderSpec = "degeneracy",
     dag: OrientedGraph | None = None,
     backend: str = "auto",
 ) -> np.ndarray:
@@ -91,7 +93,11 @@ def total_cliques_from_scores(scores: np.ndarray, k: int) -> int:
     return total // k
 
 
-def clique_profile(graph: Graph, ks=(3, 4, 5, 6), order="degeneracy") -> dict[int, int]:
+def clique_profile(
+    graph: Graph,
+    ks: Sequence[int] = (3, 4, 5, 6),
+    order: _ordering.OrderSpec = "degeneracy",
+) -> dict[int, int]:
     """Number of k-cliques for each k in ``ks`` (Table I statistics)."""
     from repro.cliques.listing import count_cliques
 

@@ -50,6 +50,11 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.graph.csr import concat_rows, in_sorted
 from repro.graph.dag import OrientedCSR
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.graph import Graph
+
+#: A frontier level: (cand_indptr, cand_vals, ctx_node, ctx_parent).
+_Level = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
 #: Valid values of every ``backend=`` knob in the package.
 BACKENDS = ("auto", "sets", "csr")
@@ -129,7 +134,7 @@ def _compatible(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return (a == -1) | (b == -1) | (a == b)
 
 
-def _mask_candidates(level, keep: np.ndarray):
+def _mask_candidates(level: _Level, keep: np.ndarray) -> _Level:
     """Apply an elementwise keep-mask to a level's candidate values.
 
     Contexts are preserved (possibly with empty segments — downstream
@@ -238,7 +243,9 @@ def _clique_matrices_csr(
             yield members
 
 
-def local_oriented_csr(graph, pool: Sequence[int]) -> tuple[OrientedCSR, np.ndarray]:
+def local_oriented_csr(
+    graph: Graph | DynamicGraph, pool: Sequence[int]
+) -> tuple[OrientedCSR, np.ndarray]:
     """Orient the subgraph induced on ``pool`` as a relabelled CSR patch.
 
     ``graph`` is anything exposing ``neighbors(u)`` (static
@@ -292,7 +299,7 @@ def local_oriented_csr(graph, pool: Sequence[int]) -> tuple[OrientedCSR, np.ndar
 
 
 def iter_cliques_within_csr(
-    graph,
+    graph: Graph | DynamicGraph,
     nodes: Iterable[int],
     k: int,
     require: Iterable[int] | None = None,
@@ -343,7 +350,11 @@ def iter_cliques_within_csr(
             yield frozenset(row)
 
 
-def _prune_level(level, require_below: int | None, ctx_label: np.ndarray | None = None):
+def _prune_level(
+    level: _Level,
+    require_below: int | None,
+    ctx_label: np.ndarray | None = None,
+) -> tuple[_Level, np.ndarray | None]:
     """Drop contexts that cannot complete a clique with a node ``< require_below``.
 
     A context's candidate segments are sorted ascending, so eligibility
@@ -425,7 +436,7 @@ def _root_batches(ocsr: OrientedCSR, k: int) -> Iterator[np.ndarray]:
         start = stop
 
 
-def _root_level(ocsr: OrientedCSR, roots: np.ndarray):
+def _root_level(ocsr: OrientedCSR, roots: np.ndarray) -> _Level:
     """Level-0 frontier: one context per root, candidates = out rows."""
     lens = ocsr.out_degrees()[roots]
     cand_indptr = np.zeros(len(roots) + 1, dtype=np.int64)
@@ -435,13 +446,13 @@ def _root_level(ocsr: OrientedCSR, roots: np.ndarray):
 
 
 def _expand(
-    level,
+    level: _Level,
     ocsr: OrientedCSR,
     n: int,
     need_after: int,
     labels: np.ndarray | None = None,
     ctx_label: np.ndarray | None = None,
-):
+) -> tuple[_Level, np.ndarray | None]:
     """One frontier step: branch every context on each of its candidates.
 
     The new context for ``(c, v)`` gets candidates ``C_c ∩ out(v)``,
@@ -474,7 +485,9 @@ def _expand(
     return (indptr2, vals2, cand_vals[kept], owner[kept]), label2
 
 
-def _level_hits(level, ocsr: OrientedCSR, n: int):
+def _level_hits(
+    level: _Level, ocsr: OrientedCSR, n: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Shared hit detection: every edge inside every candidate set.
 
     One bulk gather plus one biased-key membership test for the whole
@@ -493,7 +506,9 @@ def _level_hits(level, ocsr: OrientedCSR, n: int):
     return pos, w, ok, owner
 
 
-def _edge_pairs(ocsr: OrientedCSR, n: int):
+def _edge_pairs(
+    ocsr: OrientedCSR, n: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """All (edge, out-neighbour) wedges of the whole graph at once.
 
     For k = 3 the root-level candidate sets *are* the adjacency rows,

@@ -46,7 +46,10 @@ def _check_k(k: int) -> None:
 
 
 def iter_cliques(
-    graph: Graph, k: int, order="degeneracy", backend: str = "auto"
+    graph: Graph,
+    k: int,
+    order: _ordering.OrderSpec = "degeneracy",
+    backend: str = "auto",
 ) -> Iterator[tuple[int, ...]]:
     """Yield every k-clique of ``graph`` exactly once.
 
@@ -115,7 +118,10 @@ def _iter_cliques_sets(dag: OrientedGraph, k: int) -> Iterator[tuple[int, ...]]:
 
 
 def list_cliques(
-    graph: Graph, k: int, order="degeneracy", backend: str = "auto"
+    graph: Graph,
+    k: int,
+    order: _ordering.OrderSpec = "degeneracy",
+    backend: str = "auto",
 ) -> list[tuple[int, ...]]:
     """Materialise all k-cliques (use :func:`iter_cliques` when possible)."""
     return list(iter_cliques(graph, k, order, backend=backend))
@@ -124,7 +130,7 @@ def list_cliques(
 def count_cliques(
     graph: Graph,
     k: int,
-    order="degeneracy",
+    order: _ordering.OrderSpec = "degeneracy",
     backend: str = "auto",
     dag: OrientedGraph | None = None,
 ) -> int:

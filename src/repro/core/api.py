@@ -40,7 +40,7 @@ def find_disjoint_cliques(
     graph: Graph,
     k: int,
     method: str = "lp",
-    **kwargs,
+    **kwargs: object,
 ) -> CliqueSetResult:
     """Find a (near-)maximum set of pairwise disjoint k-cliques.
 

@@ -25,6 +25,7 @@ from typing import Iterable
 
 from repro.errors import InvalidParameterError
 from repro.graph.dag import OrientedGraph
+from repro.graph.ordering import OrderSpec
 from repro.graph.graph import Graph
 from repro.core.result import CliqueSetResult, is_seedable_clique
 
@@ -82,7 +83,7 @@ class BasicEngine:
         self,
         graph: Graph,
         k: int,
-        order="degree",
+        order: OrderSpec = "degree",
         oriented: OrientedGraph | None = None,
         warm_start: Iterable[frozenset[int]] | None = None,
     ) -> None:
@@ -197,7 +198,10 @@ class BasicEngine:
 
 
 def basic_framework(
-    graph: Graph, k: int, order="degree", oriented: OrientedGraph | None = None
+    graph: Graph,
+    k: int,
+    order: OrderSpec = "degree",
+    oriented: OrientedGraph | None = None,
 ) -> CliqueSetResult:
     """Compute a maximal disjoint k-clique set with Algorithm 1.
 

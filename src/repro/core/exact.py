@@ -13,6 +13,8 @@ polynomial blossom algorithm instead of the NP-hard machinery.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.errors import InvalidParameterError, OutOfMemoryError
 from repro.graph.graph import Graph
 from repro.cliques.clique_graph import build_clique_graph
@@ -25,7 +27,7 @@ def exact_optimum(
     k: int,
     time_budget: float | None = None,
     max_cliques: int | None = None,
-    cliques=None,
+    cliques: Sequence[tuple[int, ...]] | None = None,
 ) -> CliqueSetResult:
     """A maximum (optimal) disjoint k-clique set.
 
@@ -53,7 +55,6 @@ def exact_optimum(
         matching = maximum_matching(graph)
         return CliqueSetResult(
             [frozenset(edge) for edge in matching], k=2, method="opt",
-            stats={"algorithm": 0.0},
         )
     try:
         clique_graph = build_clique_graph(

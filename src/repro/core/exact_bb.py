@@ -29,7 +29,9 @@ pre-engine recursive implementation.
 from __future__ import annotations
 
 import time
-from typing import Iterable
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.errors import InvalidParameterError, OutOfMemoryError, OutOfTimeError
 from repro.graph.graph import Graph
@@ -64,8 +66,8 @@ class ExactBBEngine:
         graph: Graph,
         k: int,
         max_cliques: int | None = None,
-        scores=None,
-        cliques=None,
+        scores: np.ndarray | None = None,
+        cliques: Sequence[tuple[int, ...]] | None = None,
         warm_start: Iterable[frozenset[int]] | None = None,
     ) -> None:
         if k < 2:
@@ -107,7 +109,7 @@ class ExactBBEngine:
         if warm_start:
             self._seed_incumbent(warm_start)
 
-    def _seed_incumbent(self, warm_start) -> None:
+    def _seed_incumbent(self, warm_start: Iterable[Iterable[int]]) -> None:
         """Install a prior solution as the starting incumbent.
 
         A warm incumbent never changes the optimal *size* (the search
@@ -260,8 +262,8 @@ def exact_optimum_bb(
     k: int,
     time_budget: float | None = None,
     max_cliques: int | None = None,
-    scores=None,
-    cliques=None,
+    scores: np.ndarray | None = None,
+    cliques: Sequence[tuple[int, ...]] | None = None,
 ) -> CliqueSetResult:
     """A maximum disjoint k-clique set by direct branch-and-bound.
 

@@ -43,6 +43,7 @@ from __future__ import annotations
 import heapq
 import multiprocessing
 import os
+from typing import Iterable
 
 import numpy as np
 
@@ -50,7 +51,7 @@ from repro.errors import InvalidParameterError
 from repro.graph.dag import OrientedCSR, OrientedGraph
 from repro.graph.graph import Graph
 from repro.graph.csr import intersect_sorted
-from repro.graph.ordering import by_score
+from repro.graph.ordering import OrderSpec, by_score
 from repro.cliques.counting import node_scores
 from repro.cliques.csr_kernels import resolve_backend
 from repro.core.result import CliqueSetResult, is_seedable_clique
@@ -94,7 +95,7 @@ class _FindMin:
         """Whether ``v`` is still available for a clique."""
         return self.valid[v]
 
-    def invalidate(self, clique) -> None:
+    def invalidate(self, clique: Iterable[int]) -> None:
         """Remove a chosen clique's nodes from the residual graph."""
         for w in clique:
             self.valid[w] = False
@@ -203,7 +204,7 @@ class _FindMinCSR:
         """Whether ``v`` is still available for a clique."""
         return bool(self.valid[v])
 
-    def invalidate(self, clique) -> None:
+    def invalidate(self, clique: Iterable[int]) -> None:
         """Mask out a chosen clique's nodes (rows stay immutable)."""
         for w in clique:
             self.valid[w] = False
@@ -281,7 +282,11 @@ class _FindMinCSR:
 _PARALLEL_STATE: dict | None = None
 
 
-def _heapinit_worker(chunk: list[int]):  # pragma: no cover - child process
+def _heapinit_worker(
+    chunk: list[int],
+) -> tuple[
+    list[tuple[CliqueKey, int, tuple[int, ...]]], dict[str, float]
+]:  # pragma: no cover - child process
     state = _PARALLEL_STATE
     stats = {"findmin_calls": 0.0, "branches_pruned": 0.0}
     if state["backend"] == "csr":
@@ -356,11 +361,11 @@ class LightweightEngine:
         graph: Graph,
         k: int,
         prune: bool = True,
-        listing_order="degeneracy",
+        listing_order: OrderSpec = "degeneracy",
         workers: int = 1,
         scores: np.ndarray | None = None,
         backend: str = "auto",
-        warm_start=None,
+        warm_start: Iterable[Iterable[int]] | None = None,
         oriented: OrientedGraph | None = None,
     ) -> None:
         if k < 2:
@@ -580,7 +585,7 @@ def lightweight(
     graph: Graph,
     k: int,
     prune: bool = True,
-    listing_order="degeneracy",
+    listing_order: OrderSpec = "degeneracy",
     workers: int = 1,
     scores: np.ndarray | None = None,
     backend: str = "auto",

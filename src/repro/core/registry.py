@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import difflib
 from dataclasses import dataclass, field, fields
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.errors import InvalidParameterError
 from repro.cliques.csr_kernels import BACKENDS
@@ -35,6 +35,9 @@ from repro.core.exact_bb import ExactBBEngine, exact_optimum_bb
 from repro.core.lightweight import LightweightEngine, lightweight
 from repro.core.result import CliqueSetResult
 from repro.core.store_all import store_all_cliques
+
+if TYPE_CHECKING:  # deferred at runtime: session imports the registry
+    from repro.core.session import Preprocessing
 
 
 # ----------------------------------------------------------------------
@@ -65,14 +68,14 @@ class SolveOptions:
         """Raise :class:`InvalidParameterError` on out-of-domain values."""
 
 
-def _check_backend(value) -> None:
+def _check_backend(value: object) -> None:
     if value not in BACKENDS:
         raise InvalidParameterError(
             f"backend must be one of {BACKENDS}, got {value!r}"
         )
 
 
-def _check_budget(name: str, value, *, integral: bool) -> None:
+def _check_budget(name: str, value: object, *, integral: bool) -> None:
     if value is None:
         return
     if isinstance(value, bool) or not isinstance(value, (int, float)):
@@ -348,7 +351,12 @@ REGISTRY = SolverRegistry()
 # blocking run functions, so a task driven to completion reproduces the
 # blocking solve bit-for-bit.
 # ----------------------------------------------------------------------
-def _engine_hg(prep, k: int, opts: HGOptions, warm_start=None) -> BasicEngine:
+def _engine_hg(
+    prep: Preprocessing,
+    k: int,
+    opts: HGOptions,
+    warm_start: Iterable[Iterable[int]] | None = None,
+) -> BasicEngine:
     return BasicEngine(
         prep.graph,
         k,
@@ -358,9 +366,12 @@ def _engine_hg(prep, k: int, opts: HGOptions, warm_start=None) -> BasicEngine:
     )
 
 
-def _engine_lightweight(prune: bool):
+def _engine_lightweight(prune: bool) -> Callable[..., LightweightEngine]:
     def factory(
-        prep, k: int, opts: LightweightOptions, warm_start=None
+        prep: Preprocessing,
+        k: int,
+        opts: LightweightOptions,
+        warm_start: Iterable[Iterable[int]] | None = None,
     ) -> LightweightEngine:
         return LightweightEngine(
             prep.graph,
@@ -376,7 +387,12 @@ def _engine_lightweight(prune: bool):
     return factory
 
 
-def _engine_opt_bb(prep, k: int, opts: ExactOptions, warm_start=None) -> ExactBBEngine:
+def _engine_opt_bb(
+    prep: Preprocessing,
+    k: int,
+    opts: ExactOptions,
+    warm_start: Iterable[Iterable[int]] | None = None,
+) -> ExactBBEngine:
     return ExactBBEngine(
         prep.graph,
         k,
@@ -396,7 +412,7 @@ def _engine_opt_bb(prep, k: int, opts: ExactOptions, warm_start=None) -> ExactBB
     supports_warm_start=True,
     engine=_engine_hg,
 )
-def _run_hg(prep, k: int, opts: HGOptions) -> CliqueSetResult:
+def _run_hg(prep: Preprocessing, k: int, opts: HGOptions) -> CliqueSetResult:
     return basic_framework(
         prep.graph, k, order=opts.order, oriented=prep.oriented(opts.order)
     )
@@ -408,7 +424,7 @@ def _run_hg(prep, k: int, opts: HGOptions) -> CliqueSetResult:
     exact=False,
     options=GCOptions,
 )
-def _run_gc(prep, k: int, opts: GCOptions) -> CliqueSetResult:
+def _run_gc(prep: Preprocessing, k: int, opts: GCOptions) -> CliqueSetResult:
     cliques = prep.cliques(k, max_cliques=opts.max_cliques, backend=opts.backend)
     return store_all_cliques(
         prep.graph,
@@ -428,7 +444,7 @@ def _run_gc(prep, k: int, opts: GCOptions) -> CliqueSetResult:
     supports_warm_start=True,
     engine=_engine_lightweight(prune=False),
 )
-def _run_l(prep, k: int, opts: LightweightOptions) -> CliqueSetResult:
+def _run_l(prep: Preprocessing, k: int, opts: LightweightOptions) -> CliqueSetResult:
     return lightweight(
         prep.graph,
         k,
@@ -449,7 +465,7 @@ def _run_l(prep, k: int, opts: LightweightOptions) -> CliqueSetResult:
     supports_warm_start=True,
     engine=_engine_lightweight(prune=True),
 )
-def _run_lp(prep, k: int, opts: LightweightOptions) -> CliqueSetResult:
+def _run_lp(prep: Preprocessing, k: int, opts: LightweightOptions) -> CliqueSetResult:
     return lightweight(
         prep.graph,
         k,
@@ -468,7 +484,7 @@ def _run_lp(prep, k: int, opts: LightweightOptions) -> CliqueSetResult:
     options=ExactOptions,
     supports_time_budget=True,
 )
-def _run_opt(prep, k: int, opts: ExactOptions) -> CliqueSetResult:
+def _run_opt(prep: Preprocessing, k: int, opts: ExactOptions) -> CliqueSetResult:
     if k == 2:
         # Blossom matching needs no clique substrate; skip the listing.
         return exact_optimum(
@@ -492,7 +508,7 @@ def _run_opt(prep, k: int, opts: ExactOptions) -> CliqueSetResult:
     supports_warm_start=True,
     engine=_engine_opt_bb,
 )
-def _run_opt_bb(prep, k: int, opts: ExactOptions) -> CliqueSetResult:
+def _run_opt_bb(prep: Preprocessing, k: int, opts: ExactOptions) -> CliqueSetResult:
     cliques = prep.cliques(k, max_cliques=opts.max_cliques)
     return exact_optimum_bb(
         prep.graph,

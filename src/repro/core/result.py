@@ -10,9 +10,13 @@ k-approximation guarantee (Theorem 3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.errors import SolutionError
+
+if TYPE_CHECKING:  # imported for annotations only: core sits above graph
+    from repro.graph.dynamic import DynamicGraph
+    from repro.graph.graph import Graph
 
 Clique = frozenset[int]
 
@@ -77,7 +81,9 @@ class CliqueSetResult:
         )
 
 
-def verify_solution(graph, k: int, cliques: Iterable[Iterable[int]]) -> None:
+def verify_solution(
+    graph: "Graph | DynamicGraph", k: int, cliques: Iterable[Iterable[int]]
+) -> None:
     """Raise :class:`SolutionError` unless ``cliques`` is a valid solution.
 
     Checks: every member has exactly ``k`` distinct nodes, induces a
@@ -107,7 +113,12 @@ def verify_solution(graph, k: int, cliques: Iterable[Iterable[int]]) -> None:
         seen.update(members)
 
 
-def is_seedable_clique(graph, k: int, clique: Iterable[int], alive) -> bool:
+def is_seedable_clique(
+    graph: "Graph | DynamicGraph",
+    k: int,
+    clique: Iterable[int],
+    alive: Callable[[int], bool],
+) -> bool:
     """Whether ``clique`` can seed a warm-started engine.
 
     True when the clique has exactly ``k`` distinct in-range nodes, all
@@ -127,7 +138,9 @@ def is_seedable_clique(graph, k: int, clique: Iterable[int], alive) -> bool:
     )
 
 
-def is_valid(graph, k: int, cliques: Iterable[Iterable[int]]) -> bool:
+def is_valid(
+    graph: "Graph | DynamicGraph", k: int, cliques: Iterable[Iterable[int]]
+) -> bool:
     """Boolean form of :func:`verify_solution`."""
     try:
         verify_solution(graph, k, cliques)
@@ -136,7 +149,9 @@ def is_valid(graph, k: int, cliques: Iterable[Iterable[int]]) -> bool:
     return True
 
 
-def is_maximal(graph, k: int, cliques: Iterable[Iterable[int]]) -> bool:
+def is_maximal(
+    graph: "Graph | DynamicGraph", k: int, cliques: Iterable[Iterable[int]]
+) -> bool:
     """Whether no further disjoint k-clique can be added (Definition 3).
 
     Enumerates k-cliques of the residual graph induced on uncovered

@@ -15,6 +15,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.graph.ordering import OrderSpec
 from repro.cliques.counting import node_scores
 from repro.graph.graph import Graph
 
@@ -42,6 +43,8 @@ def degree_bounds(clique: Iterable[int], scores: Sequence[int], k: int) -> tuple
     return ((s - k) / (k - 1), s - k)
 
 
-def compute_scores(graph: Graph, k: int, order="degeneracy") -> np.ndarray:
+def compute_scores(
+    graph: Graph, k: int, order: OrderSpec = "degeneracy"
+) -> np.ndarray:
     """Per-node k-clique counts (re-export of :func:`node_scores`)."""
     return node_scores(graph, k, order)

@@ -43,7 +43,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -57,6 +57,11 @@ from repro.cliques import csr_kernels
 from repro.cliques import listing
 from repro.core.registry import REGISTRY, Method, SolverRegistry
 from repro.core.result import CliqueSetResult
+
+if TYPE_CHECKING:  # deferred at runtime: task/maintainer sit above core
+    from repro.graph.dag import OrientedCSR
+    from repro.core.task import SolveTask
+    from repro.dynamic.maintainer import DynamicDisjointCliques
 
 
 class Preprocessing:
@@ -163,7 +168,7 @@ class Preprocessing:
                 self.stats["cache_hits"] += 1
             return cached
 
-    def oriented_csr(self, order: object = "degeneracy"):
+    def oriented_csr(self, order: object = "degeneracy") -> "OrientedCSR":
         """Oriented-CSR arrays for ``order`` (cached with the DAG).
 
         The :class:`~repro.graph.dag.OrientedCSR` twin is built lazily
@@ -346,7 +351,7 @@ class SolveRequest:
     options: dict = field(default_factory=dict)
 
 
-def _coerce_request(item) -> SolveRequest:
+def _coerce_request(item: object) -> SolveRequest:
     """Accept SolveRequest | int k | (k,) | (k, method) | (k, method, opts) | dict."""
     if isinstance(item, SolveRequest):
         return item
@@ -403,10 +408,13 @@ class Session:
         self.default_method = registry.get(default_method).tag
         self.prep = Preprocessing(graph)
         self._fingerprint: str | None = None
+        # Guards the fingerprint memo; the session pool fingerprints
+        # sessions from multiple worker threads.
+        self._lock = threading.Lock()
 
     # -- solving -------------------------------------------------------
     @staticmethod
-    def _check_k(k) -> int:
+    def _check_k(k: object) -> int:
         try:
             k = int(k.__index__())
         except AttributeError:
@@ -417,7 +425,9 @@ class Session:
             raise InvalidParameterError(f"k must be >= 2, got {k}")
         return k
 
-    def solve(self, k: int, method: str | None = None, **options) -> CliqueSetResult:
+    def solve(
+        self, k: int, method: str | None = None, **options: object
+    ) -> CliqueSetResult:
         """Find a (near-)maximum disjoint k-clique set, reusing caches.
 
         ``method`` is a registry tag (default: the session's
@@ -430,7 +440,14 @@ class Session:
         opts = m.parse_options(options)
         return m.run(self.prep, k, opts)
 
-    def task(self, k: int, method: str | None = None, *, warm_start=None, **options):
+    def task(
+        self,
+        k: int,
+        method: str | None = None,
+        *,
+        warm_start: Iterable[Iterable[int]] | None = None,
+        **options: object,
+    ) -> "SolveTask":
         """Open a resumable :class:`~repro.core.task.SolveTask`.
 
         The task wraps the method's step engine over this session's
@@ -479,7 +496,7 @@ class Session:
         engine = m.engine(self.prep, k, opts, warm_start=seed)
         return SolveTask(self, m, k, opts, engine)
 
-    def restore_task(self, checkpoint):
+    def restore_task(self, checkpoint: Mapping) -> "SolveTask":
         """Revive a :meth:`~repro.core.task.SolveTask.checkpoint` here.
 
         The checkpoint must come from a session over an equal graph
@@ -564,7 +581,14 @@ class Session:
             self.prep.scores(k, backend=backend)
         return self
 
-    def dynamic(self, k: int, method: str | None = None, *, warm_start=None, **options):
+    def dynamic(
+        self,
+        k: int,
+        method: str | None = None,
+        *,
+        warm_start: Iterable[Iterable[int]] | None = None,
+        **options: object,
+    ) -> "DynamicDisjointCliques":
         """Construct a dynamic maintainer seeded from this session.
 
         The initial static solve runs through :meth:`solve`, so it
@@ -620,7 +644,9 @@ class Session:
         if self._fingerprint is None:
             from repro.graph.fingerprint import graph_fingerprint
 
-            self._fingerprint = graph_fingerprint(self.graph)
+            with self._lock:
+                if self._fingerprint is None:
+                    self._fingerprint = graph_fingerprint(self.graph)
         return self._fingerprint
 
     def estimated_bytes(self, blocking: bool = True) -> int:

@@ -14,8 +14,13 @@ Algorithm 3 removes.
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from repro.errors import InvalidParameterError, OutOfMemoryError
 from repro.graph.graph import Graph
+from repro.graph.ordering import OrderSpec
 from repro.cliques.counting import node_scores
 from repro.cliques.listing import iter_cliques
 from repro.core.result import CliqueSetResult
@@ -25,10 +30,10 @@ from repro.core.scores import clique_key
 def store_all_cliques(
     graph: Graph,
     k: int,
-    order="degeneracy",
+    order: OrderSpec = "degeneracy",
     max_cliques: int | None = None,
-    scores=None,
-    cliques=None,
+    scores: np.ndarray | None = None,
+    cliques: Sequence[tuple[int, ...]] | None = None,
     backend: str = "auto",
 ) -> CliqueSetResult:
     """Compute a disjoint k-clique set with Algorithm 2.

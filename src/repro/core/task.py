@@ -36,10 +36,59 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass
-from typing import Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Protocol
 
 from repro.errors import InvalidParameterError
+from repro.jsonsafe import json_safe
 from repro.core.result import CliqueSetResult
+
+if TYPE_CHECKING:  # deferred at runtime: session imports this module
+    from repro.core.registry import Method, SolveOptions
+    from repro.core.session import Session
+
+
+class StepEngine(Protocol):
+    """The engine interface a resumable method factory must produce.
+
+    One ``tick()`` performs one bounded work unit; ``state_dict()`` /
+    ``load_state()`` round-trip the engine through a JSON-safe mapping
+    (see :meth:`SolveTask.checkpoint`).
+    """
+
+    @property
+    def finished(self) -> bool:
+        """Whether the run is complete (``tick`` must not be called)."""
+        ...
+
+    @property
+    def size(self) -> int:
+        """Current ``|S|`` of the best-so-far solution."""
+        ...
+
+    def tick(self) -> None:
+        """Perform one bounded work unit."""
+        ...
+
+    def bound(self) -> int:
+        """Upper bound on the final ``|S|`` this run can reach."""
+        ...
+
+    def snapshot_result(self) -> CliqueSetResult:
+        """Best-so-far solution (valid at every work-unit boundary)."""
+        ...
+
+    def result(self) -> CliqueSetResult:
+        """Final solution; only meaningful once :attr:`finished`."""
+        ...
+
+    def state_dict(self) -> dict:
+        """JSON-safe serialisation of the engine's run state."""
+        ...
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` payload onto a fresh engine."""
+        ...
+
 
 #: Checkpoint schema version (bumped on incompatible layout changes).
 CHECKPOINT_VERSION = 1
@@ -71,7 +120,9 @@ class TaskSnapshot:
     done: bool
 
 
-def normalize_warm_start(warm_start) -> list[frozenset[int]] | None:
+def normalize_warm_start(
+    warm_start: "CliqueSetResult | Iterable[Iterable[int]] | None",
+) -> list[frozenset[int]] | None:
     """Coerce a warm-start spec into a list of candidate cliques.
 
     Accepts a :class:`~repro.core.result.CliqueSetResult` or any
@@ -98,7 +149,14 @@ class SolveTask:
     thread and takes effect at the next work-unit boundary.
     """
 
-    def __init__(self, session, method, k: int, options, engine) -> None:
+    def __init__(
+        self,
+        session: "Session",
+        method: "Method",
+        k: int,
+        options: "SolveOptions",
+        engine: StepEngine,
+    ) -> None:
         self.session = session
         self.method = method
         self.k = k
@@ -282,14 +340,16 @@ class SolveTask:
             "version": CHECKPOINT_VERSION,
             "method": self.method.tag,
             "k": self.k,
-            "options": asdict(self.options),
+            # Options dataclasses have object-typed fields (e.g. an
+            # array-valued `order`); sanitise before they hit json.dumps.
+            "options": json_safe(asdict(self.options)),
             "work": self.work,
             "fingerprint": self.session.fingerprint(),
-            "engine": self.engine.state_dict(),
+            "engine": json_safe(self.engine.state_dict()),
         }
 
     @classmethod
-    def restore(cls, session, checkpoint: Mapping) -> "SolveTask":
+    def restore(cls, session: "Session", checkpoint: Mapping) -> "SolveTask":
         """Revive a :meth:`checkpoint` onto ``session`` (same graph).
 
         The session must be bound to a graph with the same content

@@ -22,7 +22,10 @@ which fails mid-stream.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # imported for annotations only
+    from repro.graph.dynamic import DynamicGraph
 
 from repro.errors import GraphError, InvalidParameterError
 
@@ -32,7 +35,7 @@ Update = tuple[str, int, int]
 _OPS = {"insert": True, "delete": False}
 
 
-def validate_update(op: str, u, v, n: int) -> tuple[bool, int, int]:
+def validate_update(op: str, u: int, v: int, n: int) -> tuple[bool, int, int]:
     """Validate one ``(op, u, v)`` update against a graph of ``n`` nodes.
 
     Returns ``(want_present, u, v)`` with the endpoints coerced to plain
@@ -91,7 +94,7 @@ class UpdateBatch:
         return self.effective + self.nops
 
     @classmethod
-    def plan(cls, updates: Iterable[Update], graph) -> "UpdateBatch":
+    def plan(cls, updates: Iterable[Update], graph: "DynamicGraph") -> "UpdateBatch":
         """Coalesce ``updates`` against ``graph``'s current edge set.
 
         Per edge the last operation in stream order determines the

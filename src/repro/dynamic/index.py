@@ -18,6 +18,7 @@ Algorithm 5: for each owner clique ``C``, enumerate k-cliques inside
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.errors import SolutionError
 from repro.cliques import csr_kernels
@@ -26,6 +27,9 @@ from repro.dynamic.local import (
     cliques_through_node,
     iter_cliques_within,
 )
+
+if TYPE_CHECKING:  # imported for annotations only
+    from repro.graph.dynamic import DynamicGraph
 
 Clique = frozenset[int]
 
@@ -70,7 +74,7 @@ class CandidateIndex:
         Clique size.
     """
 
-    def __init__(self, graph, k: int) -> None:
+    def __init__(self, graph: "DynamicGraph", k: int) -> None:
         self.graph = graph
         self.k = k
         self.solution: dict[int, Clique] = {}
@@ -236,7 +240,9 @@ class CandidateIndex:
                 self._classify_into(cand, report)
         return report
 
-    def refresh_nodes(self, dirty, *, backend: str = "sets") -> RefreshReport:
+    def refresh_nodes(
+        self, dirty: Iterable[int], *, backend: str = "sets"
+    ) -> RefreshReport:
         """Re-derive all candidates touching ``dirty`` nodes.
 
         Call after the free status of ``dirty`` changed (solution cliques
@@ -277,7 +283,9 @@ class CandidateIndex:
                 report.all_free.add(clique)
         return report
 
-    def _cliques_through_dirty(self, dirty: set[int], backend: str):
+    def _cliques_through_dirty(
+        self, dirty: set[int], backend: str
+    ) -> Iterator[Clique]:
         """Every *classifiable* k-clique touching a dirty node, once each.
 
         The ``sets`` engine unions per-node enumerations (dedup via a
@@ -325,7 +333,9 @@ class CandidateIndex:
             self._classify_into(clique, report)
         return report
 
-    def discover_through_edges(self, edges, *, backend: str = "sets") -> RefreshReport:
+    def discover_through_edges(
+        self, edges: Iterable[tuple[int, int]], *, backend: str = "sets"
+    ) -> RefreshReport:
         """Batched :meth:`discover_through_edge` over many fresh edges.
 
         The ``sets`` engine recurses per edge; the ``csr`` engine builds

@@ -11,10 +11,16 @@ by ascending-id recursion inside the candidate set.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # imported for annotations only
+    from repro.graph.dynamic import DynamicGraph
+    from repro.graph.graph import Graph
 
 
-def iter_cliques_within(graph, nodes: Iterable[int], k: int) -> Iterator[frozenset[int]]:
+def iter_cliques_within(
+    graph: "Graph | DynamicGraph", nodes: Iterable[int], k: int
+) -> Iterator[frozenset[int]]:
     """Yield every k-clique whose nodes all lie in ``nodes``, once each."""
     if k < 1:
         return
@@ -49,7 +55,9 @@ def iter_cliques_within(graph, nodes: Iterable[int], k: int) -> Iterator[frozens
             yield from extend([u], cand, k - 1)
 
 
-def cliques_through_node(graph, u: int, k: int) -> Iterator[frozenset[int]]:
+def cliques_through_node(
+    graph: "Graph | DynamicGraph", u: int, k: int
+) -> Iterator[frozenset[int]]:
     """Yield every k-clique of ``graph`` containing node ``u``, once each."""
     if k < 1:
         return
@@ -63,7 +71,9 @@ def cliques_through_node(graph, u: int, k: int) -> Iterator[frozenset[int]]:
         yield sub | {u}
 
 
-def cliques_through_edge(graph, u: int, v: int, k: int) -> Iterator[frozenset[int]]:
+def cliques_through_edge(
+    graph: "Graph | DynamicGraph", u: int, v: int, k: int
+) -> Iterator[frozenset[int]]:
     """Yield every k-clique containing edge ``(u, v)``, once each."""
     if k < 2 or not graph.has_edge(u, v):
         return
@@ -77,7 +87,9 @@ def cliques_through_edge(graph, u: int, v: int, k: int) -> Iterator[frozenset[in
         yield sub | {u, v}
 
 
-def has_clique_within(graph, nodes: Iterable[int], k: int) -> bool:
+def has_clique_within(
+    graph: "Graph | DynamicGraph", nodes: Iterable[int], k: int
+) -> bool:
     """Whether the induced subgraph on ``nodes`` contains any k-clique."""
     for _ in iter_cliques_within(graph, nodes, k):
         return True

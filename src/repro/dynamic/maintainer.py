@@ -72,7 +72,7 @@ class DynamicDisjointCliques:
 
     def __init__(
         self,
-        graph,
+        graph: Graph | DynamicGraph,
         k: int,
         method: str = "lp",
         initial: CliqueSetResult | None = None,

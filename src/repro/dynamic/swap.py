@@ -12,11 +12,12 @@ scores are computed *locally* over the candidate set under inspection
 from __future__ import annotations
 
 from collections import deque
+from typing import Iterable
 
 from repro.dynamic.index import CandidateIndex, Clique
 
 
-def select_disjoint(cliques, k: int) -> list[Clique]:
+def select_disjoint(cliques: Iterable[Clique], k: int) -> list[Clique]:
     """Greedy maximal disjoint subset in ascending local-score order.
 
     ``s_n`` is recomputed inside the candidate pool (how many pool

@@ -39,7 +39,7 @@ class OutOfTimeError(BudgetExceededError):
     read it off the exception.
     """
 
-    def __init__(self, *args, partial=None) -> None:
+    def __init__(self, *args: object, partial: object = None) -> None:
         super().__init__(*args)
         #: Best-so-far work at expiry: a
         #: :class:`repro.core.result.CliqueSetResult` from solvers, a

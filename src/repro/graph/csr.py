@@ -21,7 +21,12 @@ Helpers
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+if TYPE_CHECKING:  # deferred at runtime: graph imports csr lazily
+    from repro.graph.graph import Graph
 
 
 def concat_rows(
@@ -88,7 +93,7 @@ class CSRAdjacency:
         self.cols = cols
 
     @classmethod
-    def from_graph(cls, graph) -> "CSRAdjacency":
+    def from_graph(cls, graph: "Graph") -> "CSRAdjacency":
         """Build from a :class:`repro.graph.graph.Graph`.
 
         Construction is bulk numpy work: one pass drains every adjacency

@@ -11,6 +11,7 @@ makes each clique enumerable exactly once.
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -37,7 +38,7 @@ class OrientedCSR:
         self.rank = rank
 
     @classmethod
-    def from_rank(cls, graph: Graph, rank) -> "OrientedCSR":
+    def from_rank(cls, graph: Graph, rank: Sequence[int] | np.ndarray) -> "OrientedCSR":
         """Orient ``graph`` by a rank array, fully vectorised.
 
         Filters the graph's (cached) undirected CSR with one boolean
@@ -84,7 +85,7 @@ class OrientedGraph:
         :meth:`csr`.
     """
 
-    __slots__ = ("graph", "rank", "out", "_csr")
+    __slots__ = ("graph", "rank", "out", "_csr", "_lock")
 
     def __init__(self, graph: Graph, rank: np.ndarray) -> None:
         self.graph = graph
@@ -94,11 +95,18 @@ class OrientedGraph:
             for u in range(graph.n)
         ]
         self._csr: OrientedCSR | None = None
+        # Guards the lazy CSR memo: engines call csr() outside the
+        # preprocessing lock (e.g. the lightweight engine's deferred
+        # substrate build), so concurrent tasks over a shared session
+        # could otherwise race the O(n + m) orientation build.
+        self._lock = threading.Lock()
 
     def csr(self) -> OrientedCSR:
         """Lazily-built (and cached) :class:`OrientedCSR` of this orientation."""
         if self._csr is None:
-            self._csr = OrientedCSR.from_rank(self.graph, self.rank)
+            with self._lock:
+                if self._csr is None:
+                    self._csr = OrientedCSR.from_rank(self.graph, self.rank)
         return self._csr
 
     @property
@@ -107,7 +115,7 @@ class OrientedGraph:
         return self._csr is not None
 
     @classmethod
-    def orient(cls, graph: Graph, order="degeneracy") -> "OrientedGraph":
+    def orient(cls, graph: Graph, order: _ordering.OrderSpec = "degeneracy") -> "OrientedGraph":
         """Orient ``graph`` by a named ordering, rank array or callable."""
         rank = _ordering.resolve(order, graph)
         return cls(graph, rank)

@@ -9,9 +9,12 @@ for rebuild-from-scratch comparisons (Table VIII).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.errors import GraphError
+
+if TYPE_CHECKING:  # deferred at runtime: graph.py imports this module
+    from repro.graph.graph import Graph
 
 Edge = tuple[int, int]
 
@@ -111,7 +114,7 @@ class DynamicGraph:
                 if u < v:
                     yield (u, v)
 
-    def is_clique(self, nodes) -> bool:
+    def is_clique(self, nodes: Iterable[int]) -> bool:
         """Whether ``nodes`` induce a complete subgraph."""
         node_list = list(nodes)
         if len(set(node_list)) != len(node_list):
@@ -123,14 +126,14 @@ class DynamicGraph:
                     return False
         return True
 
-    def snapshot(self):
+    def snapshot(self) -> "Graph":
         """Freeze into an immutable :class:`repro.graph.graph.Graph`."""
         from repro.graph.graph import Graph
 
         return Graph(self._n, list(self.edges()))
 
     @classmethod
-    def from_graph(cls, graph) -> "DynamicGraph":
+    def from_graph(cls, graph: "Graph") -> "DynamicGraph":
         """Thaw an immutable :class:`repro.graph.graph.Graph`."""
         return cls(graph.n, graph.edges())
 

@@ -17,11 +17,16 @@ uses :class:`repro.graph.dynamic.DynamicGraph` instead and converts via
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+import threading
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import GraphError
+
+if TYPE_CHECKING:  # deferred at runtime: csr imports graph
+    from repro.graph.csr import CSRAdjacency
+    from repro.graph.dynamic import DynamicGraph
 
 Edge = tuple[int, int]
 
@@ -45,7 +50,7 @@ class Graph:
         matches how the paper's datasets are cleaned.
     """
 
-    __slots__ = ("_n", "_m", "_adj", "_degrees", "_csr_cache")
+    __slots__ = ("_n", "_m", "_adj", "_degrees", "_csr_cache", "_lock")
 
     def __init__(self, n: int, edges: Iterable[Edge] = ()) -> None:
         if n < 0:
@@ -66,6 +71,10 @@ class Graph:
         self._adj = adj
         self._degrees = np.fromiter((len(s) for s in adj), dtype=np.int64, count=n)
         self._csr_cache = None
+        # Guards the lazy CSR memo: sessions are shared across serving
+        # worker threads, and an unguarded first call from two threads
+        # duplicates the O(n + m) build.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -117,12 +126,14 @@ class Graph:
     # ------------------------------------------------------------------
     # Derived structures
     # ------------------------------------------------------------------
-    def csr(self):
+    def csr(self) -> "CSRAdjacency":
         """Lazily-built CSR adjacency view (see :mod:`repro.graph.csr`)."""
         if self._csr_cache is None:
             from repro.graph.csr import CSRAdjacency
 
-            self._csr_cache = CSRAdjacency.from_graph(self)
+            with self._lock:
+                if self._csr_cache is None:
+                    self._csr_cache = CSRAdjacency.from_graph(self)
         return self._csr_cache
 
     def subgraph(self, nodes: Iterable[int]) -> "Graph":
@@ -203,7 +214,7 @@ class Graph:
         return cls(n, edge_list)
 
     @classmethod
-    def from_dynamic(cls, dyn) -> "Graph":
+    def from_dynamic(cls, dyn: "DynamicGraph") -> "Graph":
         """Freeze a :class:`repro.graph.dynamic.DynamicGraph`."""
         return cls(dyn.n, dyn.edges())
 

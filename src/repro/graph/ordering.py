@@ -31,6 +31,10 @@ from repro.graph.graph import Graph
 
 OrderingFn = Callable[[Graph], np.ndarray]
 
+#: Anything :func:`resolve` accepts: a named ordering, an explicit rank
+#: array (or any integer sequence), or an ordering callable.
+OrderSpec = str | Sequence[int] | np.ndarray | OrderingFn
+
 
 def rank_from_sequence(order: Sequence[int]) -> np.ndarray:
     """Convert an explicit node sequence into a rank array.
@@ -123,7 +127,7 @@ _NAMED: dict[str, OrderingFn] = {
 }
 
 
-def resolve(name_or_rank, graph: Graph) -> np.ndarray:
+def resolve(name_or_rank: OrderSpec, graph: Graph) -> np.ndarray:
     """Resolve an ordering argument into a rank array.
 
     Accepts a name in ``{"id", "degree", "degeneracy"}``, a rank array of

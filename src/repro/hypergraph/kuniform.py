@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Iterable
 
 from repro.errors import InvalidParameterError
 from repro.graph.graph import Graph
@@ -48,7 +49,9 @@ class KUniformHypergraph:
                 raise InvalidParameterError(f"hyperedge {edge} outside [0, {self.n})")
 
     @classmethod
-    def from_edges(cls, n: int, k: int, edges) -> "KUniformHypergraph":
+    def from_edges(
+        cls, n: int, k: int, edges: Iterable[Iterable[int]]
+    ) -> "KUniformHypergraph":
         """Build from any iterable of node collections."""
         return cls(n, k, tuple(tuple(sorted(e)) for e in edges))
 

@@ -1,0 +1,74 @@
+"""Coerce arbitrary payloads into ``json.dumps``-safe structures.
+
+Checkpoints (:meth:`repro.core.task.SolveTask.checkpoint`) and NDJSON
+protocol envelopes (:mod:`repro.serve.protocol`) are JSON-bound by
+contract, but the values flowing into them come from numpy-heavy code:
+option dataclasses with ``object``-typed fields can carry an
+``np.ndarray`` ordering, engines count in ``np.int64``. ``json.dumps``
+raises ``TypeError`` on all of these — at serialisation time, on
+whichever rarely exercised path let one through.
+
+:func:`json_safe` is the single sanitiser those boundaries funnel
+through. It converts, recursively:
+
+* numpy scalars (``np.integer`` / ``np.floating`` / ``np.bool_``) to
+  the matching Python scalar;
+* numpy arrays to (nested) lists;
+* mappings to plain ``dict`` with ``str`` keys;
+* sets/frozensets to *sorted* lists (deterministic output, and the
+  repo's clique sets are always sortable);
+* tuples and other iterables to lists.
+
+Values that are already JSON-representable pass through unchanged. The
+conversion is total: anything unrecognised is rejected with
+``TypeError`` naming the offending type, so a new unserialisable type
+fails at the boundary with a clear message instead of deep inside
+``json.dumps``.
+
+This module sits at layer 0 of the import DAG (stdlib + optional numpy
+only) so every layer may use it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Set
+from typing import Any
+
+try:  # numpy is an optional import here: pure-Python payloads still work
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the package
+    _np = None  # type: ignore[assignment]
+
+__all__ = ["json_safe"]
+
+
+def json_safe(value: Any) -> Any:
+    """Return ``value`` converted into a ``json.dumps``-safe structure.
+
+    See the module docstring for the conversion table. Raises
+    ``TypeError`` for values with no JSON representation.
+    """
+    if _np is not None:
+        # Before the plain-scalar passthrough: np.float64 *subclasses*
+        # float (and np.bool_ compares equal to bool) but should leave
+        # this boundary as the exact builtin type.
+        if isinstance(value, _np.bool_):
+            return bool(value)
+        if isinstance(value, _np.integer):
+            return int(value)
+        if isinstance(value, _np.floating):
+            return float(value)
+        if isinstance(value, _np.ndarray):
+            return [json_safe(item) for item in value.tolist()]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): json_safe(item) for key, item in value.items()}
+    if isinstance(value, Set):
+        return sorted(json_safe(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    raise TypeError(
+        f"value of type {type(value).__name__} has no JSON-safe form: "
+        f"{value!r}"
+    )

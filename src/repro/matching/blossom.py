@@ -14,6 +14,7 @@ following Gabow's presentation.
 from __future__ import annotations
 
 from collections import deque
+from typing import Iterable
 
 from repro.graph.graph import Graph
 
@@ -118,7 +119,7 @@ def matching_size(graph: Graph) -> int:
     return len(maximum_matching(graph))
 
 
-def is_matching(graph: Graph, edges) -> bool:
+def is_matching(graph: Graph, edges: Iterable[tuple[int, int]]) -> bool:
     """Whether ``edges`` is a valid matching of ``graph``."""
     seen: set[int] = set()
     for u, v in edges:

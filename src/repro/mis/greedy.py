@@ -10,6 +10,7 @@ ordering emulates without building the clique graph.
 from __future__ import annotations
 
 import heapq
+from typing import Iterable
 
 from repro.graph.graph import Graph
 
@@ -42,7 +43,7 @@ def greedy_mis(graph: Graph) -> list[int]:
     return sorted(chosen)
 
 
-def is_independent_set(graph: Graph, nodes) -> bool:
+def is_independent_set(graph: Graph, nodes: Iterable[int]) -> bool:
     """Whether ``nodes`` is an independent set of ``graph``."""
     node_list = list(nodes)
     node_set = set(node_list)

@@ -17,6 +17,7 @@ original ids plus the set of nodes already forced into the solution.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.graph.graph import Graph
 
@@ -39,7 +40,7 @@ class MISKernel:
     mapping: list[int]
     forced: set[int]
 
-    def lift(self, kernel_solution) -> list[int]:
+    def lift(self, kernel_solution: Iterable[int]) -> list[int]:
         """Translate a kernel IS back to original ids, adding forced nodes."""
         return sorted(self.forced | {self.mapping[i] for i in kernel_solution})
 

@@ -21,7 +21,10 @@ scheduler workers busy from one submitting thread.
 from __future__ import annotations
 
 import json
-from typing import Iterable
+from typing import Callable, Iterable
+
+#: A user progress callback: receives each streamed ``data`` dict.
+ProgressCallback = Callable[[dict], None]
 
 from repro.errors import ServeError
 from repro.graph.graph import Graph
@@ -53,7 +56,9 @@ def _raise_for_envelope(envelope: dict) -> dict:
 class PendingCall:
     """Handle for an in-flight request started with :meth:`Client.start`."""
 
-    def __init__(self, ticket: Ticket | None, result: dict | None, request_id):
+    def __init__(
+        self, ticket: Ticket | None, result: dict | None, request_id: int
+    ) -> None:
         self._ticket = ticket
         self._result = result
         self.id = request_id
@@ -64,7 +69,7 @@ class PendingCall:
         return self._ticket is None or self._ticket.done
 
     @property
-    def ticket(self):
+    def ticket(self) -> Ticket | None:
         """The underlying scheduler ticket (``None`` for inline ops).
 
         Exposes the scheduler's ``submitted_at`` / ``started_at`` /
@@ -99,7 +104,9 @@ class Client:
         return protocol.decode_request(protocol.encode(message))
 
     @staticmethod
-    def _progress_sink(on_progress):
+    def _progress_sink(
+        on_progress: ProgressCallback | None,
+    ) -> Callable[[dict], None] | None:
         """Adapt a user progress callback into an envelope sink."""
         if on_progress is None:
             return None
@@ -110,7 +117,13 @@ class Client:
 
         return emit
 
-    def call(self, op: str, *, on_progress=None, **fields) -> dict:
+    def call(
+        self,
+        op: str,
+        *,
+        on_progress: ProgressCallback | None = None,
+        **fields: object,
+    ) -> dict:
         """Send one request and block for its result payload.
 
         ``on_progress`` receives each streamed progress ``data`` dict
@@ -123,7 +136,13 @@ class Client:
             self.server.handle_request(message, self._progress_sink(on_progress))
         )
 
-    def start(self, op: str, *, on_progress=None, **fields) -> PendingCall:
+    def start(
+        self,
+        op: str,
+        *,
+        on_progress: ProgressCallback | None = None,
+        **fields: object,
+    ) -> PendingCall:
         """Send one request without waiting; admission errors raise now.
 
         Compute ops return immediately with a live handle; inline ops
@@ -180,7 +199,7 @@ class Client:
         deadline: float | None = None,
         include_cliques: bool = True,
         progress: bool = False,
-        on_progress=None,
+        on_progress: ProgressCallback | None = None,
     ) -> dict:
         """Solve on a registered graph through the pool + scheduler.
 
@@ -203,11 +222,11 @@ class Client:
             on_progress=on_progress,
         )
 
-    def count(self, graph: str, k: int, **fields) -> dict:
+    def count(self, graph: str, k: int, **fields: object) -> dict:
         """Count k-cliques on a registered graph."""
         return self.call("count", graph=graph, k=k, **fields)
 
-    def bounds(self, graph: str, k: int, **fields) -> dict:
+    def bounds(self, graph: str, k: int, **fields: object) -> dict:
         """Certified optimum upper bounds on a registered graph."""
         return self.call("bounds", graph=graph, k=k, **fields)
 

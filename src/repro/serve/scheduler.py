@@ -579,7 +579,7 @@ class Scheduler:
     def __enter__(self) -> "Scheduler":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
     def queued(self) -> int:

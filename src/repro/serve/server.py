@@ -57,6 +57,8 @@ from typing import Callable, Iterable, TextIO
 
 from repro.analysis.bounds import optimum_upper_bounds
 from repro.core.registry import REGISTRY, SolverRegistry
+from repro.core.result import CliqueSetResult
+from repro.core.session import Session
 from repro.errors import (
     InvalidParameterError,
     ProtocolError,
@@ -72,7 +74,7 @@ from repro.serve.pool import SessionPool
 from repro.serve.scheduler import Resumable, Scheduler, Ticket
 
 
-def _result_payload(result, include_cliques: bool) -> dict:
+def _result_payload(result: CliqueSetResult, include_cliques: bool) -> dict:
     """Serialise a :class:`CliqueSetResult` for the wire."""
     payload = {
         "size": result.size,
@@ -190,7 +192,7 @@ class Server:
             )
         return entry
 
-    def _session_for(self, message: dict):
+    def _session_for(self, message: dict) -> Session:
         graph, fingerprint = self._resolve_graph(message)
         return self.pool.get(graph, fingerprint=fingerprint)
 
@@ -279,7 +281,8 @@ class Server:
         }
 
     def _op_shutdown(self, message: dict, emit: Callable | None = None) -> dict:
-        self._shutting_down = True
+        with self._lock:
+            self._shutting_down = True
         return {"shutting_down": True}
 
     def _op_register_graph(self, message: dict, emit: Callable | None = None) -> dict:
@@ -566,13 +569,14 @@ class Server:
 
     def close(self) -> None:
         """Drain the scheduler and release workers (idempotent)."""
-        self._shutting_down = True
+        with self._lock:
+            self._shutting_down = True
         self.scheduler.shutdown(wait=True)
 
     def __enter__(self) -> "Server":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,159 @@
+"""Regression tests for defects surfaced by the repro-lint sweep.
+
+Each class pins one fixed defect so it cannot silently return:
+
+* numpy values (an ndarray ``order``, numpy stats scalars) reaching
+  ``SolveTask.checkpoint`` made the checkpoint non-JSON-serialisable;
+* the lazily built CSR/fingerprint memos were written without a lock,
+  so concurrent first calls could build twice and hand different
+  objects to different threads;
+* ``Server`` flipped ``_shutting_down`` outside its lock.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro.errors import InvalidParameterError
+from repro.graph.generators import powerlaw_cluster, watts_strogatz
+from repro.graph.dag import OrientedGraph
+from repro.graph.graph import Graph
+from repro.jsonsafe import json_safe
+from repro.serve import Client, Server
+
+TRIANGLES = [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]
+
+
+class TestJsonSafe:
+    def test_passthrough_plain_values(self):
+        for value in (None, True, 3, 2.5, "x"):
+            assert json_safe(value) is value
+
+    def test_numpy_scalars_become_python_scalars(self):
+        out = json_safe(
+            {"n": np.int64(7), "t": np.float64(0.5), "flag": np.bool_(True)}
+        )
+        assert out == {"n": 7, "t": 0.5, "flag": True}
+        assert type(out["n"]) is int
+        assert type(out["t"]) is float
+        assert type(out["flag"]) is bool
+
+    def test_ndarray_becomes_nested_lists(self):
+        out = json_safe({"order": np.arange(6).reshape(2, 3)})
+        assert out == {"order": [[0, 1, 2], [3, 4, 5]]}
+        json.dumps(out)  # truly wire-safe
+
+    def test_sets_sorted_and_tuples_listified(self):
+        out = json_safe({"s": frozenset({3, 1, 2}), "t": (1, 2)})
+        assert out == {"s": [1, 2, 3], "t": [1, 2]}
+
+    def test_unencodable_type_raises_typeerror_naming_type(self):
+        with pytest.raises(TypeError, match="object"):
+            json_safe({"bad": object()})
+
+
+class TestCheckpointNumpySafety:
+    def test_ndarray_order_checkpoint_is_json_serialisable(self):
+        """An array-valued ``order`` option must survive json.dumps."""
+        make = lambda: powerlaw_cluster(150, 6, 0.7, seed=9)  # noqa: E731
+        session = Session(make())
+        rank = np.argsort(np.argsort(session.graph.degrees))
+        task = session.task(4, "hg", order=rank)
+        task.step(max_work=40)
+
+        blob = json.loads(json.dumps(task.checkpoint()))
+
+        restored = Session(make()).restore_task(blob)
+        result = restored.run()
+        reference = session.solve(4, "hg", order=rank)
+        assert result.sorted_cliques() == reference.sorted_cliques()
+
+    def test_finished_exact_bb_checkpoint_is_json_serialisable(self):
+        session = Session(watts_strogatz(30, 6, 0.2, seed=3))
+        task = session.task(3, "opt-bb")
+        task.run()
+        json.dumps(task.checkpoint())  # engine stats may hold numpy scalars
+
+
+class ConcurrencyHarness:
+    """Hammer one lazy memo from many threads; all must see one object."""
+
+    THREADS = 8
+
+    def hammer(self, fn):
+        barrier = threading.Barrier(self.THREADS)
+        results: list[object] = [None] * self.THREADS
+        errors: list[BaseException] = []
+
+        def worker(slot: int) -> None:
+            try:
+                barrier.wait()
+                results[slot] = fn()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        return results
+
+
+class TestLazyMemoThreadSafety(ConcurrencyHarness):
+    def test_graph_csr_built_once_across_threads(self):
+        graph = powerlaw_cluster(400, 5, 0.6, seed=11)
+        results = self.hammer(graph.csr)
+        assert all(r is results[0] for r in results)
+
+    def test_oriented_csr_built_once_across_threads(self):
+        graph = powerlaw_cluster(400, 5, 0.6, seed=12)
+        oriented = OrientedGraph.orient(graph, "degeneracy")
+        results = self.hammer(oriented.csr)
+        assert all(r is results[0] for r in results)
+
+    def test_session_fingerprint_stable_across_threads(self):
+        session = Session(powerlaw_cluster(400, 5, 0.6, seed=13))
+        results = self.hammer(session.fingerprint)
+        assert len(set(results)) == 1
+        assert results[0] == Session(
+            powerlaw_cluster(400, 5, 0.6, seed=13)
+        ).fingerprint()
+
+
+class TestServerShutdownGuard:
+    def test_concurrent_close_is_idempotent(self):
+        server = Server(workers=2)
+        server.register_graph("g", Graph.from_edges(TRIANGLES))
+        barrier = threading.Barrier(4)
+        errors: list[BaseException] = []
+
+        def closer() -> None:
+            try:
+                barrier.wait()
+                server.close()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_shutdown_refuses_new_compute_requests(self):
+        server = Server(workers=1)
+        client = Client(server)
+        server.register_graph("g", Graph.from_edges(TRIANGLES))
+        client.shutdown()
+        with pytest.raises(InvalidParameterError):
+            client.ping()
+        server.close()

@@ -1,0 +1,186 @@
+"""repro-lint self-tests: fixture corpus, ratchet, registry rule, CLI.
+
+Two-directional fixture coverage keeps the rules honest: every
+``fail_*.py`` fixture must trigger its rule (the rule cannot go blind)
+and every ``pass_*.py`` fixture must stay silent (the rule cannot go
+trigger-happy). A final smoke test asserts the shipped tree is clean
+under the shipped baseline — the state CI's static-analysis job gates.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from tools.repro_lint.core import (
+    ROOT,
+    Violation,
+    load_baseline,
+    load_module,
+    run_rules,
+    write_baseline,
+)
+from tools.repro_lint.rules import FILE_RULES, PROJECT_RULES
+from tools.repro_lint.rules.registry_meta import check_registry_object
+
+FIXTURES = Path(__file__).resolve().parent.parent / "tools" / "repro_lint" / "fixtures"
+
+
+def fixture_cases(kind: str) -> list:
+    cases = []
+    for rule_dir in sorted(FIXTURES.iterdir()):
+        if not rule_dir.is_dir():
+            continue
+        for path in sorted(rule_dir.glob(f"{kind}_*.py")):
+            cases.append(pytest.param(rule_dir.name, path, id=f"{rule_dir.name}/{path.name}"))
+    return cases
+
+
+class TestFixtureCorpus:
+    def test_corpus_is_present_for_every_file_rule(self):
+        for rule in FILE_RULES:
+            rule_dir = FIXTURES / rule
+            assert list(rule_dir.glob("pass_*.py")), f"no pass fixtures for {rule}"
+            assert list(rule_dir.glob("fail_*.py")), f"no fail fixtures for {rule}"
+
+    @pytest.mark.parametrize("rule,path", fixture_cases("pass"))
+    def test_pass_fixture_is_silent(self, rule, path):
+        module = load_module(path)
+        violations = list(FILE_RULES[rule](module))
+        assert violations == [], [v.render() for v in violations]
+
+    @pytest.mark.parametrize("rule,path", fixture_cases("fail"))
+    def test_fail_fixture_fires(self, rule, path):
+        module = load_module(path)
+        violations = list(FILE_RULES[rule](module))
+        assert violations, f"{path.name} produced no {rule} violations"
+        assert all(v.rule == rule for v in violations)
+
+
+class TestSuppressionsAndBaseline:
+    def test_suppression_comment_silences_the_anchored_line(self, tmp_path):
+        source = (FIXTURES / "statskeys" / "fail_typo.py").read_text()
+        suppressed = source.replace(
+            'stats["cache_hit"] = stats.get("cache_hit", 0) + 1',
+            'stats["cache_hit"] = stats.get("cache_hit", 0) + 1  # repro-lint: ignore=statskeys',
+        )
+        assert suppressed != source
+        target = tmp_path / "suppressed.py"
+        target.write_text(suppressed)
+        report = run_rules(
+            {"statskeys": FILE_RULES["statskeys"]}, {}, files=[target]
+        )
+        assert report.violations == []
+
+    def test_baseline_makes_known_violations_old_and_flags_stale(self, tmp_path):
+        target = tmp_path / "known.py"
+        target.write_text((FIXTURES / "statskeys" / "fail_typo.py").read_text())
+        first = run_rules({"statskeys": FILE_RULES["statskeys"]}, {}, files=[target])
+        assert first.failed and first.new
+
+        baseline = {v.fingerprint() for v in first.violations} | {"statskeys|gone.py|x"}
+        second = run_rules(
+            {"statskeys": FILE_RULES["statskeys"]},
+            {},
+            baseline=baseline,
+            files=[target],
+        )
+        assert not second.failed
+        assert second.violations and not second.new
+        assert second.stale_baseline == ["statskeys|gone.py|x"]
+
+    def test_fingerprint_is_stable_across_line_drift(self):
+        a = Violation(rule="r", path="p.py", line=3, message="m")
+        b = Violation(rule="r", path="p.py", line=30, message="m")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_baseline_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline({"b|x|m", "a|y|m"}, path)
+        assert load_baseline(path) == {"a|y|m", "b|x|m"}
+        assert load_baseline(tmp_path / "missing.json") == set()
+
+
+def method_stub(**overrides) -> SimpleNamespace:
+    """A metadata-complete fake Method; overrides inject one defect."""
+    from repro.core.registry import HGOptions
+
+    base = dict(
+        tag="fx",
+        summary="fixture method",
+        options_cls=HGOptions,
+        resumable=True,
+        exact=False,
+        supports_warm_start=False,
+        supports_time_budget=False,
+        deadline_safe=True,
+        engine=None,
+    )
+    base.update(overrides)
+    return SimpleNamespace(**base)
+
+
+class TestRegistryRule:
+    def check(self, *methods) -> list[Violation]:
+        return list(check_registry_object(list(methods)))
+
+    def test_consistent_stub_is_clean(self):
+        assert self.check(method_stub()) == []
+
+    def test_uppercase_tag_and_empty_summary(self):
+        messages = [v.message for v in self.check(method_stub(tag="FX", summary=" "))]
+        assert any("lowercase" in m for m in messages)
+        assert any("empty summary" in m for m in messages)
+
+    def test_options_class_must_subclass_solveoptions(self):
+        [violation] = self.check(method_stub(options_cls=dict))
+        assert "SolveOptions" in violation.message
+
+    def test_warm_start_requires_resumable(self):
+        [violation] = self.check(
+            method_stub(supports_warm_start=True, resumable=False)
+        )
+        assert "resumable" in violation.message
+
+    def test_time_budget_must_exist_on_options(self):
+        [violation] = self.check(method_stub(supports_time_budget=True))
+        assert "time_budget" in violation.message
+
+    def test_exact_methods_are_never_deadline_safe(self):
+        [violation] = self.check(method_stub(exact=True))
+        assert "deadline_safe" in violation.message
+
+    def test_engine_factory_signature_is_enforced(self):
+        def bad_engine(prep, k, opts, extra_knob=3):  # no warm_start
+            return None
+
+        messages = [
+            v.message for v in self.check(method_stub(engine=bad_engine))
+        ]
+        assert any("warm_start" in m for m in messages)
+        assert any("extra_knob" in str(m) or "extra kwargs" in m for m in messages)
+
+    def test_live_registry_is_consistent(self):
+        from repro.core.registry import REGISTRY
+
+        assert list(check_registry_object(REGISTRY)) == []
+
+
+class TestRepoIsClean:
+    def test_tree_is_clean_under_shipped_baseline(self):
+        report = run_rules(FILE_RULES, PROJECT_RULES, baseline=load_baseline())
+        assert not report.failed, "\n".join(v.render() for v in report.new)
+        assert report.stale_baseline == [], report.stale_baseline
+
+    def test_module_entry_point_exits_zero(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.repro_lint", "--no-external"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 new" in proc.stdout

@@ -1,0 +1,8 @@
+"""Repository tooling: CI gates and the ``repro_lint`` static-analysis suite.
+
+This package exists so the unified runner is invocable as
+``python -m tools.repro_lint`` from the repository root. The legacy
+standalone gates (``tools/check_docstrings.py``,
+``tools/check_doc_links.py``) keep working as plain scripts and are also
+folded into the unified runner.
+"""

@@ -1,0 +1,181 @@
+"""Unified static-analysis runner: ``python -m tools.repro_lint``.
+
+Runs, in order:
+
+1. the repro-lint AST/runtime rules (see :mod:`tools.repro_lint.rules`)
+   diffed against the ratchet baseline (``tools/repro_lint/baseline.json``);
+2. the existing documentation gates (``tools/check_docstrings.py`` and
+   ``tools/check_doc_links.py``), folded in so CI has one entry point —
+   their standalone invocations keep working;
+3. the external analysers ``ruff`` and ``mypy --strict`` when they are
+   importable in the current environment, reported as *skipped*
+   otherwise (the development container does not ship them; CI does).
+
+Exit status is non-zero when any new lint violation, failed gate or
+failing external analyser is found. ``--update-baseline`` rewrites the
+ratchet file from the current violations — use it only to record
+known-and-tracked debt, never to silence a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import subprocess
+import sys
+
+from tools.repro_lint.core import (
+    BASELINE_PATH,
+    ROOT,
+    LintReport,
+    load_baseline,
+    run_rules,
+    write_baseline,
+)
+from tools.repro_lint.rules import ALL_RULES, FILE_RULES, PROJECT_RULES
+
+#: External analysers gated on availability: (name, command).
+EXTERNAL_TOOLS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("ruff", ("ruff", "check", "src", "tools", "tests")),
+    ("mypy", ("mypy", "--strict", "src/repro")),
+)
+
+
+def _parse_args(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_lint",
+        description="Repo-specific static analysis for the repro package.",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help=(
+            "comma-separated subset of rules to run "
+            f"(available: {', '.join(ALL_RULES)}; default: all)"
+        ),
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="list every violation, including baselined ones",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the ratchet baseline from the current violations",
+    )
+    parser.add_argument(
+        "--no-external",
+        action="store_true",
+        help="skip ruff/mypy even when installed",
+    )
+    parser.add_argument(
+        "--no-gates",
+        action="store_true",
+        help="skip the docstring/doc-link gates (lint rules only)",
+    )
+    return parser.parse_args(argv)
+
+
+def _select_rules(spec: str | None) -> tuple[dict, dict]:
+    if spec is None:
+        return dict(FILE_RULES), dict(PROJECT_RULES)
+    wanted = {name.strip() for name in spec.split(",") if name.strip()}
+    unknown = wanted - set(ALL_RULES)
+    if unknown:
+        raise SystemExit(
+            f"unknown rule(s): {', '.join(sorted(unknown))} "
+            f"(available: {', '.join(ALL_RULES)})"
+        )
+    return (
+        {k: v for k, v in FILE_RULES.items() if k in wanted},
+        {k: v for k, v in PROJECT_RULES.items() if k in wanted},
+    )
+
+
+def _print_report(report: LintReport, *, verbose: bool) -> None:
+    shown = report.violations if verbose else report.new
+    for violation in sorted(shown, key=lambda v: (v.path, v.line)):
+        marker = "" if violation in report.new else " (baselined)"
+        print(f"{violation.render()}{marker}", file=sys.stderr)
+    summary = ", ".join(
+        f"{rule}={count}" for rule, count in sorted(report.per_rule.items())
+    )
+    print(
+        f"repro-lint: {report.files_checked} files, "
+        f"{len(report.violations)} violation(s) "
+        f"[{summary or 'clean'}], {len(report.new)} new",
+    )
+    if report.stale_baseline:
+        print(
+            f"repro-lint: warning: {len(report.stale_baseline)} stale "
+            "baseline entr(y/ies) no longer fire — run --update-baseline "
+            "to ratchet down:",
+            file=sys.stderr,
+        )
+        for entry in report.stale_baseline:
+            print(f"  stale: {entry}", file=sys.stderr)
+
+
+def _run_gates() -> list[tuple[str, int]]:
+    """Run the folded documentation gates in-process."""
+    results: list[tuple[str, int]] = []
+    from tools import check_doc_links, check_docstrings
+
+    results.append(("docstrings", check_docstrings.main([])))
+    results.append(("doc-links", check_doc_links.main()))
+    return results
+
+
+def _run_external() -> list[tuple[str, int | None]]:
+    """Run ruff/mypy when available; ``None`` status means skipped."""
+    results: list[tuple[str, int | None]] = []
+    for name, command in EXTERNAL_TOOLS:
+        if importlib.util.find_spec(name) is None:
+            results.append((name, None))
+            continue
+        proc = subprocess.run(command, cwd=ROOT)
+        results.append((name, proc.returncode))
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = _parse_args(argv)
+    file_rules, project_rules = _select_rules(args.rules)
+    report = run_rules(
+        file_rules, project_rules, baseline=load_baseline()
+    )
+    if args.update_baseline:
+        write_baseline(v.fingerprint() for v in report.violations)
+        print(
+            f"repro-lint: baseline rewritten with "
+            f"{len(report.violations)} entr(y/ies) -> {BASELINE_PATH}"
+        )
+        report = run_rules(
+            file_rules, project_rules, baseline=load_baseline()
+        )
+    _print_report(report, verbose=args.verbose)
+    failed = report.failed
+
+    if not args.no_gates and args.rules is None:
+        for gate, status in _run_gates():
+            print(f"repro-lint: gate {gate}: {'ok' if status == 0 else 'FAIL'}")
+            failed = failed or status != 0
+
+    if not args.no_external and args.rules is None:
+        for tool, status in _run_external():
+            if status is None:
+                print(f"repro-lint: external {tool}: skipped (not installed)")
+            else:
+                print(
+                    f"repro-lint: external {tool}: "
+                    f"{'ok' if status == 0 else 'FAIL'}"
+                )
+                failed = failed or status != 0
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,193 @@
+"""Shared infrastructure for the repro-lint rules and runner.
+
+A rule is a callable ``(module: ModuleInfo) -> Iterable[Violation]``
+registered in :mod:`tools.repro_lint.rules`; project-scope rules (those
+that need the whole tree or a live import, like the registry-metadata
+checks) take the repository root instead. This module provides the
+module loader, the suppression-comment scanner, the ratchet baseline and
+the report aggregation the runner prints.
+
+Suppressions: a line containing ``# repro-lint: ignore=<rule>`` (or
+``ignore=<rule1>,<rule2>``) silences those rules for violations anchored
+on that line. Use sparingly — every suppression is a claim that the
+contract is intentionally waived at that site.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+#: Repository root (``tools/repro_lint/core.py`` -> two parents up).
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+#: Where the ratchet baseline lives.
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+#: Fixture files may override their virtual module name with this
+#: directive so path-sensitive rules (layering) see realistic names.
+FIXTURE_MODULE_DIRECTIVE = re.compile(
+    r"#\s*repro-lint-fixture-module:\s*(?P<name>[\w.]+)"
+)
+
+_SUPPRESS = re.compile(r"#\s*repro-lint:\s*ignore=(?P<rules>[\w,-]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation, anchored to a file and line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def fingerprint(self) -> str:
+        """Baseline identity: stable across line-number drift."""
+        return f"{self.rule}|{self.path}|{self.message}"
+
+    def render(self) -> str:
+        """Human-readable single-line form."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed source module handed to every AST rule."""
+
+    path: Path
+    name: str
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @property
+    def relpath(self) -> str:
+        """Path relative to the repository root (or absolute if outside)."""
+        try:
+            return str(self.path.relative_to(ROOT))
+        except ValueError:
+            return str(self.path)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is suppressed on ``line``."""
+        return rule in self.suppressions.get(line, set())
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for a file under ``src/`` (best effort)."""
+    resolved = path.resolve()
+    src = ROOT / "src"
+    try:
+        parts = resolved.relative_to(src).with_suffix("").parts
+    except ValueError:
+        parts = (resolved.stem,)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else resolved.stem
+
+
+def load_module(path: Path) -> ModuleInfo:
+    """Parse one source file into a :class:`ModuleInfo`.
+
+    Honours the fixture-module directive and records suppression
+    comments per line.
+    """
+    source = path.read_text(encoding="utf-8")
+    directive = FIXTURE_MODULE_DIRECTIVE.search(source)
+    name = directive.group("name") if directive else module_name_for(path)
+    suppressions: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS.search(text)
+        if match:
+            rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+            suppressions.setdefault(lineno, set()).update(rules)
+    tree = ast.parse(source, filename=str(path))
+    return ModuleInfo(
+        path=path, name=name, source=source, tree=tree, suppressions=suppressions
+    )
+
+
+def iter_source_files(root: Path | None = None) -> Iterator[Path]:
+    """Every ``src/repro`` Python file, sorted for stable output."""
+    base = (root or ROOT) / "src" / "repro"
+    yield from sorted(base.rglob("*.py"))
+
+
+@dataclass
+class LintReport:
+    """Aggregated result of a lint run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    new: list[Violation] = field(default_factory=list)
+    stale_baseline: list[str] = field(default_factory=list)
+    per_rule: dict[str, int] = field(default_factory=dict)
+    files_checked: int = 0
+
+    @property
+    def failed(self) -> bool:
+        """Whether any violation is outside the baseline."""
+        return bool(self.new)
+
+
+def load_baseline(path: Path | None = None) -> set[str]:
+    """Read the ratchet baseline (empty when the file is absent)."""
+    target = path or BASELINE_PATH
+    if not target.exists():
+        return set()
+    data = json.loads(target.read_text(encoding="utf-8"))
+    return set(data.get("entries", []))
+
+
+def write_baseline(fingerprints: Iterable[str], path: Path | None = None) -> None:
+    """Rewrite the ratchet baseline with the given fingerprints."""
+    target = path or BASELINE_PATH
+    payload = {
+        "comment": (
+            "Ratchet baseline: known violations tolerated by "
+            "`python -m tools.repro_lint`. This file only ever shrinks; "
+            "regenerate with --update-baseline after fixing entries."
+        ),
+        "entries": sorted(set(fingerprints)),
+    }
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def run_rules(
+    file_rules: dict[str, Callable[[ModuleInfo], Iterable[Violation]]],
+    project_rules: dict[str, Callable[[Path], Iterable[Violation]]],
+    *,
+    root: Path | None = None,
+    baseline: set[str] | None = None,
+    files: Iterable[Path] | None = None,
+) -> LintReport:
+    """Run rules over the tree and diff the result against the baseline.
+
+    ``file_rules`` run per parsed module; ``project_rules`` run once
+    with the repository root. ``files`` overrides the default
+    ``src/repro`` walk (used by the fixture tests).
+    """
+    report = LintReport()
+    baseline = set(baseline or ())
+    targets = list(files) if files is not None else list(iter_source_files(root))
+    for path in targets:
+        module = load_module(path)
+        report.files_checked += 1
+        for rule_name, rule in file_rules.items():
+            for violation in rule(module):
+                if module.suppressed(violation.rule, violation.line):
+                    continue
+                report.violations.append(violation)
+    for rule_name, rule in project_rules.items():
+        report.violations.extend(rule(root or ROOT))
+    for violation in report.violations:
+        report.per_rule[violation.rule] = report.per_rule.get(violation.rule, 0) + 1
+        if violation.fingerprint() not in baseline:
+            report.new.append(violation)
+    fired = {v.fingerprint() for v in report.violations}
+    report.stale_baseline = sorted(baseline - fired)
+    return report

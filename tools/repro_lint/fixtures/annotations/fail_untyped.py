@@ -1,0 +1,11 @@
+# repro-lint-fixture-module: repro.core.fixture_ann_fail
+"""Missing parameter and return annotations on public signatures."""
+
+
+class Solver:
+    def solve(self, nodes, k: int):
+        return [k]
+
+
+def free_function(a, **kwargs) -> int:
+    return a

@@ -1,0 +1,23 @@
+# repro-lint-fixture-module: repro.core.fixture_ann_pass
+"""Fully annotated signatures (the mypy --strict stand-in is happy)."""
+
+from typing import Iterable
+
+
+class Solver:
+    def __init__(self, k: int) -> None:
+        self.k = k
+
+    def solve(self, nodes: Iterable[int], *extra: int, **options: object) -> list[int]:
+        return [*nodes, *extra, self.k]
+
+    @staticmethod
+    def helper(x: int) -> int:
+        return x
+
+
+def free_function(a: int, b: str = "x") -> str:
+    def nested_untyped_is_fine(z):
+        return z
+
+    return b * a

@@ -1,0 +1,22 @@
+# repro-lint-fixture-module: repro.core.fixture_json_fail
+"""Numpy values and unwrapped asdict reaching JSON sinks."""
+
+import json
+from dataclasses import asdict
+
+import numpy as np
+
+
+class Task:
+    def __init__(self, order: np.ndarray, options: object) -> None:
+        self.order: np.ndarray = order
+        self.options = options
+
+    def checkpoint(self) -> dict:
+        return {
+            "order": self.order,
+            "options": asdict(self.options),
+        }
+
+    def wire(self) -> str:
+        return json.dumps({"mean": np.mean(self.order)})

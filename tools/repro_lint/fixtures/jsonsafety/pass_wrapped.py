@@ -1,0 +1,26 @@
+# repro-lint-fixture-module: repro.core.fixture_json_pass
+"""JSON boundaries using safe coercers throughout."""
+
+import json
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.jsonsafe import json_safe
+
+
+class Task:
+    def __init__(self, order: np.ndarray, options: object) -> None:
+        self.order: np.ndarray = order
+        self.options = options
+        self.count = np.int64(0)
+
+    def checkpoint(self) -> dict:
+        return {
+            "order": self.order.tolist(),
+            "count": int(self.count),
+            "options": json_safe(asdict(self.options)),
+        }
+
+    def wire(self) -> str:
+        return json.dumps(json_safe({"order": self.order}))

@@ -1,0 +1,8 @@
+# repro-lint-fixture-module: repro.cliques.fixture_fail
+"""Deferred upward import NOT on the allowlist: still a violation."""
+
+
+def sneaky() -> object:
+    from repro.serve.server import Server
+
+    return Server

@@ -1,0 +1,8 @@
+# repro-lint-fixture-module: repro.graph.fixture_fail
+"""Module-level upward import: graph(10) may not depend on core(30)."""
+
+from repro.core.session import Session
+
+
+def bad() -> type:
+    return Session

@@ -1,0 +1,8 @@
+# repro-lint-fixture-module: repro.core.session
+"""Deferred upward import on the DEFERRED_OK allowlist: sanctioned."""
+
+
+def dynamic(self, k: int) -> object:
+    from repro.dynamic.maintainer import DynamicDisjointCliques
+
+    return DynamicDisjointCliques

@@ -1,0 +1,12 @@
+# repro-lint-fixture-module: repro.core.fixture_pass
+"""Core importing strictly lower layers: always allowed."""
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.cliques.listing import iter_cliques
+
+
+def use(graph: Graph) -> int:
+    if graph.n < 0:
+        raise InvalidParameterError("negative n")
+    return sum(1 for _ in iter_cliques(graph, 3))

@@ -1,0 +1,11 @@
+# repro-lint-fixture-module: repro.graph.fixture_pass
+"""Annotation-only upward reference: no runtime edge, allowed."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.dynamic.maintainer import DynamicDisjointCliques
+
+
+def describe(maintainer: "DynamicDisjointCliques") -> str:
+    return repr(maintainer)

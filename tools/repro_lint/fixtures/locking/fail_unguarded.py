@@ -1,0 +1,15 @@
+# repro-lint-fixture-module: repro.core.fixture_lock_fail
+"""Unguarded memo write in a lock-owning class: the race this rule exists for."""
+
+import threading
+
+
+class Cache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._memo: dict | None = None
+
+    def get(self) -> dict:
+        if self._memo is None:
+            self._memo = {"built": True}
+        return self._memo

@@ -1,0 +1,29 @@
+# repro-lint-fixture-module: repro.core.fixture_lock_pass
+"""Lock-guarded memo: every write happens under the owner's lock."""
+
+import threading
+
+
+class Cache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._memo: dict | None = None
+        self._hits = 0
+
+    def get(self) -> dict:
+        if self._memo is None:
+            with self._lock:
+                if self._memo is None:
+                    self._memo = {"built": True}
+        with self._lock:
+            self._hits += 1
+        return self._memo
+
+    def tryget(self) -> dict | None:
+        if not self._lock.acquire(blocking=False):
+            return None
+        try:
+            self._hits += 1
+            return self._memo
+        finally:
+            self._lock.release()

@@ -1,0 +1,17 @@
+# repro-lint-fixture-module: repro.serve.fixture_lock_pass
+"""`*_locked` helpers assume the caller holds the lock: exempt."""
+
+import threading
+
+
+class Buffer:
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._pending: list = []
+
+    def flush(self) -> None:
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        self._pending = []

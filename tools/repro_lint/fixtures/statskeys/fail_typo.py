@@ -1,0 +1,6 @@
+# repro-lint-fixture-module: repro.core.fixture_stats_fail
+"""A typo'd stats key: forks the counter instead of failing loudly."""
+
+
+def record(stats: dict) -> None:
+    stats["cache_hit"] = stats.get("cache_hit", 0) + 1

@@ -1,0 +1,13 @@
+# repro-lint-fixture-module: repro.core.fixture_stats_pass
+"""Stats access restricted to the canonical key vocabulary."""
+
+
+def record(stats: dict) -> int:
+    stats["cache_hits"] = stats.get("cache_hits", 0) + 1
+    stats.setdefault("findmin_calls", 0)
+    return stats["csr_builds"]
+
+
+def build() -> dict:
+    stats = {"orientations": 1, "score_passes": 2}
+    return stats

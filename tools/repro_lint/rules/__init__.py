@@ -1,0 +1,33 @@
+"""Rule registry: maps rule names to their check callables.
+
+File-scope rules take a :class:`tools.repro_lint.core.ModuleInfo`;
+project-scope rules take the repository root. The runner (and the
+fixture tests) look rules up here, so adding a rule means adding it to
+one of the two dicts below plus a fixture pair under
+``tools/repro_lint/fixtures/<rule>/``.
+"""
+
+from __future__ import annotations
+
+from tools.repro_lint.rules.annotations import check_annotations
+from tools.repro_lint.rules.jsonsafety import check_jsonsafety
+from tools.repro_lint.rules.layering import check_layering
+from tools.repro_lint.rules.locking import check_locking
+from tools.repro_lint.rules.registry_meta import check_registry
+from tools.repro_lint.rules.stats_keys import check_stats_keys
+
+#: Rules running per source file (AST based).
+FILE_RULES = {
+    "layering": check_layering,
+    "locking": check_locking,
+    "jsonsafety": check_jsonsafety,
+    "statskeys": check_stats_keys,
+    "annotations": check_annotations,
+}
+
+#: Rules running once per repository (runtime introspection).
+PROJECT_RULES = {
+    "registry": check_registry,
+}
+
+ALL_RULES = tuple(FILE_RULES) + tuple(PROJECT_RULES)

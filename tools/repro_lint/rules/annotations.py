@@ -1,0 +1,112 @@
+"""Annotation completeness: every signature in ``src/repro`` is typed.
+
+``mypy --strict`` is the real gate in CI, but mypy is an optional
+external here (the development container does not ship it). This rule is
+the always-available core of ``--disallow-untyped-defs`` /
+``--disallow-incomplete-defs``: every function and method in the typed
+package must annotate all parameters and its return type. It keeps the
+repository honest between CI runs and gives the fixture corpus something
+deterministic to assert against.
+
+Conventions honoured:
+
+* ``self`` and ``cls`` (first parameter of methods/classmethods) need no
+  annotation;
+* ``*args`` / ``**kwargs`` must be annotated like any parameter;
+* ``__init__`` must annotate its return (``-> None``) — same as mypy
+  strict;
+* nested functions and lambdas inside an annotated function are skipped
+  (mypy's ``--disallow-untyped-defs`` checks them, but local closures
+  carry their types from context; the CI mypy job still covers them);
+* only modules under the ``repro`` package are checked — tools, tests
+  and benchmarks are typed at best effort.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_lint.core import ModuleInfo, Violation
+
+RULE = "annotations"
+
+_IMPLICIT_FIRST = {"self", "cls"}
+
+
+def _missing_parts(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, *, is_method: bool
+) -> list[str]:
+    """Names of unannotated parameters (plus ``return`` if missing)."""
+    missing: list[str] = []
+    args = fn.args
+    ordered = args.posonlyargs + args.args
+    for index, arg in enumerate(ordered):
+        if (
+            index == 0
+            and is_method
+            and arg.arg in _IMPLICIT_FIRST
+        ):
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append(f"*{args.vararg.arg}")
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append(f"**{args.kwarg.arg}")
+    if fn.returns is None:
+        missing.append("return")
+    return missing
+
+
+def _iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, bool]]:
+    """Yield top-level and class-body functions with an is_method flag.
+
+    Walks module and class bodies only — functions nested inside other
+    functions are intentionally not yielded (see module docstring).
+    """
+    def from_body(body: list[ast.stmt], *, in_class: bool) -> Iterator[
+        tuple[ast.FunctionDef | ast.AsyncFunctionDef, bool]
+    ]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node, in_class
+            elif isinstance(node, ast.ClassDef):
+                yield from from_body(node.body, in_class=True)
+            elif isinstance(node, (ast.If, ast.Try)):
+                yield from from_body(node.body, in_class=in_class)
+
+    yield from from_body(tree.body, in_class=False)
+
+
+def _is_staticmethod(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return any(
+        isinstance(dec, ast.Name) and dec.id == "staticmethod"
+        for dec in fn.decorator_list
+    )
+
+
+def check_annotations(module: ModuleInfo) -> Iterator[Violation]:
+    """Flag functions in ``repro`` with incomplete type annotations."""
+    if not module.name.startswith("repro"):
+        return
+    for fn, in_class in _iter_functions(module.tree):
+        is_method = in_class and not _is_staticmethod(fn)
+        missing = _missing_parts(fn, is_method=is_method)
+        if not missing:
+            continue
+        yield Violation(
+            rule=RULE,
+            path=module.relpath,
+            line=fn.lineno,
+            message=(
+                f"function {fn.name!r} has unannotated "
+                f"{', '.join(missing)} — src/repro signatures must be "
+                "fully typed (mypy --strict)"
+            ),
+        )

@@ -1,0 +1,229 @@
+"""Checkpoint/protocol JSON-safety: no numpy values may reach the wire.
+
+Three structures in this repository are ``json.dumps``-bound by
+contract: NDJSON protocol envelopes (:mod:`repro.serve.protocol`),
+:meth:`repro.core.task.SolveTask.checkpoint` dicts, and the engine
+``state_dict`` payloads nested inside them. ``json.dumps`` raises
+``TypeError`` on ``np.int64``/``np.ndarray`` — but only at serialisation
+time, on whichever rarely-exercised path let the value through (the
+defect this rule was built on: an ``hg`` task checkpoint with an
+array-valued ``order`` option embedded the raw ``np.ndarray``).
+
+Checks, all AST based:
+
+* any argument expression of ``json.dumps`` / ``json.dump`` — and of
+  this repo's wire encoder ``protocol.encode`` / ``encode`` — must not
+  contain a *numpy-flavoured* subexpression: a direct ``np.*`` /
+  ``numpy.*`` call or attribute, or a name/attribute whose annotation
+  (collected from the module's own signature and attribute annotations)
+  is a numpy type;
+* inside functions named ``checkpoint`` / ``state_dict`` (the
+  JSON-boundary functions), every ``dict`` literal is held to the same
+  standard, and calls to ``dataclasses.asdict`` must be wrapped in
+  ``json_safe(...)`` (:func:`repro.jsonsafe.json_safe`) because
+  dataclass fields typed ``object`` can smuggle arrays past any static
+  check.
+
+Wrapping a suspect expression in a safe coercer — ``int()``,
+``float()``, ``bool()``, ``str()``, ``list()``, ``sorted()``, ``len()``,
+``min()``, ``max()``, ``json_safe()``, or a ``.tolist()`` / ``.item()``
+method call — satisfies the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_lint.core import ModuleInfo, Violation
+
+RULE = "jsonsafety"
+
+#: Function names whose dict literals are JSON-bound by contract.
+BOUNDARY_FUNCTIONS = {"checkpoint", "state_dict"}
+
+#: Calls that coerce their argument into JSON-safe values.
+SAFE_CALLS = {
+    "int",
+    "float",
+    "bool",
+    "str",
+    "list",
+    "dict",
+    "sorted",
+    "len",
+    "min",
+    "max",
+    "round",
+    "sum",
+    "json_safe",
+}
+
+#: Method calls producing JSON-safe values from numpy objects.
+SAFE_METHODS = {"tolist", "item", "isoformat"}
+
+#: Annotation substrings marking a numpy-typed symbol.
+_NUMPY_MARKERS = (
+    "np.ndarray",
+    "numpy.ndarray",
+    "NDArray",
+    "np.int",
+    "np.uint",
+    "np.float",
+    "np.bool_",
+    "np.integer",
+    "np.floating",
+    "npt.",
+)
+
+
+def _is_numpy_annotation(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    text = ast.unparse(annotation)
+    return any(marker in text for marker in _NUMPY_MARKERS)
+
+
+def _collect_numpy_symbols(tree: ast.Module) -> set[str]:
+    """Names and ``self.x`` attributes annotated as numpy types.
+
+    Collected module-wide from parameter annotations, annotated
+    assignments and class-level attribute annotations; the flagger
+    treats any matching ``Name`` / ``self.<attr>`` as numpy-typed.
+    """
+    symbols: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                if _is_numpy_annotation(arg.annotation):
+                    symbols.add(arg.arg)
+        elif isinstance(node, ast.AnnAssign) and _is_numpy_annotation(
+            node.annotation
+        ):
+            target = node.target
+            if isinstance(target, ast.Name):
+                symbols.add(target.id)
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                symbols.add(f"self.{target.attr}")
+    return symbols
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _is_safe_wrapper(node: ast.Call) -> bool:
+    name = _call_name(node)
+    if name in SAFE_CALLS:
+        return True
+    return (
+        isinstance(node.func, ast.Attribute) and node.func.attr in SAFE_METHODS
+    )
+
+
+def _numpy_reason(node: ast.expr, numpy_symbols: set[str]) -> str | None:
+    """Why ``node`` itself looks numpy-flavoured (``None`` when clean)."""
+    if isinstance(node, ast.Name) and node.id in numpy_symbols:
+        return f"'{node.id}' is annotated as a numpy type"
+    if isinstance(node, ast.Attribute):
+        base = node.value
+        if isinstance(base, ast.Name):
+            if base.id in ("np", "numpy"):
+                return f"direct numpy expression 'np.{node.attr}'"
+            if base.id == "self" and f"self.{node.attr}" in numpy_symbols:
+                return f"'self.{node.attr}' is annotated as a numpy type"
+    return None
+
+
+def _flag_expression(
+    node: ast.expr, numpy_symbols: set[str]
+) -> Iterator[tuple[int, str]]:
+    """Yield (line, reason) for numpy-flavoured subexpressions.
+
+    Safe-coercer calls terminate the walk — whatever is inside them
+    reaches JSON as a plain Python value.
+    """
+    if isinstance(node, ast.Call):
+        if _is_safe_wrapper(node):
+            return
+        name = _call_name(node)
+        if isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if isinstance(base, ast.Name) and base.id in ("np", "numpy"):
+                yield node.lineno, f"call to numpy function 'np.{node.func.attr}'"
+                return
+        if name == "asdict":
+            yield (
+                node.lineno,
+                "dataclasses.asdict payload must be wrapped in json_safe() "
+                "(object-typed fields can carry numpy arrays)",
+            )
+            return
+    reason = _numpy_reason(node, numpy_symbols)
+    if reason is not None:
+        yield node.lineno, reason
+        return
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, ast.expr):
+            yield from _flag_expression(child, numpy_symbols)
+        elif isinstance(child, (ast.comprehension, ast.keyword)):
+            for sub in ast.iter_child_nodes(child):
+                if isinstance(sub, ast.expr):
+                    yield from _flag_expression(sub, numpy_symbols)
+
+
+def _iter_json_sinks(tree: ast.Module) -> Iterator[tuple[str, ast.expr]]:
+    """Yield (sink description, expression) pairs to audit."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            is_dumps = name in ("dumps", "dump") and isinstance(
+                node.func, ast.Attribute
+            )
+            is_encode = name == "encode" and (
+                isinstance(node.func, ast.Name)
+                or (
+                    isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "protocol"
+                )
+            )
+            if is_dumps or is_encode:
+                for arg in node.args[:1]:
+                    yield f"argument of {name}()", arg
+        elif (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name in BOUNDARY_FUNCTIONS
+        ):
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Dict):
+                    for value in sub.values:
+                        if value is not None:
+                            yield f"dict value in {node.name}()", value
+
+
+def check_jsonsafety(module: ModuleInfo) -> Iterator[Violation]:
+    """Flag numpy-flavoured expressions reaching JSON-bound structures."""
+    numpy_symbols = _collect_numpy_symbols(module.tree)
+    seen: set[tuple[int, str]] = set()
+    for sink, expression in _iter_json_sinks(module.tree):
+        for line, reason in _flag_expression(expression, numpy_symbols):
+            key = (line, reason)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield Violation(
+                rule=RULE,
+                path=module.relpath,
+                line=line,
+                message=f"{sink} is not JSON-safe: {reason}",
+            )

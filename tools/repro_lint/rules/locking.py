@@ -1,0 +1,202 @@
+"""Cache-lock discipline: memo writes must happen under the owner's lock.
+
+The serving layer shares :class:`~repro.core.session.Session` (and its
+:class:`~repro.core.session.Preprocessing` cache), the session pool, the
+scheduler and feed objects across worker threads. Their thread-safety
+story is lock-guarded check-compute-store accessors — a single memo
+write outside the lock reintroduces the duplicated-work/torn-state race
+class that the concurrency tests (``tests/test_serve_concurrent.py``)
+can only catch probabilistically.
+
+The rule: in any class whose ``__init__`` creates a ``threading.Lock``
+or ``threading.RLock`` on ``self``, every write to an attribute that
+``__init__`` declares (plain assignment, augmented assignment, or a
+subscript/attribute store through it) occurring outside ``__init__``
+must be lexically guarded by that lock — either inside a ``with
+self.<lock>:`` block or in a function that explicitly calls
+``self.<lock>.acquire(...)`` on an earlier line (the try/finally
+pattern used where non-blocking acquisition matters).
+
+Methods whose name ends in ``_locked`` are exempt: the suffix is this
+repository's convention for "caller holds the lock", and every call
+site of such a method is itself subject to the rule.
+
+Intentional exceptions carry a ``# repro-lint: ignore=locking`` comment
+on the offending line, turning the waiver into a visible artefact.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from tools.repro_lint.core import ModuleInfo, Violation
+
+RULE = "locking"
+
+_LOCK_FACTORIES = {"Lock", "RLock"}
+
+
+@dataclass
+class _LockedClass:
+    name: str
+    lock_attr: str
+    protected: set[str] = field(default_factory=set)
+
+
+def _lock_factory_name(call: ast.expr) -> str | None:
+    """``threading.RLock()``/``Lock()`` -> factory name, else ``None``."""
+    if not isinstance(call, ast.Call):
+        return None
+    fn = call.func
+    if isinstance(fn, ast.Attribute) and fn.attr in _LOCK_FACTORIES:
+        if isinstance(fn.value, ast.Name) and fn.value.id == "threading":
+            return fn.attr
+    if isinstance(fn, ast.Name) and fn.id in _LOCK_FACTORIES:
+        return fn.id
+    return None
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.<attr>`` -> attr name, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _written_attr(target: ast.expr) -> str | None:
+    """The ``self`` attribute a store target writes through, if any.
+
+    Covers ``self.x = ...``, ``self.x[...] = ...`` and
+    ``self.x.y = ...`` (one level of indirection — a store through a
+    memo attribute mutates the shared structure it names).
+    """
+    if isinstance(target, (ast.Subscript, ast.Attribute)) and not (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return _written_attr(target.value)
+    return _self_attr(target)
+
+
+def _scan_init(cls: ast.ClassDef) -> _LockedClass | None:
+    """Detect a locked class and collect its protected attributes."""
+    init = next(
+        (
+            node
+            for node in cls.body
+            if isinstance(node, ast.FunctionDef) and node.name == "__init__"
+        ),
+        None,
+    )
+    if init is None:
+        return None
+    lock_attr: str | None = None
+    declared: set[str] = set()
+    for node in ast.walk(init):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                if _lock_factory_name(node.value) and lock_attr is None:
+                    lock_attr = attr
+                else:
+                    declared.add(attr)
+        elif isinstance(node, ast.AnnAssign):
+            attr = _self_attr(node.target)
+            if attr is None:
+                continue
+            if node.value is not None and _lock_factory_name(node.value):
+                if lock_attr is None:
+                    lock_attr = attr
+            else:
+                declared.add(attr)
+    if lock_attr is None:
+        return None
+    return _LockedClass(name=cls.name, lock_attr=lock_attr, protected=declared)
+
+
+def _with_holds_lock(node: ast.With, lock_attr: str) -> bool:
+    return any(
+        _self_attr(item.context_expr) == lock_attr for item in node.items
+    )
+
+
+def _acquire_lines(fn: ast.FunctionDef, lock_attr: str) -> list[int]:
+    """Lines where the function calls ``self.<lock>.acquire(...)``."""
+    lines = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if (
+                isinstance(callee, ast.Attribute)
+                and callee.attr == "acquire"
+                and _self_attr(callee.value) == lock_attr
+            ):
+                lines.append(node.lineno)
+    return lines
+
+
+def _iter_unguarded_writes(
+    fn: ast.FunctionDef, locked: _LockedClass
+) -> Iterator[tuple[int, str]]:
+    """Yield (line, attr) for protected writes outside the lock."""
+    acquires = _acquire_lines(fn, locked.lock_attr)
+
+    def walk(node: ast.AST, guarded: bool) -> Iterator[tuple[int, str]]:
+        if isinstance(node, ast.With) and _with_holds_lock(
+            node, locked.lock_attr
+        ):
+            guarded = True
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in targets:
+            attr = _written_attr(target)
+            if attr is not None and attr in locked.protected and not guarded:
+                if not any(line <= node.lineno for line in acquires):
+                    yield node.lineno, attr
+        for child in ast.iter_child_nodes(node):
+            yield from walk(child, guarded)
+
+    yield from walk(fn, False)
+
+
+def check_locking(module: ModuleInfo) -> Iterator[Violation]:
+    """Flag writes to lock-owned memo attributes outside their lock."""
+    for cls in [n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)]:
+        locked = _scan_init(cls)
+        if locked is None:
+            continue
+        for fn in cls.body:
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if fn.name == "__init__":
+                continue
+            if fn.name.endswith("_locked"):
+                # Convention: the caller holds the lock; the call sites
+                # of *_locked helpers are themselves checked.
+                continue
+            for line, attr in _iter_unguarded_writes(fn, locked):
+                yield Violation(
+                    rule=RULE,
+                    path=module.relpath,
+                    line=line,
+                    message=(
+                        f"{locked.name}.{fn.name} writes self.{attr} outside "
+                        f"'with self.{locked.lock_attr}' — memo attributes of "
+                        "a lock-guarded class must only be written under the "
+                        "lock"
+                    ),
+                )
