@@ -158,10 +158,21 @@ def run_cell_subprocess(fn: Callable[[], Any], time_budget: float) -> CellOutcom
 
     The child must return a picklable value. Use for cells that cannot
     honour budgets cooperatively (e.g. deep recursions in OPT).
+
+    ``fn`` is an arbitrary closure (it typically captures a live
+    :class:`Session`), so it only crosses the process boundary under a
+    ``fork`` start method, where the child inherits it by memory
+    snapshot instead of pickling. On platforms without ``fork`` the cell
+    falls back to in-process cooperative enforcement: the budget is
+    still honoured, but a cell that cannot self-interrupt may overrun.
     """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return run_cell(fn, time_budget=time_budget)
     ctx = multiprocessing.get_context("fork")
     queue: multiprocessing.Queue = ctx.Queue()
-    proc = ctx.Process(target=_subprocess_target, args=(fn, queue))
+    # Waived: the fork guard above guarantees memory inheritance, so the
+    # unpicklable closure never actually crosses via pickling.
+    proc = ctx.Process(target=_subprocess_target, args=(fn, queue))  # repro-lint: ignore=migration
     start = time.perf_counter()
     proc.start()
     proc.join(time_budget)

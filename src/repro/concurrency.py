@@ -1,0 +1,195 @@
+"""Runtime lock-order tracking behind the ``REPRO_TRACK_LOCKS`` env var.
+
+The static side of the concurrency contract lives in
+``tools/repro_lint/concurrency``: an interprocedural analysis that
+extracts the whole-repo lock-acquisition graph and fails on cycles.
+A static model can silently rot — a refactor may introduce a real
+acquisition edge the analyzer fails to resolve — so this module is the
+runtime cross-check: every lock in the repository is created through
+:func:`make_lock` / :func:`make_rlock` with a stable label, and when
+``REPRO_TRACK_LOCKS=1`` those factories return tracked wrappers that
+record every *observed* acquisition edge (label held -> label acquired)
+into a process-global set. The test-suite watchdog
+(``tests/conftest.py``) then asserts the observed edges are a subset of
+the statically derived graph; any edge the analyzer missed fails the
+build.
+
+By default (env var unset) the factories return plain
+:mod:`threading` primitives — zero wrappers, zero overhead — so
+production code paths pay nothing for the instrumentation.
+
+Labels name the lock *site*, not the instance: every ``Ticket`` shares
+the label ``"Ticket._lock"``. Lock ordering is a per-site discipline,
+so aggregating instances is exactly what the cross-check needs (it
+also means a self-edge, e.g. re-entering an RLock or touching two
+instances of the same class, is skipped rather than recorded).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, cast
+
+#: Environment variable enabling tracked locks (set to ``1`` in the CI
+#: watchdog leg; any value other than empty/``0`` enables).
+TRACK_ENV = "REPRO_TRACK_LOCKS"
+
+#: Guards :data:`_observed`. Module-level on purpose: the tracked
+#: wrappers keep no mutable shared state of their own.
+_observed_guard = threading.Lock()
+
+#: Every (held label, acquired label) pair observed so far.
+_observed: set[tuple[str, str]] = set()
+
+#: Per-thread stack of currently-held lock labels.
+_held = threading.local()
+
+
+def tracking_enabled() -> bool:
+    """Whether ``REPRO_TRACK_LOCKS`` is set (checked at lock creation)."""
+    return os.environ.get(TRACK_ENV, "") not in ("", "0")
+
+
+def _held_stack() -> list[str]:
+    """This thread's stack of held lock labels (created lazily)."""
+    stack: list[str] | None = getattr(_held, "stack", None)
+    if stack is None:
+        stack = []
+        _held.stack = stack
+    return stack
+
+
+def _note_acquired(label: str) -> None:
+    """Record edges from every held label to ``label``, then push it."""
+    stack = _held_stack()
+    edges = {(held, label) for held in stack if held != label}
+    if edges and not edges.issubset(_observed):
+        with _observed_guard:
+            _observed.update(edges)
+    stack.append(label)
+
+
+def _note_released(label: str) -> None:
+    """Pop the most recent occurrence of ``label`` off the held stack."""
+    stack = _held_stack()
+    for index in range(len(stack) - 1, -1, -1):
+        if stack[index] == label:
+            del stack[index]
+            return
+
+
+class TrackedLock:
+    """A labelled ``threading.Lock`` recording acquisition edges.
+
+    Only ever constructed when :func:`tracking_enabled` — production
+    code receives plain primitives from the factories instead.
+    """
+
+    def __init__(self, label: str) -> None:
+        self._label = label
+        # Typed Any on purpose: the inner primitive is a _thread C type
+        # whose private condition-protocol methods (``_release_save``,
+        # ...) the subclass forwards; typeshed does not declare them.
+        self._inner: Any = threading.Lock()
+
+    @property
+    def label(self) -> str:
+        """The stable site label this lock records edges under."""
+        return self._label
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire the inner lock; record held->this edges on success."""
+        acquired = bool(self._inner.acquire(blocking, timeout))
+        if acquired:
+            _note_acquired(self._label)
+        return acquired
+
+    def release(self) -> None:
+        """Release the inner lock and pop this label off the held stack."""
+        _note_released(self._label)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        """Whether the inner lock is currently held by any thread."""
+        return bool(self._inner.locked())
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._label!r})"
+
+
+class TrackedRLock(TrackedLock):
+    """A labelled ``threading.RLock``; usable as a Condition's lock.
+
+    ``threading.Condition(lock=...)`` snapshots ``_release_save`` /
+    ``_acquire_restore`` / ``_is_owned`` off the lock it is given, so
+    this wrapper forwards them straight to the inner RLock. During
+    ``Condition.wait()`` the inner lock is physically released and
+    re-acquired through those bound methods while the held-label stack
+    keeps showing the label as held — which is the lock-order view we
+    want: the waiter acquires nothing while blocked, and still holds
+    its place in the hierarchy before and after.
+    """
+
+    def __init__(self, label: str) -> None:
+        super().__init__(label)
+        self._inner = threading.RLock()
+        self._release_save = self._inner._release_save
+        self._acquire_restore = self._inner._acquire_restore
+        self._is_owned = self._inner._is_owned
+
+    def locked(self) -> bool:
+        """RLocks do not expose ``locked``; report ownership instead."""
+        return bool(self._is_owned())
+
+
+def make_lock(label: str) -> threading.Lock:
+    """A mutex for the given site label (tracked only when enabled)."""
+    if tracking_enabled():
+        return cast(threading.Lock, TrackedLock(label))
+    return threading.Lock()
+
+
+def make_rlock(label: str) -> "threading._RLock":
+    """A re-entrant mutex for the given site label (tracked if enabled)."""
+    if tracking_enabled():
+        return cast("threading._RLock", TrackedRLock(label))
+    return threading.RLock()
+
+
+def observed_edges() -> frozenset[tuple[str, str]]:
+    """Snapshot of every (held, acquired) edge recorded so far."""
+    with _observed_guard:
+        return frozenset(_observed)
+
+
+def reset_observed() -> None:
+    """Clear the recorded edge set (test isolation helper)."""
+    with _observed_guard:
+        _observed.clear()
+
+
+@contextmanager
+def isolated_observations() -> Iterator[set[tuple[str, str]]]:
+    """Swap in a fresh edge set for the duration of a ``with`` block.
+
+    Unit tests exercising tracked locks directly use this so their
+    synthetic labels never leak into the process-global set that the
+    tier-1 watchdog compares against the static graph.
+    """
+    global _observed
+    with _observed_guard:
+        saved, _observed = _observed, set()
+        fresh = _observed
+    try:
+        yield fresh
+    finally:
+        with _observed_guard:
+            _observed = saved

@@ -40,13 +40,13 @@ immutable by the cache invariant above.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.concurrency import make_lock, make_rlock
 from repro.errors import InvalidParameterError, OutOfMemoryError, OutOfTimeError
 from repro.graph.graph import Graph
 from repro.graph import kcore
@@ -79,7 +79,7 @@ class Preprocessing:
 
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
-        self._lock = threading.RLock()
+        self._lock = make_rlock("Preprocessing._lock")
         self._last_estimate = 0
         self._core: np.ndarray | None = None
         self._ranks: dict[str, np.ndarray] = {}
@@ -410,7 +410,7 @@ class Session:
         self._fingerprint: str | None = None
         # Guards the fingerprint memo; the session pool fingerprints
         # sessions from multiple worker threads.
-        self._lock = threading.Lock()
+        self._lock = make_lock("Session._lock")
 
     # -- solving -------------------------------------------------------
     @staticmethod

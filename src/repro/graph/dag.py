@@ -11,11 +11,11 @@ makes each clique enumerable exactly once.
 
 from __future__ import annotations
 
-import threading
 from typing import Sequence
 
 import numpy as np
 
+from repro.concurrency import make_lock
 from repro.graph.graph import Graph
 from repro.graph import ordering as _ordering
 
@@ -99,7 +99,7 @@ class OrientedGraph:
         # preprocessing lock (e.g. the lightweight engine's deferred
         # substrate build), so concurrent tasks over a shared session
         # could otherwise race the O(n + m) orientation build.
-        self._lock = threading.Lock()
+        self._lock = make_lock("OrientedGraph._lock")
 
     def csr(self) -> OrientedCSR:
         """Lazily-built (and cached) :class:`OrientedCSR` of this orientation."""

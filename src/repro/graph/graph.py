@@ -17,11 +17,11 @@ uses :class:`repro.graph.dynamic.DynamicGraph` instead and converts via
 
 from __future__ import annotations
 
-import threading
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.concurrency import make_lock
 from repro.errors import GraphError
 
 if TYPE_CHECKING:  # deferred at runtime: csr imports graph
@@ -74,7 +74,7 @@ class Graph:
         # Guards the lazy CSR memo: sessions are shared across serving
         # worker threads, and an unguarded first call from two threads
         # duplicates the O(n + m) build.
-        self._lock = threading.Lock()
+        self._lock = make_lock("Graph._lock")
 
     # ------------------------------------------------------------------
     # Basic accessors

@@ -28,12 +28,12 @@ ignores updates it already pushed.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.cliques.csr_kernels import BACKENDS
+from repro.concurrency import make_rlock
 from repro.core.result import CliqueSetResult
 from repro.core.session import Session
 from repro.dynamic.batch import validate_update
@@ -121,7 +121,7 @@ class DynamicFeed:
         self.policy = policy or FlushPolicy()
         self.k = k
         self._clock = clock
-        self._lock = threading.RLock()
+        self._lock = make_rlock("DynamicFeed._lock")
         self._buffer: list[Update] = []
         self._oldest_at: float | None = None
         self.maintainer = session.dynamic(k, method=method)
@@ -154,41 +154,47 @@ class DynamicFeed:
         for op, u, v in updates:
             _, u, v = validate_update(op, u, v, n)
             staged.append((op, u, v))
+        # The clock is an injected callable; sample it before taking the
+        # lock so a slow (or user-supplied) time source never runs under
+        # it, then use the one timestamp for the whole push.
+        now = self._clock()
         with self._lock:
             if staged and self._oldest_at is None:
-                self._oldest_at = self._clock()
+                self._oldest_at = now
             self._buffer.extend(staged)
             self.stats["pushed"] += len(staged)
             report = None
             while len(self._buffer) >= self.policy.max_updates:
                 self.stats["size_flushes"] += 1
-                report = self._flush_locked(self.policy.max_updates)
-            if self._age_due():
+                report = self._flush_locked(self.policy.max_updates, now)
+            if self._age_due(now):
                 self.stats["age_flushes"] += 1
-                report = self._flush_locked(None)
+                report = self._flush_locked(None, now)
             return report
 
     def flush(self) -> FlushReport:
         """Apply every pending update now (explicit flush, maybe empty)."""
+        now = self._clock()
         with self._lock:
-            return self._flush_locked(None)
+            return self._flush_locked(None, now)
 
     def maybe_flush(self) -> FlushReport | None:
         """Flush only if the age trigger is due (the server's idle sweep)."""
+        now = self._clock()
         with self._lock:
-            if not self._age_due():
+            if not self._age_due(now):
                 return None
             self.stats["age_flushes"] += 1
-            return self._flush_locked(None)
+            return self._flush_locked(None, now)
 
-    def _age_due(self) -> bool:
+    def _age_due(self, now: float) -> bool:
         return (
             self.policy.max_age is not None
             and self._oldest_at is not None
-            and self._clock() - self._oldest_at >= self.policy.max_age
+            and now - self._oldest_at >= self.policy.max_age
         )
 
-    def _flush_locked(self, limit: int | None) -> FlushReport:
+    def _flush_locked(self, limit: int | None, now: float) -> FlushReport:
         take = len(self._buffer) if limit is None else min(limit, len(self._buffer))
         chunk = self._buffer[:take]
         # Apply before dropping from the buffer: if apply_batch raises,
@@ -201,7 +207,9 @@ class DynamicFeed:
             self.stats["flushes"] += 1
             self.stats["applied"] += len(chunk)
         self._buffer = self._buffer[take:]
-        self._oldest_at = self._clock() if self._buffer else None
+        # Pre-flush ``now``: the survivors were pushed before the flush
+        # began, so aging them from the flush start is the honest bound.
+        self._oldest_at = now if self._buffer else None
         return FlushReport(
             applied=len(chunk),
             solution_size=self.maintainer.size,
@@ -213,15 +221,17 @@ class DynamicFeed:
     # ------------------------------------------------------------------
     def solution(self) -> CliqueSetResult:
         """Current maintained solution, after flushing pending updates."""
+        now = self._clock()
         with self._lock:
-            self._flush_locked(None)
+            self._flush_locked(None, now)
             return self.maintainer.solution()
 
     @property
     def size(self) -> int:
         """Current ``|S|``, after flushing pending updates."""
+        now = self._clock()
         with self._lock:
-            self._flush_locked(None)
+            self._flush_locked(None, now)
             return self.maintainer.size
 
     @property

@@ -22,10 +22,10 @@ window (see the thread-safety notes in :mod:`repro.core.session`).
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Callable
 
+from repro.concurrency import make_rlock
 from repro.core.registry import REGISTRY, SolverRegistry
 from repro.core.session import Session
 from repro.errors import InvalidParameterError
@@ -78,7 +78,7 @@ class SessionPool:
             lambda session: session.estimated_bytes(blocking=False)
         )
         self._registry = registry
-        self._lock = threading.RLock()
+        self._lock = make_rlock("SessionPool._lock")
         self._sessions: OrderedDict[str, Session] = OrderedDict()
         self.stats: dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0}
 

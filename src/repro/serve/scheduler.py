@@ -65,6 +65,7 @@ import time
 from collections import deque
 from typing import Callable
 
+from repro.concurrency import make_lock, make_rlock
 from repro.errors import (
     InvalidParameterError,
     OverloadedError,
@@ -156,7 +157,7 @@ class Ticket:
         self._value: object = None
         self._error: BaseException | None = None
         self._callbacks: list[Callable[["Ticket"], None]] = []
-        self._lock = threading.Lock()
+        self._lock = make_lock("Ticket._lock")
         self._scheduler: "Scheduler | None" = None
         self._runner: "Resumable | None" = None
         #: Times this ticket was timesliced out for other work.
@@ -294,7 +295,7 @@ class Scheduler:
         self.queue_limit = queue_limit
         self.quantum = quantum
         self._clock = clock
-        self._cond = threading.Condition()
+        self._cond = threading.Condition(make_rlock("Scheduler._cond"))
         self._lanes: dict[str, deque[Ticket]] = {p: deque() for p in PRIORITIES}
         self._queued = 0
         self._stopping = False

@@ -10,6 +10,33 @@ from repro import Graph
 from repro.graph.generators import erdos_renyi_gnp
 
 
+@pytest.fixture(scope="session", autouse=True)
+def lock_order_watchdog():
+    """Cross-check runtime lock edges against the static lock graph.
+
+    Under ``REPRO_TRACK_LOCKS=1`` every lock created through
+    ``repro.concurrency`` records observed (held, acquired) label pairs.
+    After the suite, any observed edge missing from the analyzer's
+    static graph means the ``lockorder`` rule has a resolution gap —
+    fail loudly so the model is fixed rather than silently rotting.
+    """
+    from repro.concurrency import observed_edges, tracking_enabled
+
+    yield
+    if not tracking_enabled():
+        return
+    observed = observed_edges()
+    if not observed:
+        return
+    from tools.repro_lint.concurrency.lockorder import static_edge_set
+
+    missing = observed - static_edge_set()
+    assert not missing, (
+        "runtime lock-order edges missing from the static graph "
+        f"(the lockorder analyzer failed to resolve them): {sorted(missing)}"
+    )
+
+
 def paper_example_edges() -> list[tuple[int, int]]:
     """The 15 edges of the paper's running example (Fig. 2, nodes v1..v9).
 

@@ -1,0 +1,181 @@
+"""Tracked-lock runtime behaviour (``repro.concurrency``).
+
+Tracking is decided at lock *creation*, so every test enables the env
+var via monkeypatch before calling the factories, and wraps recording
+in ``isolated_observations()`` so synthetic labels never leak into the
+process-global set the tier-1 watchdog compares against the static
+graph.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.concurrency import (
+    TRACK_ENV,
+    TrackedLock,
+    TrackedRLock,
+    isolated_observations,
+    make_lock,
+    make_rlock,
+    observed_edges,
+    reset_observed,
+    tracking_enabled,
+)
+
+
+@pytest.fixture
+def tracking(monkeypatch):
+    monkeypatch.setenv(TRACK_ENV, "1")
+    with isolated_observations() as edges:
+        yield edges
+
+
+class TestFactories:
+    def test_disabled_by_default_returns_plain_primitives(self, monkeypatch):
+        monkeypatch.delenv(TRACK_ENV, raising=False)
+        assert not tracking_enabled()
+        assert not isinstance(make_lock("X"), TrackedLock)
+        assert not isinstance(make_rlock("X"), TrackedLock)
+
+    def test_zero_value_disables(self, monkeypatch):
+        monkeypatch.setenv(TRACK_ENV, "0")
+        assert not tracking_enabled()
+
+    def test_enabled_returns_tracked_wrappers(self, tracking):
+        lock = make_lock("A")
+        rlock = make_rlock("B")
+        assert isinstance(lock, TrackedLock)
+        assert isinstance(rlock, TrackedRLock)
+        assert lock.label == "A" and rlock.label == "B"
+        assert "A" in repr(lock)
+
+
+class TestEdgeRecording:
+    def test_nested_acquisition_records_edge(self, tracking):
+        a, b = make_lock("A"), make_lock("B")
+        with a:
+            with b:
+                pass
+        assert ("A", "B") in observed_edges()
+        assert ("B", "A") not in observed_edges()
+
+    def test_disjoint_acquisitions_record_nothing(self, tracking):
+        a, b = make_lock("A"), make_lock("B")
+        with a:
+            pass
+        with b:
+            pass
+        assert observed_edges() == frozenset()
+
+    def test_rlock_reentry_is_not_a_self_edge(self, tracking):
+        r = make_rlock("R")
+        with r:
+            with r:
+                pass
+        assert observed_edges() == frozenset()
+
+    def test_same_label_two_instances_skips_self_edge(self, tracking):
+        a1, a2 = make_lock("A"), make_lock("A")
+        with a1:
+            with a2:
+                pass
+        assert observed_edges() == frozenset()
+
+    def test_release_unwinds_held_stack(self, tracking):
+        a, b, c = make_lock("A"), make_lock("B"), make_lock("C")
+        with a:
+            with b:
+                pass
+            # B released: only A is held now.
+            with c:
+                pass
+        assert ("A", "C") in observed_edges()
+        assert ("B", "C") not in observed_edges()
+
+    def test_locked_reports_state(self, tracking):
+        lock = make_lock("A")
+        rlock = make_rlock("B")
+        assert not lock.locked() and not rlock.locked()
+        with lock, rlock:
+            assert lock.locked() and rlock.locked()
+
+    def test_reset_observed_clears(self, tracking):
+        a, b = make_lock("A"), make_lock("B")
+        with a:
+            with b:
+                pass
+        assert observed_edges()
+        reset_observed()
+        assert observed_edges() == frozenset()
+
+    def test_isolation_restores_outer_set(self, tracking):
+        outer_before = observed_edges()
+        with isolated_observations():
+            x, y = make_lock("X"), make_lock("Y")
+            with x:
+                with y:
+                    pass
+            assert ("X", "Y") in observed_edges()
+        assert observed_edges() == outer_before
+
+
+class TestConditionCompatibility:
+    def test_condition_over_tracked_rlock_waits_and_notifies(self, tracking):
+        cond = threading.Condition(make_rlock("Cond"))
+        ready = []
+
+        def consumer():
+            with cond:
+                while not ready:
+                    cond.wait(timeout=5)
+                ready.append("seen")
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        with cond:
+            ready.append("value")
+            cond.notify_all()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert ready == ["value", "seen"]
+
+    def test_wait_keeps_label_on_held_stack(self, tracking):
+        # A lock acquired by the woken waiter right after wait() must
+        # still see Cond as held: wait() releases the *inner* lock but
+        # the label stays on the hierarchy.
+        cond = threading.Condition(make_rlock("Cond"))
+        inner = make_lock("Inner")
+        edges = []
+
+        def consumer():
+            with cond:
+                cond.wait(timeout=5)
+                with inner:
+                    pass
+                edges.append(observed_edges())
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        with cond:
+            cond.notify_all()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert ("Cond", "Inner") in edges[-1]
+
+
+class TestRealWorkloadSubsetsStaticGraph:
+    def test_session_solve_edges_are_in_static_graph(self, tracking, paper_graph):
+        from tools.repro_lint.concurrency.lockorder import static_edge_set
+
+        from repro.core.session import Session
+
+        session = Session(paper_graph)
+        session.solve(3, "l")
+        session.fingerprint()
+        observed = observed_edges()
+        assert observed, "expected the solve to exercise nested locks"
+        missing = observed - static_edge_set()
+        assert not missing, sorted(missing)

@@ -157,3 +157,78 @@ class TestServerShutdownGuard:
         with pytest.raises(InvalidParameterError):
             client.ping()
         server.close()
+
+
+class TestFeedClockOutsideLock:
+    """The holdcalling sweep: ``DynamicFeed`` invoked its injected clock
+    (an arbitrary user callable) while holding the feed lock. The fix
+    samples the clock once per operation before acquiring the lock."""
+
+    def _feed(self, clock):
+        from repro.serve.feeds import DynamicFeed, FlushPolicy
+
+        session = Session(Graph.from_edges(TRIANGLES))
+        return DynamicFeed(
+            session, 3, policy=FlushPolicy(max_updates=2, max_age=10.0), clock=clock
+        )
+
+    def test_clock_never_called_under_feed_lock(self):
+        feed_holder: list = []
+
+        def nosy_clock() -> float:
+            if feed_holder:
+                lock = feed_holder[0]._lock
+                # A re-entrant acquire succeeding non-blockingly from
+                # this thread proves the feed lock is NOT held here
+                # (RLock: re-entry always succeeds if we held it, and
+                # acquiring when free succeeds too — so instead assert
+                # via the tracked wrapper when available).
+                assert not getattr(lock, "_is_owned", lambda: False)(), (
+                    "clock invoked while the feed lock is held"
+                )
+            return 0.0
+
+        feed = self._feed(nosy_clock)
+        feed_holder.append(feed)
+        feed.push([("insert", 0, 3)])
+        feed.flush()
+        feed.maybe_flush()
+        feed.solution()
+        _ = feed.size
+
+    def test_age_flush_uses_one_pre_lock_timestamp(self):
+        ticks = iter([0.0, 100.0, 200.0, 300.0])
+        feed = self._feed(lambda: next(ticks))
+        feed.push([("insert", 0, 3)])  # buffers at t=0
+        report = feed.maybe_flush()  # t=100 >= max_age -> flushes
+        assert report is not None
+        assert feed.stats["age_flushes"] == 1
+
+
+class TestHarnessForkGuard:
+    """The migration sweep: ``run_cell_subprocess`` ships a closure
+    through ``Process(args=...)``, which only survives under the fork
+    start method. Platforms without fork now fall back to in-process
+    cooperative enforcement instead of crashing on pickling."""
+
+    def test_falls_back_in_process_without_fork(self, monkeypatch):
+        import multiprocessing
+
+        from repro.bench import harness
+
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not be hit
+            raise AssertionError("fork context requested without fork support")
+
+        monkeypatch.setattr(multiprocessing, "get_context", boom)
+        outcome = harness.run_cell_subprocess(lambda: 41 + 1, time_budget=5.0)
+        assert outcome.value == 42
+
+    def test_forked_path_still_used_when_available(self):
+        from repro.bench import harness
+
+        outcome = harness.run_cell_subprocess(lambda: "ok", time_budget=10.0)
+        assert outcome.value == "ok"

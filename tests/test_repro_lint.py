@@ -14,6 +14,7 @@ from types import SimpleNamespace
 
 import pytest
 
+from tools.repro_lint.concurrency import FIXTURE_CHECKERS
 from tools.repro_lint.core import (
     ROOT,
     Violation,
@@ -28,6 +29,13 @@ from tools.repro_lint.rules.registry_meta import check_registry_object
 FIXTURES = Path(__file__).resolve().parent.parent / "tools" / "repro_lint" / "fixtures"
 
 
+def run_rule_on_fixture(rule: str, path: Path) -> list:
+    """Dispatch a fixture file to its rule's single-file entry point."""
+    if rule in FIXTURE_CHECKERS:
+        return list(FIXTURE_CHECKERS[rule]([path]))
+    return list(FILE_RULES[rule](load_module(path)))
+
+
 def fixture_cases(kind: str) -> list:
     cases = []
     for rule_dir in sorted(FIXTURES.iterdir()):
@@ -39,22 +47,20 @@ def fixture_cases(kind: str) -> list:
 
 
 class TestFixtureCorpus:
-    def test_corpus_is_present_for_every_file_rule(self):
-        for rule in FILE_RULES:
+    def test_corpus_is_present_for_every_rule(self):
+        for rule in (*FILE_RULES, *FIXTURE_CHECKERS):
             rule_dir = FIXTURES / rule
             assert list(rule_dir.glob("pass_*.py")), f"no pass fixtures for {rule}"
             assert list(rule_dir.glob("fail_*.py")), f"no fail fixtures for {rule}"
 
     @pytest.mark.parametrize("rule,path", fixture_cases("pass"))
     def test_pass_fixture_is_silent(self, rule, path):
-        module = load_module(path)
-        violations = list(FILE_RULES[rule](module))
+        violations = run_rule_on_fixture(rule, path)
         assert violations == [], [v.render() for v in violations]
 
     @pytest.mark.parametrize("rule,path", fixture_cases("fail"))
     def test_fail_fixture_fires(self, rule, path):
-        module = load_module(path)
-        violations = list(FILE_RULES[rule](module))
+        violations = run_rule_on_fixture(rule, path)
         assert violations, f"{path.name} produced no {rule} violations"
         assert all(v.rule == rule for v in violations)
 
@@ -74,13 +80,13 @@ class TestSuppressionsAndBaseline:
         )
         assert report.violations == []
 
-    def test_baseline_makes_known_violations_old_and_flags_stale(self, tmp_path):
+    def test_baseline_makes_known_violations_old(self, tmp_path):
         target = tmp_path / "known.py"
         target.write_text((FIXTURES / "statskeys" / "fail_typo.py").read_text())
         first = run_rules({"statskeys": FILE_RULES["statskeys"]}, {}, files=[target])
         assert first.failed and first.new
 
-        baseline = {v.fingerprint() for v in first.violations} | {"statskeys|gone.py|x"}
+        baseline = {v.fingerprint() for v in first.violations}
         second = run_rules(
             {"statskeys": FILE_RULES["statskeys"]},
             {},
@@ -89,7 +95,79 @@ class TestSuppressionsAndBaseline:
         )
         assert not second.failed
         assert second.violations and not second.new
+
+    def test_stale_baseline_entry_fails_the_run(self, tmp_path):
+        target = tmp_path / "known.py"
+        target.write_text((FIXTURES / "statskeys" / "fail_typo.py").read_text())
+        first = run_rules({"statskeys": FILE_RULES["statskeys"]}, {}, files=[target])
+        baseline = {v.fingerprint() for v in first.violations} | {"statskeys|gone.py|x"}
+        second = run_rules(
+            {"statskeys": FILE_RULES["statskeys"]},
+            {},
+            baseline=baseline,
+            files=[target],
+        )
         assert second.stale_baseline == ["statskeys|gone.py|x"]
+        assert second.failed and not second.new
+
+    def test_stale_baseline_is_scoped_to_the_rules_that_ran(self, tmp_path):
+        target = tmp_path / "known.py"
+        target.write_text((FIXTURES / "statskeys" / "fail_typo.py").read_text())
+        first = run_rules({"statskeys": FILE_RULES["statskeys"]}, {}, files=[target])
+        baseline = {v.fingerprint() for v in first.violations} | {"locking|other.py|y"}
+        second = run_rules(
+            {"statskeys": FILE_RULES["statskeys"]},
+            {},
+            baseline=baseline,
+            files=[target],
+        )
+        assert second.stale_baseline == []
+        assert not second.failed
+
+    def test_stale_suppression_fails_the_run(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text(
+            '"""Clean module."""\n\n'
+            "x = 1  # repro-lint: ignore=statskeys\n"
+        )
+        report = run_rules(
+            {"statskeys": FILE_RULES["statskeys"]}, {}, files=[target]
+        )
+        assert report.failed and not report.new
+        [entry] = report.stale_suppressions
+        assert "ignore=statskeys" in entry and "clean.py:3" in entry
+
+    def test_suppression_for_unran_rule_is_not_stale(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text(
+            '"""Clean module."""\n\n'
+            "x = 1  # repro-lint: ignore=locking\n"
+        )
+        report = run_rules(
+            {"statskeys": FILE_RULES["statskeys"]}, {}, files=[target]
+        )
+        assert not report.failed
+        assert report.stale_suppressions == []
+
+    def test_suppression_silences_project_rule_violations(self, tmp_path):
+        source = (FIXTURES / "migration" / "fail_state_dict_lock.py").read_text()
+        waived = source.replace(
+            'return {"ticks": self.ticks, "lock": self._lock}',
+            'return {"ticks": self.ticks, "lock": self._lock}  # repro-lint: ignore=migration',
+        )
+        assert waived != source
+        target = tmp_path / "waived.py"
+        target.write_text(waived)
+
+        from tools.repro_lint.concurrency import check_migration_files
+
+        def rule(root):
+            return check_migration_files([target])
+
+        report = run_rules({}, {"migration": rule}, files=[target])
+        assert report.violations == []
+        assert report.stale_suppressions == []
+        assert not report.failed
 
     def test_fingerprint_is_stable_across_line_drift(self):
         a = Violation(rule="r", path="p.py", line=3, message="m")
@@ -166,6 +244,39 @@ class TestRegistryRule:
         from repro.core.registry import REGISTRY
 
         assert list(check_registry_object(REGISTRY)) == []
+
+
+class TestCliSurfaces:
+    def test_github_format_emits_workflow_annotations(self, capsys):
+        from tools.repro_lint.__main__ import _print_report
+        from tools.repro_lint.core import LintReport
+
+        v = Violation(rule="lockorder", path="src/x.py", line=7, message="boom")
+        report = LintReport(
+            violations=[v], new=[v], per_rule={"lockorder": 1}, files_checked=1
+        )
+        _print_report(report, verbose=False, fmt="github")
+        out = capsys.readouterr().out
+        assert "::error file=src/x.py,line=7,title=repro-lint[lockorder]::boom" in out
+
+    def test_export_lock_graph_writes_artifacts(self, tmp_path):
+        from tools.repro_lint.concurrency.lockorder import export_lock_graph
+
+        payload = export_lock_graph(tmp_path)
+        assert (tmp_path / "lock_order.json").exists()
+        dot = (tmp_path / "lock_order.dot").read_text()
+        assert dot.startswith("digraph lock_order")
+        assert payload["cycles"] == []
+        labels = {lock["label"] for lock in payload["locks"]}
+        assert {"Graph._lock", "Session._lock", "DynamicFeed._lock"} <= labels
+
+    def test_static_graph_is_acyclic_and_covers_known_edges(self):
+        from tools.repro_lint.concurrency.lockorder import static_edge_set
+
+        edges = static_edge_set()
+        assert ("OrientedGraph._lock", "Graph._lock") in edges
+        assert ("Preprocessing._lock", "Graph._lock") in edges
+        assert ("Session._lock", "Graph._lock") in edges
 
 
 class TestRepoIsClean:

@@ -32,6 +32,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 PUBLIC_MODULES = (
     "repro",
     "repro.errors",
+    "repro.concurrency",
     "repro.core.api",
     "repro.core.session",
     "repro.core.registry",

@@ -23,11 +23,13 @@ import argparse
 import importlib.util
 import subprocess
 import sys
+from pathlib import Path
 
 from tools.repro_lint.core import (
     BASELINE_PATH,
     ROOT,
     LintReport,
+    Violation,
     load_baseline,
     run_rules,
     write_baseline,
@@ -74,6 +76,24 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         action="store_true",
         help="skip the docstring/doc-link gates (lint rules only)",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help=(
+            "violation output format; 'github' emits workflow-command "
+            "annotations that surface inline on pull-request diffs"
+        ),
+    )
+    parser.add_argument(
+        "--export-lock-graph",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write the lock-acquisition graph (lock_order.json + "
+            "lock_order.dot) under DIR and exit 0/1 on acyclic/cyclic"
+        ),
+    )
     return parser.parse_args(argv)
 
 
@@ -93,9 +113,20 @@ def _select_rules(spec: str | None) -> tuple[dict, dict]:
     )
 
 
-def _print_report(report: LintReport, *, verbose: bool) -> None:
+def _github_annotation(violation: Violation) -> str:
+    """One GitHub workflow-command line for a violation."""
+    return (
+        f"::error file={violation.path},line={violation.line},"
+        f"title=repro-lint[{violation.rule}]::{violation.message}"
+    )
+
+
+def _print_report(report: LintReport, *, verbose: bool, fmt: str = "text") -> None:
     shown = report.violations if verbose else report.new
     for violation in sorted(shown, key=lambda v: (v.path, v.line)):
+        if fmt == "github":
+            print(_github_annotation(violation))
+            continue
         marker = "" if violation in report.new else " (baselined)"
         print(f"{violation.render()}{marker}", file=sys.stderr)
     summary = ", ".join(
@@ -108,13 +139,31 @@ def _print_report(report: LintReport, *, verbose: bool) -> None:
     )
     if report.stale_baseline:
         print(
-            f"repro-lint: warning: {len(report.stale_baseline)} stale "
+            f"repro-lint: FAIL: {len(report.stale_baseline)} stale "
             "baseline entr(y/ies) no longer fire — run --update-baseline "
             "to ratchet down:",
             file=sys.stderr,
         )
         for entry in report.stale_baseline:
             print(f"  stale: {entry}", file=sys.stderr)
+    if report.stale_suppressions:
+        print(
+            f"repro-lint: FAIL: {len(report.stale_suppressions)} "
+            "suppression comment(s) no longer suppress anything — "
+            "delete them:",
+            file=sys.stderr,
+        )
+        for entry in report.stale_suppressions:
+            print(f"  stale: {entry}", file=sys.stderr)
+        if fmt == "github":
+            for entry in report.stale_suppressions:
+                path, _, rest = entry.partition(":")
+                line, _, _ = rest.partition(":")
+                print(
+                    f"::error file={path},line={line},"
+                    "title=repro-lint[stale-suppression]::"
+                    f"{entry.split(': ', 1)[-1]}"
+                )
 
 
 def _run_gates() -> list[tuple[str, int]]:
@@ -142,6 +191,17 @@ def _run_external() -> list[tuple[str, int | None]]:
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit status."""
     args = _parse_args(argv)
+    if args.export_lock_graph is not None:
+        from tools.repro_lint.concurrency.lockorder import export_lock_graph
+
+        payload = export_lock_graph(Path(args.export_lock_graph))
+        cycles = payload.get("cycles", [])
+        print(
+            f"repro-lint: lock graph: {len(payload['locks'])} locks, "
+            f"{len(payload['edges'])} edges, {len(cycles)} cycle(s) "
+            f"-> {args.export_lock_graph}/lock_order.{{json,dot}}"
+        )
+        return 1 if cycles else 0
     file_rules, project_rules = _select_rules(args.rules)
     report = run_rules(
         file_rules, project_rules, baseline=load_baseline()
@@ -155,7 +215,7 @@ def main(argv: list[str] | None = None) -> int:
         report = run_rules(
             file_rules, project_rules, baseline=load_baseline()
         )
-    _print_report(report, verbose=args.verbose)
+    _print_report(report, verbose=args.verbose, fmt=args.format)
     failed = report.failed
 
     if not args.no_gates and args.rules is None:

@@ -1,0 +1,59 @@
+"""Interprocedural concurrency-contract analysis for repro-lint.
+
+Three project-scope rules built on one shared whole-repo model
+(:mod:`tools.repro_lint.concurrency.model`):
+
+``lockorder``
+    Extracts the lock-acquisition graph — which lock labels can be held
+    when a call path reaches the acquisition of another — resolved
+    interprocedurally through typed calls, and fails on any cycle. The
+    graph is exportable as JSON + DOT (``--export-lock-graph``) and is
+    cross-checked at runtime by ``src/repro/concurrency.py`` tracked
+    locks under ``REPRO_TRACK_LOCKS=1``.
+
+``holdcalling``
+    Flags blocking or re-entrant work performed while holding a lock:
+    I/O, ``.result()``/``.wait()``/``.join()``, solver compute under a
+    foreign lock, and user-supplied callbacks invoked under any lock.
+
+``migration``
+    Type-traces values crossing process boundaries — ``state_dict()``
+    and ``checkpoint()`` payloads, multiprocessing worker callables and
+    their arguments — and fails on unpicklable/non-JSON-safe captures
+    (locks, graphs, sessions, bound methods, closures).
+
+``FIXTURE_CHECKERS`` maps each rule name to a file-list entry point so
+the fixture corpus tests can run a rule over a single synthetic module.
+"""
+
+from __future__ import annotations
+
+from tools.repro_lint.concurrency.holdcalling import (
+    check_holdcalling,
+    check_holdcalling_files,
+)
+from tools.repro_lint.concurrency.lockorder import (
+    check_lockorder,
+    check_lockorder_files,
+)
+from tools.repro_lint.concurrency.migration import (
+    check_migration,
+    check_migration_files,
+)
+
+#: rule name -> callable(list[Path]) -> list[Violation], for fixtures.
+FIXTURE_CHECKERS = {
+    "lockorder": check_lockorder_files,
+    "holdcalling": check_holdcalling_files,
+    "migration": check_migration_files,
+}
+
+__all__ = [
+    "FIXTURE_CHECKERS",
+    "check_holdcalling",
+    "check_holdcalling_files",
+    "check_lockorder",
+    "check_lockorder_files",
+    "check_migration",
+    "check_migration_files",
+]

@@ -1,0 +1,287 @@
+"""``holdcalling``: no blocking or re-entrant work while holding a lock.
+
+The serving layer's hand-written discipline — measure session sizes
+outside the pool lock, swap callbacks out under the lock then invoke
+them outside, flush feeds from a snapshot — exists because any blocking
+call under a lock convoys every other thread needing that lock, and any
+user-supplied callback under a lock can re-enter and deadlock. This
+rule encodes the discipline:
+
+``wait``
+    ``time.sleep``, ``.result(...)``, ``.wait(...)`` and zero-argument
+    ``.join(...)`` under any held lock. Waiting on the held lock itself
+    (the ``Condition.wait`` idiom: the wait atomically releases it) is
+    exempt.
+
+``io``
+    ``open(...)``, ``print(...)``, and ``.write/.flush/.read*/.recv/
+    .send`` on stream-like receivers, under any held lock.
+
+``compute``
+    Solver-scale work (``solve``, ``solve_many``, ``dynamic``,
+    ``apply_batch``, ``submit``, blocking ``estimated_bytes``) while
+    holding a lock *not owned by the calling class*. A class
+    serialising its own compute under its own lock (``DynamicFeed``
+    flushes) is its documented contract; doing it under someone else's
+    lock (pool, scheduler, server) convoys that subsystem.
+
+``callback``
+    Invoking a user-supplied callable (``Callable``-typed values, or
+    callback-suggestive names like ``on_*`` / ``*callback*`` / ``cb`` /
+    ``fn`` / ``hook`` / ``emit``) under any held lock.
+
+``calls-blocking``
+    Calling a function whose body (transitively) performs ``io``/
+    ``wait``/``callback`` work, while holding a lock. Propagation uses
+    only type-resolved targets, and skips ``*_locked`` callees — their
+    bodies are analyzed with the lock held already.
+
+Intentional waivers carry ``# repro-lint: ignore=holdcalling`` on the
+flagged line (e.g. the stdio transport's line-atomic write under its
+private write lock).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from tools.repro_lint.concurrency import model as _model
+from tools.repro_lint.core import Violation, iter_source_files
+
+RULE = "holdcalling"
+
+#: Direct compute/dispatch entry points (method-name keyed).
+_COMPUTE_NAMES = {
+    "solve",
+    "solve_many",
+    "dynamic",
+    "apply_batch",
+    "submit",
+    "solve_full",
+}
+
+#: Stream-suggestive receiver names for the io category.
+_STREAM_NAMES = {
+    "stdout",
+    "stderr",
+    "stdin",
+    "fh",
+    "file",
+    "stream",
+    "sock",
+    "socket",
+    "out",
+    "outfile",
+}
+
+_IO_METHODS = {"write", "flush", "read", "readline", "readlines", "recv", "send"}
+
+#: Callback-suggestive callee names.
+_CALLBACK_NAMES = {"fn", "cb", "hook", "emit", "func"}
+
+
+def _receiver_name(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _is_stream_receiver(expr: ast.expr, env: "_model._TypeEnv") -> bool:
+    name = _receiver_name(expr)
+    if name is not None and name.lstrip("_") in _STREAM_NAMES:
+        return True
+    ref = env.resolve_type(expr)
+    return ref in ("TextIO", "BinaryIO", "IO")
+
+
+def _callbackish(name: str) -> bool:
+    stripped = name.lstrip("_")
+    return (
+        stripped in _CALLBACK_NAMES
+        or "callback" in stripped
+        or stripped.startswith("on_")
+    )
+
+
+def _is_callable_value(expr: ast.expr, env: "_model._TypeEnv") -> bool:
+    return env.resolve_type(expr) == "Callable"
+
+
+def compute_blocking_summaries(
+    model: _model.RepoModel,
+) -> dict[str, frozenset[str]]:
+    """Fixpoint: which of {io, wait, callback} each function may do.
+
+    Only *resolved* call targets propagate — the name fallback used for
+    acquisition coverage would be too noisy here.
+    """
+    direct: dict[str, set[str]] = {key: set() for key in model.functions}
+    for key, func in model.functions.items():
+        env = _model._TypeEnv(model, func)
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            category = _direct_category(node, env, held=("<any>",))
+            if category is not None and category[0] in (
+                _model.CAT_IO,
+                _model.CAT_WAIT,
+                _model.CAT_CALLBACK,
+            ):
+                direct[key].add(category[0])
+    summary = {key: set(value) for key, value in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key, analysis in model.analyses.items():
+            mine = summary[key]
+            before = len(mine)
+            for event in analysis.calls:
+                for target in event.targets:
+                    mine.update(summary.get(target, ()))
+            if len(mine) != before:
+                changed = True
+    return {key: frozenset(value) for key, value in summary.items()}
+
+
+def _direct_category(
+    call: ast.Call,
+    env: "_model._TypeEnv",
+    held: tuple[str, ...],
+) -> tuple[str, str] | None:
+    """(category, description) when this call is blocking-ish, else None."""
+    fn = call.func
+    if isinstance(fn, ast.Name):
+        if fn.id in ("open", "print"):
+            return (_model.CAT_IO, f"{fn.id}(...)")
+        if _callbackish(fn.id) or _is_callable_value(fn, env):
+            return (_model.CAT_CALLBACK, f"{fn.id}(...)")
+        return None
+    if not isinstance(fn, ast.Attribute):
+        return None
+    method = fn.attr
+    receiver = fn.value
+    if method == "sleep" and isinstance(receiver, ast.Name) and receiver.id == "time":
+        return (_model.CAT_WAIT, "time.sleep(...)")
+    if method == "result":
+        return (_model.CAT_WAIT, ".result(...) — blocks for an outcome")
+    if method == "wait":
+        label = _model._lock_label_of(receiver, env, env.func)
+        if label is not None and label in held:
+            return None  # Condition.wait on the held lock releases it.
+        return (_model.CAT_WAIT, ".wait(...)")
+    if method == "join" and not call.args:
+        return (_model.CAT_WAIT, ".join() — blocks on a thread/process")
+    if method in _IO_METHODS and _is_stream_receiver(receiver, env):
+        return (_model.CAT_IO, f".{method}(...) on a stream")
+    if method == "estimated_bytes":
+        for kw in call.keywords:
+            if (
+                kw.arg == "blocking"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+            ):
+                return None
+        return ("compute", ".estimated_bytes(...) — may block on a substrate lock")
+    if method in _COMPUTE_NAMES:
+        return ("compute", f".{method}(...) — solver-scale compute")
+    if _callbackish(method) or _is_callable_value(fn, env):
+        return (_model.CAT_CALLBACK, f".{method}(...)")
+    return None
+
+
+def _own_labels(func: _model.FuncInfo, model: _model.RepoModel) -> frozenset[str]:
+    """Lock labels owned by the function's own class (and its locals)."""
+    labels = set()
+    if func.cls is not None:
+        labels.update(site.label for site in func.cls.lock_attrs.values())
+    scope: _model.FuncInfo | None = func
+    while scope is not None:
+        labels.update(site.label for site in scope.local_locks.values())
+        scope = scope.parent
+    return frozenset(labels)
+
+
+def _emit(
+    func: _model.FuncInfo,
+    reported: set[tuple[int, str]],
+    line: int,
+    category: str,
+    description: str,
+) -> Iterator[Violation]:
+    """Yield one violation per (line, description), deduplicated."""
+    if (line, description) in reported:
+        return
+    reported.add((line, description))
+    yield Violation(
+        rule=RULE,
+        path=func.path,
+        line=line,
+        message=(
+            f"{func.name} performs {category} work under a held lock: "
+            f"{description} — move it outside the lock (snapshot under "
+            "the lock, act after releasing; see docs/development.md)"
+        ),
+    )
+
+
+def _violations(model: _model.RepoModel) -> Iterator[Violation]:
+    blocking = compute_blocking_summaries(model)
+    for key, analysis in model.analyses.items():
+        func = model.functions[key]
+        env = _model._TypeEnv(model, func)
+        own = _own_labels(func, model)
+        reported: set[tuple[int, str]] = set()
+
+        # Direct categories on every call made with a lock held.
+        seen_nodes: dict[int, ast.Call] = {}
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Call):
+                seen_nodes[id(node)] = node
+        for event in analysis.calls:
+            if not event.held:
+                continue
+            call = seen_nodes.get(event.node_id)
+            if call is None:
+                continue
+            category = _direct_category(call, env, event.held)
+            if category is not None:
+                cat, description = category
+                own_compute = cat == "compute" and all(
+                    label in own for label in event.held
+                )
+                if not own_compute:
+                    # A class serialising its own compute under its own
+                    # lock is its documented contract; everything else
+                    # is flagged here and we move to the next call.
+                    yield from _emit(func, reported, event.line, cat, description)
+                    continue
+            # Propagated blocking work through resolved calls.
+            for target in event.targets:
+                callee = model.functions.get(target)
+                if callee is None or callee.name.endswith("_locked"):
+                    continue
+                cats = blocking.get(target, frozenset())
+                if cats:
+                    yield from _emit(
+                        func,
+                        reported,
+                        event.line,
+                        "calls-blocking",
+                        f"calls {callee.name}() which performs "
+                        f"{'/'.join(sorted(cats))} work",
+                    )
+
+
+def check_holdcalling_files(files: Sequence[Path]) -> list[Violation]:
+    """Run the check over an explicit file list (fixture mode)."""
+    model = _model.build_model(list(files))
+    return list(_violations(model))
+
+
+def check_holdcalling(root: Path | None = None) -> Iterable[Violation]:
+    """Project rule: blocking-work-under-lock check over ``src/repro``."""
+    return check_holdcalling_files(list(iter_source_files(root)))

@@ -1,0 +1,86 @@
+"""``lockorder``: the whole-repo lock-acquisition graph must be acyclic.
+
+Two locks that can each be held while the other is acquired deadlock
+under the right interleaving; across 11 lock sites and an
+interprocedural call web that is not reviewable by hand. This rule
+derives the full held->acquired edge set from
+:mod:`tools.repro_lint.concurrency.model` and emits one violation per
+strongly-connected component containing more than one lock, anchored at
+a witness edge inside the cycle.
+
+The same graph is exported by ``--export-lock-graph`` (JSON + DOT) for
+the docs diagram and the CI artifact, and is the reference set the
+runtime tracker (``REPRO_TRACK_LOCKS=1``) is validated against.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from tools.repro_lint.concurrency import model as _model
+from tools.repro_lint.core import Violation, iter_source_files
+
+RULE = "lockorder"
+
+
+def _cycle_violations(model: _model.RepoModel) -> Iterator[Violation]:
+    edges = _model.lock_edges(model)
+    for cycle in _model.find_cycles(edges):
+        members = set(cycle)
+        witness = next(
+            (
+                edge
+                for (src, dst), edge in sorted(edges.items())
+                if src in members and dst in members
+            ),
+            None,
+        )
+        path = witness.path if witness is not None else "src/repro"
+        line = witness.line if witness is not None else 1
+        yield Violation(
+            rule=RULE,
+            path=path,
+            line=line,
+            message=(
+                "lock-order cycle between "
+                + " <-> ".join(sorted(members))
+                + " — a consistent acquisition hierarchy is required "
+                "(see docs/development.md)"
+            ),
+        )
+
+
+def check_lockorder_files(files: Sequence[Path]) -> list[Violation]:
+    """Run the cycle check over an explicit file list (fixture mode)."""
+    model = _model.build_model(list(files))
+    return list(_cycle_violations(model))
+
+
+def check_lockorder(root: Path | None = None) -> Iterable[Violation]:
+    """Project rule: cycle check over the ``src/repro`` tree."""
+    return check_lockorder_files(list(iter_source_files(root)))
+
+
+def export_lock_graph(out_dir: Path, root: Path | None = None) -> dict:
+    """Write ``lock_order.json`` + ``lock_order.dot`` under ``out_dir``.
+
+    Returns the JSON payload (used by the CLI summary and tests).
+    """
+    model = _model.model_for_root(root)
+    payload = _model.graph_as_json(model)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "lock_order.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    (out_dir / "lock_order.dot").write_text(
+        _model.graph_as_dot(model), encoding="utf-8"
+    )
+    return payload
+
+
+def static_edge_set(root: Path | None = None) -> frozenset[tuple[str, str]]:
+    """The static (held, acquired) pairs — the runtime watchdog's oracle."""
+    model = _model.model_for_root(root)
+    return frozenset(_model.lock_edges(model))

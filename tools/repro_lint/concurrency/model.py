@@ -1,0 +1,1177 @@
+"""Whole-repo lock/type model shared by the concurrency rules.
+
+The model is a lightweight interprocedural AST analysis over the
+``src/repro`` tree (or any explicit file list, for fixtures):
+
+1. **Lock discovery** — every ``make_lock("Label")`` /
+   ``make_rlock("Label")`` / raw ``threading.Lock()`` / ``RLock()`` /
+   ``Condition(...)`` creation site becomes a :class:`LockSite`. Labels
+   come from the factory's string literal (the same labels the runtime
+   tracker records), falling back to ``Class.attr``.
+
+2. **Type resolution** — attribute types are read off ``__init__``
+   assignments and annotations; locals off parameter/return
+   annotations and constructor calls; containers (``dict[str, T]``)
+   propagate their value type through iteration. This leans on the
+   repository's fully-annotated signatures (the ``annotations`` rule
+   keeps them that way), which is what makes call resolution tractable
+   without a real type checker.
+
+3. **Held-region analysis** — each function is walked in source order
+   tracking the stack of held lock labels (``with`` blocks, plus the
+   ``.acquire(...)``-then-``try/finally`` idiom, treated as held to the
+   end of the function). Methods named ``*_locked`` start with their
+   class lock held: the suffix is this repository's caller-holds
+   convention. Every call site is recorded with the held stack and its
+   resolved targets; every lock acquisition likewise.
+
+4. **Fixpoint** — ``may_acquire`` (the set of labels a function can
+   transitively acquire) and ``blocking`` summaries propagate over the
+   recorded call targets until stable. Lock-order edges are then
+   ``held x may_acquire(callee)`` at every call site plus the direct
+   acquisition edges; self-edges are skipped (re-entrant RLocks and
+   same-label sibling instances are a per-site discipline, not an
+   ordering).
+
+The model intentionally over-approximates (unresolved method calls can
+fall back to name matching when computing acquisitions) because the
+acceptance contract is *superset*: every runtime-observed edge must be
+present in the static graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from tools.repro_lint.core import ROOT, iter_source_files, load_module
+
+#: Factory callables that create a lock (label from first str arg).
+_LABELLED_FACTORIES = {"make_lock": "lock", "make_rlock": "rlock"}
+#: Raw threading factories (label synthesised from the owner).
+_RAW_FACTORIES = {"Lock": "lock", "RLock": "rlock", "Condition": "condition"}
+
+#: Blocking-work categories used by the ``holdcalling`` rule.
+CAT_IO = "io"
+CAT_WAIT = "wait"
+CAT_CALLBACK = "callback"
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """One lock creation site with its stable label."""
+
+    label: str
+    kind: str
+    owner: str | None
+    attr: str | None
+    path: str
+    line: int
+
+
+@dataclass
+class ClassInfo:
+    """A class with its attribute types, lock attributes and methods."""
+
+    name: str
+    module: str
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    attr_types: dict[str, object] = field(default_factory=dict)
+    lock_attrs: dict[str, LockSite] = field(default_factory=dict)
+    methods: dict[str, "FuncInfo"] = field(default_factory=dict)
+    properties: set[str] = field(default_factory=set)
+
+
+@dataclass
+class FuncInfo:
+    """One function/method with the context needed to analyze it."""
+
+    key: str
+    name: str
+    module: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: ClassInfo | None = None
+    parent: "FuncInfo | None" = None
+    local_locks: dict[str, LockSite] = field(default_factory=dict)
+    nested: dict[str, "FuncInfo"] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """A call site with the lock labels held around it."""
+
+    held: tuple[str, ...]
+    line: int
+    func_key: str
+    targets: tuple[str, ...]
+    call_desc: str
+    node_id: int
+
+
+@dataclass(frozen=True)
+class AcquireEvent:
+    """A lock acquisition with the labels already held."""
+
+    held: tuple[str, ...]
+    label: str
+    line: int
+    func_key: str
+
+
+@dataclass
+class FuncAnalysis:
+    """Per-function held-region analysis output."""
+
+    calls: list[CallEvent] = field(default_factory=list)
+    acquires: list[AcquireEvent] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """One ``held -> acquired`` edge with a witness location."""
+
+    src: str
+    dst: str
+    path: str
+    line: int
+    via: str
+
+
+@dataclass
+class RepoModel:
+    """The parsed repository: classes, functions, locks, analyses."""
+
+    classes: dict[str, list[ClassInfo]] = field(default_factory=dict)
+    functions: dict[str, FuncInfo] = field(default_factory=dict)
+    module_functions: dict[str, dict[str, FuncInfo]] = field(default_factory=dict)
+    module_imports: dict[str, dict[str, str]] = field(default_factory=dict)
+    methods_by_name: dict[str, list[FuncInfo]] = field(default_factory=dict)
+    locks: list[LockSite] = field(default_factory=list)
+    analyses: dict[str, FuncAnalysis] = field(default_factory=dict)
+    may_acquire: dict[str, frozenset[str]] = field(default_factory=dict)
+    trees: dict[str, ast.Module] = field(default_factory=dict)
+
+    def class_named(self, name: str) -> ClassInfo | None:
+        """The unique class with this name, or ``None`` if ambiguous."""
+        infos = self.classes.get(name, [])
+        return infos[0] if len(infos) == 1 else None
+
+    def all_classes_named(self, name: str) -> list[ClassInfo]:
+        """Every class carrying this name across the tree."""
+        return self.classes.get(name, [])
+
+
+def _relpath(path: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(ROOT))
+    except ValueError:
+        return str(path)
+
+
+# ----------------------------------------------------------------------
+# Annotation parsing
+# ----------------------------------------------------------------------
+
+_CONTAINERS_DICT = {"dict", "Dict", "OrderedDict", "defaultdict", "Mapping"}
+_CONTAINERS_SEQ = {
+    "list",
+    "List",
+    "set",
+    "Set",
+    "frozenset",
+    "FrozenSet",
+    "Sequence",
+    "Iterable",
+    "Iterator",
+    "deque",
+    "tuple",
+    "Tuple",
+}
+
+
+def type_from_annotation(node: ast.expr | None) -> object | None:
+    """A type ref from an annotation: class-name str or container tuple.
+
+    Containers come back as ``("dict", value_ref)`` or
+    ``("seq", element_ref)``; ``X | None`` and ``Optional[X]`` unwrap to
+    ``X``; unparseable annotations return ``None``.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+        return type_from_annotation(parsed)
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = type_from_annotation(node.left)
+        if left is not None and left != "None":
+            return left
+        return type_from_annotation(node.right)
+    if isinstance(node, ast.Subscript):
+        base = type_from_annotation(node.value)
+        if base == "Optional":
+            return type_from_annotation(node.slice)
+        args: list[ast.expr]
+        if isinstance(node.slice, ast.Tuple):
+            args = list(node.slice.elts)
+        else:
+            args = [node.slice]
+        if base in _CONTAINERS_DICT and len(args) >= 2:
+            return ("dict", type_from_annotation(args[1]))
+        if base in _CONTAINERS_SEQ and args:
+            if base in ("tuple", "Tuple") and len(args) > 1:
+                return ("seq", type_from_annotation(args[0]))
+            return ("seq", type_from_annotation(args[0]))
+        if base == "Callable":
+            return "Callable"
+        return None
+    return None
+
+
+def _is_callable_annotation(node: ast.expr | None) -> bool:
+    return type_from_annotation(node) == "Callable"
+
+
+# ----------------------------------------------------------------------
+# Model construction
+# ----------------------------------------------------------------------
+
+
+def _lock_from_call(
+    call: ast.expr,
+) -> tuple[str, str | None] | None:
+    """``(kind, label-or-None)`` when ``call`` creates a lock."""
+    if not isinstance(call, ast.Call):
+        return None
+    fn = call.func
+    name: str | None = None
+    if isinstance(fn, ast.Name):
+        name = fn.id
+    elif isinstance(fn, ast.Attribute):
+        name = fn.attr
+    if name is None:
+        return None
+    if name in _LABELLED_FACTORIES:
+        label = None
+        if call.args and isinstance(call.args[0], ast.Constant):
+            value = call.args[0].value
+            if isinstance(value, str):
+                label = value
+        return (_LABELLED_FACTORIES[name], label)
+    if name in _RAW_FACTORIES:
+        if name == "Condition":
+            # Condition(make_rlock("L")) carries the wrapped lock's label.
+            if call.args:
+                inner = _lock_from_call(call.args[0])
+                if inner is not None:
+                    return ("condition", inner[1])
+            return ("condition", None)
+        return (_RAW_FACTORIES[name], None)
+    return None
+
+
+def _collect_imports(tree: ast.Module, module: str) -> dict[str, str]:
+    """Local name -> dotted target for every import in the module."""
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                imports[bound] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                parts = module.split(".")
+                parts = parts[: len(parts) - node.level]
+                base = ".".join(parts + ([base] if base else []))
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                imports[bound] = f"{base}.{alias.name}" if base else alias.name
+    return imports
+
+
+def _decorator_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names = set()
+    for dec in fn.decorator_list:
+        if isinstance(dec, ast.Name):
+            names.add(dec.id)
+        elif isinstance(dec, ast.Attribute):
+            names.add(dec.attr)
+    return names
+
+
+def _register_function(
+    model: RepoModel,
+    info: FuncInfo,
+) -> None:
+    model.functions[info.key] = info
+
+
+def _scan_class(
+    model: RepoModel, cls_node: ast.ClassDef, module: str, path: str
+) -> ClassInfo:
+    cls = ClassInfo(name=cls_node.name, module=module, node=cls_node)
+    for base in cls_node.bases:
+        ref = type_from_annotation(base)
+        if isinstance(ref, str):
+            cls.bases.append(ref)
+    for node in cls_node.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            ref = type_from_annotation(node.annotation)
+            if ref is not None:
+                cls.attr_types.setdefault(node.target.id, ref)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            key = f"{module}:{cls_node.name}.{node.name}"
+            info = FuncInfo(
+                key=key,
+                name=node.name,
+                module=module,
+                path=path,
+                node=node,
+                cls=cls,
+            )
+            cls.methods[node.name] = info
+            decorators = _decorator_names(node)
+            if "property" in decorators or "cached_property" in decorators:
+                cls.properties.add(node.name)
+            _register_function(model, info)
+            if node.name == "__init__":
+                _scan_init(cls, node, path)
+    return cls
+
+
+def _scan_init(cls: ClassInfo, init: ast.FunctionDef, path: str) -> None:
+    """Collect attribute types and lock attributes from ``__init__``."""
+    param_types: dict[str, object] = {}
+    args = init.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        ref = type_from_annotation(arg.annotation)
+        if ref is not None:
+            param_types[arg.arg] = ref
+    for node in ast.walk(init):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        annotation: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+            annotation = node.annotation
+        else:
+            continue
+        for target in targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            attr = target.attr
+            lock = _lock_from_call(value) if value is not None else None
+            if lock is not None:
+                kind, label = lock
+                cls.lock_attrs.setdefault(
+                    attr,
+                    LockSite(
+                        label=label or f"{cls.name}.{attr}",
+                        kind=kind,
+                        owner=cls.name,
+                        attr=attr,
+                        path=path,
+                        line=value.lineno if value is not None else node.lineno,
+                    ),
+                )
+                continue
+            ref: object | None = None
+            if annotation is not None:
+                ref = type_from_annotation(annotation)
+            if ref is None and isinstance(value, ast.Call):
+                fn = value.func
+                if isinstance(fn, ast.Name):
+                    ref = fn.id
+            if ref is None and isinstance(value, ast.Name):
+                ref = param_types.get(value.id)
+            if ref is not None:
+                cls.attr_types.setdefault(attr, ref)
+
+
+def _scan_module(model: RepoModel, path: Path) -> None:
+    module_info = load_module(path)
+    module = module_info.name
+    tree = module_info.tree
+    rel = module_info.relpath
+    model.trees[rel] = tree
+    model.module_imports[module] = _collect_imports(tree, module)
+    model.module_functions.setdefault(module, {})
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            cls = _scan_class(model, node, module, rel)
+            model.classes.setdefault(cls.name, []).append(cls)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            key = f"{module}:{node.name}"
+            info = FuncInfo(
+                key=key, name=node.name, module=module, path=rel, node=node
+            )
+            model.module_functions[module][node.name] = info
+            _register_function(model, info)
+
+
+# ----------------------------------------------------------------------
+# Per-function analysis
+# ----------------------------------------------------------------------
+
+
+class _TypeEnv:
+    """Flow-insensitive-ish local type environment (updated in order)."""
+
+    def __init__(self, model: RepoModel, func: FuncInfo) -> None:
+        self.model = model
+        self.func = func
+        self.vars: dict[str, object] = {}
+        node = func.node
+        if func.cls is not None and func.node.args.args:
+            first = func.node.args.args[0].arg
+            decorators = _decorator_names(func.node)
+            if "staticmethod" not in decorators:
+                self.vars[first] = func.cls.name
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            ref = type_from_annotation(arg.annotation)
+            if ref is not None and arg.arg not in self.vars:
+                self.vars[arg.arg] = ref
+            elif _is_callable_annotation(arg.annotation):
+                self.vars.setdefault(arg.arg, "Callable")
+
+    # -- resolution helpers -------------------------------------------
+
+    def class_of(self, ref: object | None) -> ClassInfo | None:
+        if isinstance(ref, str):
+            return self.model.class_named(ref)
+        return None
+
+    def resolve_type(self, expr: ast.expr) -> object | None:
+        """Best-effort type ref of an expression."""
+        if isinstance(expr, ast.Name):
+            ref = self.vars.get(expr.id)
+            if ref is not None:
+                return ref
+            target = self._import_target(expr.id)
+            if target is not None and target[1] == "class":
+                # A bare class name types as the class itself (used for
+                # classmethod receivers), not an instance.
+                return ("classref", target[0])
+            return None
+        if isinstance(expr, ast.Attribute):
+            base = self.resolve_type(expr.value)
+            cls = self.class_of(base)
+            if cls is not None:
+                if expr.attr in cls.properties:
+                    method = cls.methods.get(expr.attr)
+                    if method is not None:
+                        return type_from_annotation(method.node.returns)
+                ref = cls.attr_types.get(expr.attr)
+                if ref is not None:
+                    return ref
+            return None
+        if isinstance(expr, ast.Call):
+            targets = self.resolve_call(expr)
+            for target in targets:
+                info = self.model.functions.get(target)
+                if info is None:
+                    continue
+                if info.name == "__init__" and info.cls is not None:
+                    return info.cls.name
+                ref = type_from_annotation(info.node.returns)
+                if ref is not None:
+                    return ref
+            # list()/sorted()/tuple() keep their argument's shape.
+            fn = expr.func
+            if (
+                isinstance(fn, ast.Name)
+                and fn.id in ("list", "sorted", "tuple", "set", "frozenset")
+                and expr.args
+            ):
+                return self.resolve_type(expr.args[0])
+            if isinstance(fn, ast.Attribute) and fn.attr in ("get", "pop", "popleft"):
+                base = self.resolve_type(fn.value)
+                if isinstance(base, tuple) and base[0] == "dict":
+                    return base[1]
+                if isinstance(base, tuple) and base[0] == "seq":
+                    return base[1]
+            if isinstance(fn, ast.Attribute) and fn.attr in ("values",):
+                base = self.resolve_type(fn.value)
+                if isinstance(base, tuple) and base[0] == "dict":
+                    return ("seq", base[1])
+            if isinstance(fn, ast.Attribute) and fn.attr in ("items",):
+                base = self.resolve_type(fn.value)
+                if isinstance(base, tuple) and base[0] == "dict":
+                    return ("items", base[1])
+            return None
+        if isinstance(expr, ast.Subscript):
+            base = self.resolve_type(expr.value)
+            if isinstance(base, tuple) and base[0] in ("dict", "seq"):
+                return base[1]
+            return None
+        if isinstance(expr, ast.Lambda):
+            return "Callable"
+        return None
+
+    def _import_target(self, name: str) -> tuple[str, str] | None:
+        """Resolve an imported name to ('<dotted>', 'module'|'class'|'func')."""
+        imports = self.model.module_imports.get(self.func.module, {})
+        dotted = imports.get(name)
+        if dotted is None:
+            return None
+        if dotted in self.model.module_functions:
+            return (dotted, "module")
+        mod, _, symbol = dotted.rpartition(".")
+        for cls in self.model.all_classes_named(symbol):
+            if cls.module == mod:
+                return (symbol, "class")
+        fn = self.model.module_functions.get(mod, {}).get(symbol)
+        if fn is not None:
+            return (fn.key, "func")
+        return None
+
+    def resolve_call(self, call: ast.Call) -> tuple[str, ...]:
+        """Keys of the functions a call may dispatch to (resolved only)."""
+        fn = call.func
+        out: list[str] = []
+        if isinstance(fn, ast.Name):
+            name = fn.id
+            # Nested function in an enclosing scope.
+            scope: FuncInfo | None = self.func
+            while scope is not None:
+                nested = scope.nested.get(name)
+                if nested is not None:
+                    return (nested.key,)
+                scope = scope.parent
+            local = self.model.module_functions.get(self.func.module, {}).get(name)
+            if local is not None:
+                return (local.key,)
+            target = self._import_target(name)
+            if target is not None:
+                kind = target[1]
+                if kind == "func":
+                    return (target[0],)
+                if kind == "class":
+                    for cls in self.model.all_classes_named(target[0]):
+                        init = cls.methods.get("__init__")
+                        if init is not None:
+                            out.append(init.key)
+                    return tuple(out)
+            # Same-module class constructor.
+            for cls in self.model.all_classes_named(name):
+                if cls.module == self.func.module:
+                    init = cls.methods.get("__init__")
+                    if init is not None:
+                        out.append(init.key)
+            return tuple(out)
+        if isinstance(fn, ast.Attribute):
+            receiver = fn.value
+            method = fn.attr
+            # Module alias: counting.node_scores(...)
+            if isinstance(receiver, ast.Name):
+                target = self._import_target(receiver.id)
+                if target is not None and target[1] == "module":
+                    info = self.model.module_functions.get(target[0], {}).get(method)
+                    if info is not None:
+                        return (info.key,)
+                    for cls in self.model.all_classes_named(method):
+                        if cls.module == target[0]:
+                            init = cls.methods.get("__init__")
+                            if init is not None:
+                                return (init.key,)
+                    return ()
+            ref = self.resolve_type(receiver)
+            if isinstance(ref, tuple) and ref[0] == "classref":
+                cls = self.model.class_named(str(ref[1]))
+                if cls is not None:
+                    resolved = self._method_on(cls, method)
+                    if resolved is not None:
+                        return (resolved.key,)
+                return ()
+            cls = self.class_of(ref)
+            if cls is not None:
+                resolved = self._method_on(cls, method)
+                if resolved is not None:
+                    return (resolved.key,)
+                return ()
+        return ()
+
+    def _method_on(self, cls: ClassInfo, name: str) -> FuncInfo | None:
+        seen = set()
+        queue = [cls]
+        while queue:
+            current = queue.pop(0)
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            method = current.methods.get(name)
+            if method is not None:
+                return method
+            for base in current.bases:
+                parent = self.model.class_named(base)
+                if parent is not None:
+                    queue.append(parent)
+        return None
+
+    # -- assignments ---------------------------------------------------
+
+    def bind_assign(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            ref = self.resolve_type(node.value)
+            if ref is None:
+                return
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.vars[target.id] = ref
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            ref = type_from_annotation(node.annotation)
+            if ref is None and node.value is not None:
+                ref = self.resolve_type(node.value)
+            if ref is not None:
+                self.vars[node.target.id] = ref
+
+    def bind_for(self, node: ast.For) -> None:
+        ref = self.resolve_type(node.iter)
+        if isinstance(ref, tuple) and ref[0] == "seq":
+            element = ref[1]
+            if isinstance(node.target, ast.Name) and element is not None:
+                self.vars[node.target.id] = element
+        elif isinstance(ref, tuple) and ref[0] == "items":
+            value = ref[1]
+            if (
+                isinstance(node.target, ast.Tuple)
+                and len(node.target.elts) == 2
+                and isinstance(node.target.elts[1], ast.Name)
+                and value is not None
+            ):
+                self.vars[node.target.elts[1].id] = value
+        elif isinstance(ref, tuple) and ref[0] == "dict":
+            return
+
+
+def _lock_label_of(
+    expr: ast.expr, env: _TypeEnv, func: FuncInfo
+) -> str | None:
+    """The lock label an expression denotes, if it is a known lock."""
+    if isinstance(expr, ast.Name):
+        scope: FuncInfo | None = func
+        while scope is not None:
+            site = scope.local_locks.get(expr.id)
+            if site is not None:
+                return site.label
+            scope = scope.parent
+        return None
+    if isinstance(expr, ast.Attribute):
+        ref = env.resolve_type(expr.value)
+        cls = env.class_of(ref)
+        if cls is not None:
+            site = cls.lock_attrs.get(expr.attr)
+            if site is not None:
+                return site.label
+    return None
+
+
+def _call_desc(call: ast.Call) -> str:
+    fn = call.func
+    if isinstance(fn, ast.Name):
+        return fn.id
+    if isinstance(fn, ast.Attribute):
+        return f".{fn.attr}"
+    return "<call>"
+
+
+class _FunctionWalker:
+    """Walks one function in source order tracking held lock labels."""
+
+    def __init__(self, model: RepoModel, func: FuncInfo) -> None:
+        self.model = model
+        self.func = func
+        self.env = _TypeEnv(model, func)
+        self.analysis = FuncAnalysis()
+        self.held: list[str] = []
+        self.rest_of_function: list[str] = []
+        if func.name.endswith("_locked") and func.cls is not None:
+            for site in func.cls.lock_attrs.values():
+                self.held.append(site.label)
+                break
+
+    # -- recording -----------------------------------------------------
+
+    def _held_now(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys([*self.held, *self.rest_of_function]))
+
+    def _record_acquire(self, label: str, line: int) -> None:
+        self.analysis.acquires.append(
+            AcquireEvent(
+                held=self._held_now(), label=label, line=line,
+                func_key=self.func.key,
+            )
+        )
+
+    def _record_call(self, call: ast.Call) -> None:
+        targets = self.env.resolve_call(call)
+        self.analysis.calls.append(
+            CallEvent(
+                held=self._held_now(),
+                line=call.lineno,
+                func_key=self.func.key,
+                targets=targets,
+                call_desc=_call_desc(call),
+                node_id=id(call),
+            )
+        )
+
+    # -- traversal -----------------------------------------------------
+
+    def walk(self) -> FuncAnalysis:
+        for stmt in self.func.node.body:
+            self._visit_stmt(stmt)
+        return self.analysis
+
+    def _visit_stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._register_nested(node)
+            return
+        if isinstance(node, ast.ClassDef):
+            return
+        if isinstance(node, ast.With):
+            self._visit_with(node)
+            return
+        if isinstance(node, ast.For):
+            self._visit_expr(node.iter)
+            self.env.bind_for(node)
+            for child in node.body:
+                self._visit_stmt(child)
+            for child in node.orelse:
+                self._visit_stmt(child)
+            return
+        if isinstance(node, (ast.If, ast.While)):
+            self._visit_expr(node.test)
+            for child in node.body:
+                self._visit_stmt(child)
+            for child in node.orelse:
+                self._visit_stmt(child)
+            return
+        if isinstance(node, ast.Try):
+            for child in node.body:
+                self._visit_stmt(child)
+            for handler in node.handlers:
+                for child in handler.body:
+                    self._visit_stmt(child)
+            for child in node.orelse:
+                self._visit_stmt(child)
+            for child in node.finalbody:
+                self._visit_stmt(child)
+            return
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            if node.value is not None:
+                self._maybe_local_lock(node)
+                self._visit_expr(node.value)
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                self.env.bind_assign(node)
+            return
+        if isinstance(node, ast.Return) and node.value is not None:
+            self._visit_expr(node.value)
+            return
+        if isinstance(node, ast.Expr):
+            self._visit_expr(node.value)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child)
+            elif isinstance(child, ast.stmt):
+                self._visit_stmt(child)
+
+    def _register_nested(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        key = f"{self.func.key}.<locals>.{node.name}"
+        info = FuncInfo(
+            key=key,
+            name=node.name,
+            module=self.func.module,
+            path=self.func.path,
+            node=node,
+            cls=self.func.cls,
+            parent=self.func,
+        )
+        self.func.nested[node.name] = info
+        _register_function(self.model, info)
+
+    def _maybe_local_lock(self, node: ast.stmt) -> None:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            return
+        value = node.value
+        if value is None:
+            return
+        lock = _lock_from_call(value)
+        if lock is None:
+            return
+        kind, label = lock
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                site = LockSite(
+                    label=label or f"{self.func.name}.{target.id}",
+                    kind=kind,
+                    owner=self.func.cls.name if self.func.cls else None,
+                    attr=target.id,
+                    path=self.func.path,
+                    line=value.lineno,
+                )
+                self.func.local_locks[target.id] = site
+                self.model.locks.append(site)
+
+    def _visit_with(self, node: ast.With) -> None:
+        pushed: list[str] = []
+        for item in node.items:
+            self._visit_expr(item.context_expr)
+            label = _lock_label_of(item.context_expr, self.env, self.func)
+            if label is not None:
+                self._record_acquire(label, item.context_expr.lineno)
+                self.held.append(label)
+                pushed.append(label)
+        for child in node.body:
+            self._visit_stmt(child)
+        for label in reversed(pushed):
+            self.held.remove(label)
+
+    def _visit_expr(self, node: ast.expr) -> None:
+        for call in self._calls_in(node):
+            fn = call.func
+            if isinstance(fn, ast.Attribute) and fn.attr == "acquire":
+                label = _lock_label_of(fn.value, self.env, self.func)
+                if label is not None:
+                    self._record_acquire(label, call.lineno)
+                    # acquire()-then-try/finally: held for the rest of
+                    # the function (coarse, matches the repo idiom).
+                    self.rest_of_function.append(label)
+                    continue
+            self._record_call(call)
+        # Property loads execute their getter: record as call events.
+        for attr in ast.walk(node):
+            if not isinstance(attr, ast.Attribute) or not isinstance(
+                attr.ctx, ast.Load
+            ):
+                continue
+            ref = self.env.resolve_type(attr.value)
+            cls = self.env.class_of(ref)
+            if cls is not None and attr.attr in cls.properties:
+                method = cls.methods.get(attr.attr)
+                if method is not None:
+                    self.analysis.calls.append(
+                        CallEvent(
+                            held=self._held_now(),
+                            line=attr.lineno,
+                            func_key=self.func.key,
+                            targets=(method.key,),
+                            call_desc=f".{attr.attr}",
+                            node_id=id(attr),
+                        )
+                    )
+
+    def _calls_in(self, node: ast.expr) -> Iterator[ast.Call]:
+        # Manual walk skipping Lambda bodies: a lambda's calls execute
+        # later, not at this site (so not under the locks held here).
+        stack: list[ast.AST] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, ast.Lambda):
+                continue
+            if isinstance(current, ast.Call):
+                yield current
+            stack.extend(ast.iter_child_nodes(current))
+
+
+# ----------------------------------------------------------------------
+# Fixpoint + graph assembly
+# ----------------------------------------------------------------------
+
+
+def _analyze_all(model: RepoModel) -> None:
+    # Two passes: the first registers nested functions and local locks,
+    # the second re-walks so forward references (a nested function used
+    # before its def, a lock bound later) resolve.
+    for _ in range(2):
+        pending = list(model.functions.values())
+        for func in pending:
+            model.analyses[func.key] = _FunctionWalker(model, func).walk()
+
+
+#: Method names too generic for name-fallback resolution: they collide
+#: with builtin-container methods, so an unresolved receiver would pick
+#: up unrelated classes' acquisitions and fabricate edges.
+_FALLBACK_DENYLIST = frozenset(
+    {
+        "get",
+        "pop",
+        "popleft",
+        "items",
+        "keys",
+        "values",
+        "append",
+        "appendleft",
+        "add",
+        "remove",
+        "discard",
+        "update",
+        "clear",
+        "copy",
+        "setdefault",
+        "extend",
+        "sort",
+        "index",
+        "count",
+        "join",
+        "split",
+        "strip",
+        "move_to_end",
+        "format",
+        "close",
+        # Stream-method names: ``stdout.flush()`` must not match a
+        # repository class that happens to define ``flush``.
+        "write",
+        "flush",
+        "read",
+        "readline",
+        "readlines",
+        "send",
+        "recv",
+        "wait",
+        "notify",
+        "notify_all",
+        "acquire",
+        "release",
+    }
+)
+
+
+def _fallback_targets(model: RepoModel, event: CallEvent) -> tuple[str, ...]:
+    """Resolved targets, else a conservative name-based method match.
+
+    The fallback keeps the static graph a *superset* of runtime
+    behaviour when the receiver's type could not be inferred; it is
+    only used for acquisition summaries (never for blocking-work
+    propagation, which needs precision, not coverage).
+    """
+    if event.targets:
+        return event.targets
+    if not event.call_desc.startswith("."):
+        return ()
+    name = event.call_desc[1:]
+    if name in _FALLBACK_DENYLIST:
+        return ()
+    infos = model.methods_by_name.get(name, [])
+    if not infos or len(infos) > 4:
+        return ()
+    return tuple(info.key for info in infos)
+
+
+def compute_may_acquire(model: RepoModel) -> dict[str, frozenset[str]]:
+    """Fixpoint: labels each function can transitively acquire."""
+    summary: dict[str, set[str]] = {key: set() for key in model.functions}
+    for key, analysis in model.analyses.items():
+        for acq in analysis.acquires:
+            summary[key].add(acq.label)
+    changed = True
+    while changed:
+        changed = False
+        for key, analysis in model.analyses.items():
+            mine = summary[key]
+            before = len(mine)
+            for event in analysis.calls:
+                for target in _fallback_targets(model, event):
+                    mine.update(summary.get(target, ()))
+            if len(mine) != before:
+                changed = True
+    result = {key: frozenset(value) for key, value in summary.items()}
+    model.may_acquire = result
+    return result
+
+
+def lock_edges(model: RepoModel) -> dict[tuple[str, str], LockEdge]:
+    """Every held->acquired edge with one witness site per edge."""
+    if not model.may_acquire:
+        compute_may_acquire(model)
+    edges: dict[tuple[str, str], LockEdge] = {}
+
+    def add(src: str, dst: str, path: str, line: int, via: str) -> None:
+        if src == dst:
+            return
+        edges.setdefault(
+            (src, dst), LockEdge(src=src, dst=dst, path=path, line=line, via=via)
+        )
+
+    for key, analysis in model.analyses.items():
+        func = model.functions[key]
+        for acq in analysis.acquires:
+            for held in acq.held:
+                add(held, acq.label, func.path, acq.line, key)
+        for event in analysis.calls:
+            if not event.held:
+                continue
+            for target in _fallback_targets(model, event):
+                for label in model.may_acquire.get(target, ()):
+                    for held in event.held:
+                        add(held, label, func.path, event.line, key)
+    return edges
+
+
+def find_cycles(edges: Iterable[tuple[str, str]]) -> list[list[str]]:
+    """Elementary cycles (as label lists) in the lock graph, if any."""
+    adjacency: dict[str, set[str]] = {}
+    for src, dst in edges:
+        adjacency.setdefault(src, set()).add(dst)
+        adjacency.setdefault(dst, set())
+    # Tarjan SCC: any component with >1 node contains a cycle.
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    cycles: list[list[str]] = []
+
+    def strongconnect(node: str) -> None:
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for succ in sorted(adjacency.get(node, ())):
+            if succ not in index:
+                strongconnect(succ)
+                low[node] = min(low[node], low[succ])
+            elif succ in on_stack:
+                low[node] = min(low[node], index[succ])
+        if low[node] == index[node]:
+            component = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            if len(component) > 1:
+                cycles.append(sorted(component))
+
+    for node in sorted(adjacency):
+        if node not in index:
+            strongconnect(node)
+    return cycles
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+
+
+def graph_as_json(model: RepoModel) -> dict:
+    """JSON-serialisable lock-order graph (locks, edges, cycles)."""
+    edges = lock_edges(model)
+    seen_labels: dict[str, LockSite] = {}
+    for site in model.locks:
+        seen_labels.setdefault(site.label, site)
+    return {
+        "locks": [
+            {
+                "label": site.label,
+                "kind": site.kind,
+                "owner": site.owner,
+                "path": site.path,
+                "line": site.line,
+            }
+            for _, site in sorted(seen_labels.items())
+        ],
+        "edges": [
+            {
+                "from": edge.src,
+                "to": edge.dst,
+                "path": edge.path,
+                "line": edge.line,
+                "via": edge.via,
+            }
+            for _, edge in sorted(edges.items())
+        ],
+        "cycles": find_cycles(edges),
+    }
+
+
+def graph_as_dot(model: RepoModel) -> str:
+    """Graphviz DOT form of the lock-order graph."""
+    data = graph_as_json(model)
+    cyclic = {label for cycle in data["cycles"] for label in cycle}
+    lines = [
+        "digraph lock_order {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontname="monospace"];',
+    ]
+    for lock in data["locks"]:
+        color = ' color="red"' if lock["label"] in cyclic else ""
+        lines.append(
+            f'  "{lock["label"]}" [label="{lock["label"]}\\n({lock["kind"]})"{color}];'
+        )
+    for edge in data["edges"]:
+        attr = ' [color="red"]' if edge["from"] in cyclic and edge["to"] in cyclic else ""
+        lines.append(f'  "{edge["from"]}" -> "{edge["to"]}"{attr};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Entry points with caching
+# ----------------------------------------------------------------------
+
+_MODEL_CACHE: dict[tuple, RepoModel] = {}
+
+
+def build_model(files: Sequence[Path]) -> RepoModel:
+    """Parse and analyze the given files into a :class:`RepoModel`."""
+    stamp = tuple(
+        (str(path), path.stat().st_mtime_ns, path.stat().st_size)
+        for path in files
+    )
+    cached = _MODEL_CACHE.get(stamp)
+    if cached is not None:
+        return cached
+    model = RepoModel()
+    for path in files:
+        _scan_module(model, path)
+    # Method-name index and the class lock sites must exist before the
+    # function analysis runs: the name-fallback resolution reads the
+    # former, and the export lists every site from ``model.locks``.
+    for info in model.functions.values():
+        if info.cls is not None and info.parent is None:
+            model.methods_by_name.setdefault(info.name, []).append(info)
+    seen_classes: set[int] = set()
+    for group in model.classes.values():
+        for cls in group:
+            if id(cls) in seen_classes:
+                continue
+            seen_classes.add(id(cls))
+            if cls.module == "repro.concurrency":
+                # The tracked-lock wrappers' own inner primitives are
+                # instrumentation plumbing, not contract lock sites.
+                continue
+            model.locks.extend(cls.lock_attrs.values())
+    _analyze_all(model)
+    compute_may_acquire(model)
+    _MODEL_CACHE.clear()
+    _MODEL_CACHE[stamp] = model
+    return model
+
+
+def model_for_root(root: Path | None = None) -> RepoModel:
+    """The model over the repository's ``src/repro`` tree."""
+    return build_model(list(iter_source_files(root)))

@@ -125,13 +125,20 @@ class LintReport:
     violations: list[Violation] = field(default_factory=list)
     new: list[Violation] = field(default_factory=list)
     stale_baseline: list[str] = field(default_factory=list)
+    stale_suppressions: list[str] = field(default_factory=list)
     per_rule: dict[str, int] = field(default_factory=dict)
     files_checked: int = 0
 
     @property
     def failed(self) -> bool:
-        """Whether any violation is outside the baseline."""
-        return bool(self.new)
+        """New violations fail; so does stale debt.
+
+        A baseline entry that no longer fires, or an ``ignore=``
+        comment that no longer suppresses anything, is a ratchet that
+        must be tightened — leaving it in place silently re-opens the
+        door for the violation to return unnoticed.
+        """
+        return bool(self.new or self.stale_baseline or self.stale_suppressions)
 
 
 def load_baseline(path: Path | None = None) -> set[str]:
@@ -173,21 +180,47 @@ def run_rules(
     """
     report = LintReport()
     baseline = set(baseline or ())
+    run_set = set(file_rules) | set(project_rules)
     targets = list(files) if files is not None else list(iter_source_files(root))
+    modules: dict[str, ModuleInfo] = {}
+    used_suppressions: set[tuple[str, int, str]] = set()
     for path in targets:
         module = load_module(path)
+        modules[module.relpath] = module
         report.files_checked += 1
         for rule_name, rule in file_rules.items():
             for violation in rule(module):
                 if module.suppressed(violation.rule, violation.line):
+                    used_suppressions.add(
+                        (module.relpath, violation.line, violation.rule)
+                    )
                     continue
                 report.violations.append(violation)
     for rule_name, rule in project_rules.items():
-        report.violations.extend(rule(root or ROOT))
+        for violation in rule(root or ROOT):
+            module = modules.get(violation.path)
+            if module is not None and module.suppressed(
+                violation.rule, violation.line
+            ):
+                used_suppressions.add(
+                    (violation.path, violation.line, violation.rule)
+                )
+                continue
+            report.violations.append(violation)
     for violation in report.violations:
         report.per_rule[violation.rule] = report.per_rule.get(violation.rule, 0) + 1
         if violation.fingerprint() not in baseline:
             report.new.append(violation)
     fired = {v.fingerprint() for v in report.violations}
-    report.stale_baseline = sorted(baseline - fired)
+    # Staleness is judged only for rules that actually ran: a --rules
+    # subset must not report the other rules' debt as stale.
+    scoped = {e for e in baseline if e.split("|", 1)[0] in run_set}
+    report.stale_baseline = sorted(scoped - fired)
+    for relpath in sorted(modules):
+        for line, rules in sorted(modules[relpath].suppressions.items()):
+            for rule in sorted(rules):
+                if rule in run_set and (relpath, line, rule) not in used_suppressions:
+                    report.stale_suppressions.append(
+                        f"{relpath}:{line}: ignore={rule} suppresses nothing"
+                    )
     return report

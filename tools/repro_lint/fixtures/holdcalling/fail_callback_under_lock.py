@@ -1,0 +1,15 @@
+"""A user callback invoked while the notifier lock is held: re-entrancy."""
+# repro-lint-fixture-module: fixtures.holdcalling_callback
+
+import threading
+
+
+class Notifier:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._callbacks: list = []
+
+    def fire(self, payload: int) -> None:
+        with self._lock:
+            for callback in self._callbacks:
+                callback(payload)

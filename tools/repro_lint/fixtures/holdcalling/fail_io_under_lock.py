@@ -1,0 +1,14 @@
+"""Stream I/O under a held lock stalls every thread queued behind it."""
+# repro-lint-fixture-module: fixtures.holdcalling_io
+
+import threading
+
+
+class Logger:
+    def __init__(self, stream) -> None:
+        self._lock = threading.Lock()
+        self.stream = stream
+
+    def log(self, line: str) -> None:
+        with self._lock:
+            self.stream.write(line)

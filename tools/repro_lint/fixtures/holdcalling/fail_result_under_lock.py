@@ -1,0 +1,13 @@
+"""Blocking on a ticket while holding an unrelated lock: a convoy."""
+# repro-lint-fixture-module: fixtures.holdcalling_result
+
+import threading
+
+
+class Waiter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def collect(self, ticket) -> object:
+        with self._lock:
+            return ticket.result()

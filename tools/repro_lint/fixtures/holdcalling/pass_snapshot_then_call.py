@@ -1,0 +1,21 @@
+"""The discipline the rule wants: snapshot under the lock, act outside."""
+# repro-lint-fixture-module: fixtures.holdcalling_snapshot
+
+import threading
+from typing import Callable
+
+
+class Notifier:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._callbacks: list = []
+
+    def subscribe(self, callback: Callable[[int], None]) -> None:
+        with self._lock:
+            self._callbacks.append(callback)
+
+    def fire(self, payload: int) -> None:
+        with self._lock:
+            snapshot = list(self._callbacks)
+        for callback in snapshot:
+            callback(payload)

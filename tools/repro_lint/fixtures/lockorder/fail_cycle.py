@@ -1,0 +1,29 @@
+"""A._lock -> B._lock via forward(), B._lock -> A._lock via backward()."""
+# repro-lint-fixture-module: fixtures.lockorder_cycle
+
+import threading
+
+
+class A:
+    def __init__(self, other: "B | None" = None) -> None:
+        self._lock = threading.Lock()
+        self.other = other
+
+    def forward(self) -> None:
+        with self._lock:
+            if self.other is not None:
+                self.other.backward()
+
+    def leaf(self) -> int:
+        with self._lock:
+            return 1
+
+
+class B:
+    def __init__(self, other: A) -> None:
+        self._lock = threading.Lock()
+        self.other = other
+
+    def backward(self) -> int:
+        with self._lock:
+            return self.other.leaf()

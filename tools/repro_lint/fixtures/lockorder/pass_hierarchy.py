@@ -1,0 +1,25 @@
+"""Two lock sites acquired in one consistent order: no cycle."""
+# repro-lint-fixture-module: fixtures.lockorder_hierarchy
+
+import threading
+
+
+class Inner:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def poke(self) -> int:
+        with self._lock:
+            return self.value
+
+
+class Outer:
+    def __init__(self, inner: Inner) -> None:
+        self._lock = threading.Lock()
+        self.inner = inner
+
+    def poke(self) -> int:
+        # Outer._lock -> Inner._lock, and never the reverse.
+        with self._lock:
+            return self.inner.poke()

@@ -1,0 +1,6 @@
+"""A lambda worker is unpicklable under the spawn start method."""
+# repro-lint-fixture-module: fixtures.migration_pool_lambda
+
+
+def run(pool, chunks: list) -> list:
+    return pool.map(lambda chunk: len(chunk), chunks)

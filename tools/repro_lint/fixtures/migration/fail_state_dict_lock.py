@@ -1,0 +1,13 @@
+"""A lock in a checkpoint payload: lock state is process-local."""
+# repro-lint-fixture-module: fixtures.migration_state_dict_lock
+
+import threading
+
+
+class Engine:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.ticks = 0
+
+    def state_dict(self) -> dict:
+        return {"ticks": self.ticks, "lock": self._lock}

@@ -1,0 +1,14 @@
+"""A module-level pool worker pickles under every start method."""
+# repro-lint-fixture-module: fixtures.migration_pool_module_worker
+
+import multiprocessing
+
+
+def _worker(chunk: list) -> int:
+    return len(chunk)
+
+
+def run(chunks: list) -> list:
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=2) as pool:
+        return pool.map(_worker, chunks)

@@ -1,0 +1,16 @@
+"""A JSON-safe payload: scalars and derived values, never the substrate."""
+# repro-lint-fixture-module: fixtures.migration_state_dict_json
+
+
+class Engine:
+    def __init__(self, graph: "Graph") -> None:
+        self.graph = graph
+        self.ticks = 0
+        self.solution: list = []
+
+    def state_dict(self) -> dict:
+        return {
+            "ticks": self.ticks,
+            "n": self.graph.n,
+            "solution": [sorted(c) for c in self.solution],
+        }

@@ -9,6 +9,11 @@ one of the two dicts below plus a fixture pair under
 
 from __future__ import annotations
 
+from tools.repro_lint.concurrency import (
+    check_holdcalling,
+    check_lockorder,
+    check_migration,
+)
 from tools.repro_lint.rules.annotations import check_annotations
 from tools.repro_lint.rules.jsonsafety import check_jsonsafety
 from tools.repro_lint.rules.layering import check_layering
@@ -25,9 +30,13 @@ FILE_RULES = {
     "annotations": check_annotations,
 }
 
-#: Rules running once per repository (runtime introspection).
+#: Rules running once per repository (runtime introspection or
+#: whole-repo interprocedural analysis).
 PROJECT_RULES = {
     "registry": check_registry,
+    "lockorder": check_lockorder,
+    "holdcalling": check_holdcalling,
+    "migration": check_migration,
 }
 
 ALL_RULES = tuple(FILE_RULES) + tuple(PROJECT_RULES)

@@ -35,6 +35,7 @@ RULE = "layering"
 LAYERS: dict[str, int] = {
     "errors": 0,
     "jsonsafe": 0,
+    "concurrency": 0,  # lock factories; importable from anywhere
     "graph": 10,
     "cliques": 20,
     "hypergraph": 20,

@@ -35,7 +35,10 @@ from tools.repro_lint.core import ModuleInfo, Violation
 
 RULE = "locking"
 
-_LOCK_FACTORIES = {"Lock", "RLock"}
+#: ``threading`` primitives plus the labelled factories from
+#: ``repro.concurrency`` (and ``Condition``, whose wrapped lock guards
+#: state the same way a bare lock does).
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "make_lock", "make_rlock"}
 
 
 @dataclass
