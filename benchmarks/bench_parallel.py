@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""Process-tier benchmark: parallel solves vs sequential, pool fan-out.
+
+Drives the :mod:`repro.parallel` shared-memory tier and records three
+cells to a JSON artifact. Every parallel solve is asserted equal to its
+sequential twin before any clock is read — the tier's contract is
+*identical solutions for any worker count*, so a speedup that changed
+the answer would be meaningless.
+
+**Cell 1 — parallel HeapInit (``lp``, 1 vs N workers).** The same
+``lightweight`` solve on a mid-size powerlaw graph, once sequential and
+once fanned out over ``--workers`` processes attaching to the shared
+oriented-CSR substrate. Solutions *and* stats must match bit for bit.
+
+**Cell 2 — branch-and-bound subtree fan-out (``opt-bb``).**
+``exact_optimum_bb`` vs :func:`repro.parallel.parallel_exact_bb` on a
+small dense G(n, p) instance (B&B cost grows exponentially with n, so
+the graph is deliberately tiny). Solutions must be identical including
+clique order; node counts differ by incumbent-broadcast timing and are
+recorded, not pinned.
+
+**Cell 3 — pool solve throughput.** A batch of whole solves submitted
+through :meth:`repro.parallel.pool.ProcessSolvePool.submit_solve`
+(workers re-solve against a session rebuilt zero-copy on the shared
+graph CSR) vs the same batch run inline on one warm session.
+
+Honest-numbers note: this box reports ``os.cpu_count()`` in the config
+block. On a single core the process tier cannot beat a warm sequential
+loop — the value measured there is isolation and checkpoint
+portability, not wall-clock — so ``--min-scaling`` defaults to 0.0 and
+the speedup columns are recorded as observed, never synthesised.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --out BENCH_parallel.json
+
+This file is a standalone script (not collected by pytest); the CI
+bench-smoke job runs it at reduced scale and uploads the artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.exact_bb import exact_optimum_bb  # noqa: E402
+from repro.core.lightweight import lightweight  # noqa: E402
+from repro.core.session import Session  # noqa: E402
+from repro.graph.generators import erdos_renyi_gnp, powerlaw_cluster  # noqa: E402
+from repro.parallel import parallel_exact_bb  # noqa: E402
+from repro.parallel.context import resolve_context  # noqa: E402
+from repro.parallel.pool import ProcessSolvePool  # noqa: E402
+
+
+def best_of(fn, repeats: int) -> tuple[float, object]:
+    """Minimum wall-clock over ``repeats`` calls, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def assert_same_solution(label: str, expected, actual) -> None:
+    """Hard-fail the bench if a parallel solve diverged from sequential."""
+    if expected != actual:
+        raise AssertionError(
+            f"{label}: parallel solution diverged from sequential\n"
+            f"  sequential: {expected}\n"
+            f"  parallel:   {actual}"
+        )
+
+
+def bench_heapinit(args) -> dict:
+    """Cell 1: lightweight lp, workers=1 vs workers=N, equality-pinned."""
+    graph = powerlaw_cluster(args.nodes, args.attach, args.triangle_p,
+                             seed=args.seed)
+    t_seq, seq = best_of(lambda: lightweight(graph, args.k, workers=1),
+                         args.repeats)
+    t_par, par = best_of(
+        lambda: lightweight(graph, args.k, workers=args.workers,
+                            start_method=args.start_method),
+        args.repeats,
+    )
+    assert_same_solution("heapinit solutions",
+                         seq.sorted_cliques(), par.sorted_cliques())
+    assert_same_solution("heapinit stats", seq.stats, par.stats)
+    return {
+        "graph": {"n": graph.n, "m": graph.m},
+        "k": args.k,
+        "solution_size": len(seq.cliques),
+        "sequential_s": t_seq,
+        "parallel_s": t_par,
+        "workers": args.workers,
+        "speedup_x": t_seq / t_par if t_par else 0.0,
+        "stats_pinned": True,
+    }
+
+
+def bench_exact_bb(args) -> dict:
+    """Cell 2: opt-bb drive-to-completion vs subtree fan-out."""
+    graph = erdos_renyi_gnp(args.bb_nodes, args.bb_p, seed=args.seed + 1)
+    t_seq, seq = best_of(lambda: exact_optimum_bb(graph, args.k),
+                         args.repeats)
+    t_par, par = best_of(
+        lambda: parallel_exact_bb(graph, args.k, workers=args.workers,
+                                  start_method=args.start_method),
+        args.repeats,
+    )
+    # Bit-identical including order; nodes_expanded is timing-dependent.
+    assert_same_solution("opt-bb solutions",
+                         [sorted(c) for c in seq.cliques],
+                         [sorted(c) for c in par.cliques])
+    return {
+        "graph": {"n": graph.n, "m": graph.m},
+        "k": args.k,
+        "solution_size": len(seq.cliques),
+        "sequential_s": t_seq,
+        "parallel_s": t_par,
+        "workers": args.workers,
+        "speedup_x": t_seq / t_par if t_par else 0.0,
+        "sequential_nodes_expanded": seq.stats.get("nodes_expanded"),
+        "parallel_nodes_expanded": par.stats.get("nodes_expanded"),
+        "subtree_tasks": par.stats.get("subtree_tasks"),
+        "incumbent_broadcasts": par.stats.get("incumbent_broadcasts"),
+    }
+
+
+def bench_pool_throughput(args) -> dict:
+    """Cell 3: whole-solve fan-out through ProcessSolvePool.submit_solve."""
+    graph = powerlaw_cluster(args.nodes, args.attach, args.triangle_p,
+                             seed=args.seed + 2)
+    requests = [(k, method)
+                for _ in range(args.batch_rounds)
+                for k in (args.k, args.k + 1)
+                for method in ("lp", "gc")]
+
+    session = Session(graph)
+    session.warm([args.k, args.k + 1])  # both configs get warm substrates
+    start = time.perf_counter()
+    inline = [session.solve(k, method) for k, method in requests]
+    t_inline = time.perf_counter() - start
+
+    with ProcessSolvePool(session, workers=args.workers,
+                          start_method=args.start_method) as pool:
+        pool.submit_solve(args.k, "lp").result()  # spin-up off the clock
+        start = time.perf_counter()
+        futures = [pool.submit_solve(k, method) for k, method in requests]
+        payloads = [future.result() for future in futures]
+        t_pool = time.perf_counter() - start
+
+    for (k, method), direct, payload in zip(requests, inline, payloads):
+        assert_same_solution(
+            f"pool solve k={k} method={method}",
+            [sorted(clique) for clique in direct.cliques],
+            payload["cliques"],
+        )
+    return {
+        "graph": {"n": graph.n, "m": graph.m},
+        "requests": len(requests),
+        "inline_s": t_inline,
+        "pool_s": t_pool,
+        "inline_requests_per_sec": len(requests) / t_inline if t_inline else 0.0,
+        "pool_requests_per_sec": len(requests) / t_pool if t_pool else 0.0,
+        "workers": args.workers,
+        "throughput_x": t_inline / t_pool if t_pool else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=6000,
+                        help="cell-1/3 powerlaw graph size")
+    parser.add_argument("--attach", type=int, default=6)
+    parser.add_argument("--triangle-p", type=float, default=0.6)
+    parser.add_argument("--k", type=int, default=3,
+                        help="clique size (cell 3 also runs k+1)")
+    parser.add_argument("--bb-nodes", type=int, default=40,
+                        help="cell-2 G(n, p) size (B&B is exponential)")
+    parser.add_argument("--bb-p", type=float, default=0.3)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="parallel configuration for every cell")
+    parser.add_argument("--batch-rounds", type=int, default=3,
+                        help="cell-3 repetitions of the 4-request mix")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats (best-of)")
+    parser.add_argument("--start-method", default="auto",
+                        choices=("auto", "fork", "spawn", "forkserver"))
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--min-scaling", type=float, default=0.0,
+                        help="fail below this speedup on every cell "
+                             "(0.0 = equality-check only; single-core "
+                             "boxes cannot beat a warm sequential loop)")
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    args = parser.parse_args(argv)
+
+    start_method = resolve_context(args.start_method).get_start_method()
+    print(f"cpus={os.cpu_count()} start_method={start_method} "
+          f"workers={args.workers}")
+
+    print(f"cell 1: lp heapinit, n={args.nodes} k={args.k}, "
+          f"1 vs {args.workers} workers")
+    heapinit_cell = bench_heapinit(args)
+    print(f"  sequential {heapinit_cell['sequential_s']:.3f}s  "
+          f"parallel {heapinit_cell['parallel_s']:.3f}s  "
+          f"speedup x{heapinit_cell['speedup_x']:.2f}  "
+          f"(solutions + stats pinned)")
+
+    print(f"cell 2: opt-bb, G({args.bb_nodes}, {args.bb_p}) k={args.k}")
+    bb_cell = bench_exact_bb(args)
+    print(f"  sequential {bb_cell['sequential_s']:.3f}s  "
+          f"parallel {bb_cell['parallel_s']:.3f}s  "
+          f"speedup x{bb_cell['speedup_x']:.2f}  "
+          f"tasks={bb_cell['subtree_tasks']}")
+
+    print(f"cell 3: pool fan-out, {4 * args.batch_rounds} solves")
+    pool_cell = bench_pool_throughput(args)
+    print(f"  inline {pool_cell['inline_requests_per_sec']:.2f} req/s  "
+          f"pool {pool_cell['pool_requests_per_sec']:.2f} req/s  "
+          f"scaling x{pool_cell['throughput_x']:.2f}")
+
+    payload = {
+        "bench": "parallel",
+        "config": {
+            "nodes": args.nodes,
+            "attach": args.attach,
+            "triangle_p": args.triangle_p,
+            "k": args.k,
+            "bb_nodes": args.bb_nodes,
+            "bb_p": args.bb_p,
+            "workers": args.workers,
+            "batch_rounds": args.batch_rounds,
+            "repeats": args.repeats,
+            "seed": args.seed,
+            "start_method": start_method,
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "heapinit": heapinit_cell,
+        "exact_bb": bb_cell,
+        "pool_throughput": pool_cell,
+        "headline": {
+            "heapinit_speedup_x": heapinit_cell["speedup_x"],
+            "exact_bb_speedup_x": bb_cell["speedup_x"],
+            "pool_throughput_x": pool_cell["throughput_x"],
+            "solutions_pinned": "all cells asserted equal to sequential",
+        },
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+    print(f"wrote {args.out}")
+
+    failures = []
+    for name, cell, key in (("heapinit", heapinit_cell, "speedup_x"),
+                            ("opt-bb", bb_cell, "speedup_x"),
+                            ("pool", pool_cell, "throughput_x")):
+        if cell[key] < args.min_scaling:
+            failures.append(f"{name} x{cell[key]:.2f} < x{args.min_scaling}")
+    if failures:
+        print("FAILED: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,14 +24,13 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as _queue
 import time
 import tracemalloc
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # imported for annotations only
-    import queue as _queue
-
     from repro.core.session import Session
 
 from repro.errors import OutOfMemoryError, OutOfTimeError
@@ -42,6 +41,11 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 OOT = "OOT"
 OOM = "OOM"
+
+#: How long the parent waits for a finished child's status report to
+#: flush through the queue's feeder thread before declaring OOM. The
+#: child has already exited; this only covers pipe latency.
+_QUEUE_FLUSH_TIMEOUT = 5.0
 
 
 @dataclass
@@ -142,7 +146,23 @@ def run_solve_cell(
     )
 
 
-def _subprocess_target(fn: Callable[[], Any], queue: "_queue.Queue") -> None:  # pragma: no cover - child process
+def _drain_queue(queue: "multiprocessing.Queue") -> None:
+    """Discard pending items and close a queue after a child kill.
+
+    A terminated child may leave partial traffic in the pipe; draining
+    then closing (with ``cancel_join_thread`` so the parent never blocks
+    on the feeder) lets the queue's resources go away promptly.
+    """
+    try:
+        while True:
+            queue.get_nowait()
+    except (_queue.Empty, OSError, EOFError):
+        pass
+    queue.close()
+    queue.cancel_join_thread()
+
+
+def _subprocess_target(fn: Callable[[], Any], queue: "multiprocessing.Queue") -> None:  # pragma: no cover - child process
     try:
         queue.put(("ok", fn()))
     except OutOfTimeError:
@@ -180,13 +200,20 @@ def run_cell_subprocess(fn: Callable[[], Any], time_budget: float) -> CellOutcom
     if proc.is_alive():
         proc.terminate()
         proc.join()
+        _drain_queue(queue)
         outcome.marker = OOT
         return outcome
-    if queue.empty():
-        # Child died without reporting (typically the OOM killer).
+    try:
+        # The child's put() returns before its feeder thread has flushed
+        # the pipe, so right after join() the parent's queue can still
+        # *look* empty for a fast, successful child. Block briefly for
+        # the report instead of misreading that race as an OOM kill.
+        status, payload = queue.get(timeout=_QUEUE_FLUSH_TIMEOUT)
+    except _queue.Empty:
+        # Child exited without managing to report (typically the OOM
+        # killer tearing it down before the feeder flushed).
         outcome.marker = OOM
         return outcome
-    status, payload = queue.get()
     if status == "ok":
         outcome.value = payload
     elif status == "oot":

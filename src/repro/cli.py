@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 if TYPE_CHECKING:  # imported for annotations only
     from repro.core.result import CliqueSetResult
+    from repro.core.session import Session
     from repro.core.task import SolveTask
 
 from repro.graph import datasets
@@ -113,10 +114,46 @@ def _write_solution(
         )
 
 
+def _run_solve(session: "Session", args: argparse.Namespace) -> "CliqueSetResult":
+    """One whole solve honouring ``--workers`` / ``--parallel``.
+
+    ``--parallel process`` routes through a short-lived
+    :class:`repro.parallel.pool.ProcessSolvePool` (methods with a
+    process decomposition: ``l``/``lp``/``opt-bb``); ``--workers N``
+    alone parallelises the ``l``/``lp`` HeapInit phase in-engine.
+    Either way the solution is identical to the sequential run.
+    """
+    from repro.errors import InvalidParameterError
+
+    try:
+        if args.parallel == "process":
+            from repro.parallel import ProcessSolvePool
+
+            with ProcessSolvePool(session, workers=max(1, args.workers)) as pool:
+                return pool.solve(args.k, args.method)
+        if args.workers != 1:
+            if args.method not in ("l", "lp"):
+                raise SystemExit(
+                    f"error: --workers applies to methods l/lp (got "
+                    f"{args.method!r}); use --parallel process for opt-bb"
+                )
+            return session.solve(args.k, method=args.method, workers=args.workers)
+        return session.solve(args.k, method=args.method)
+    except InvalidParameterError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def cmd_solve(args: argparse.Namespace) -> int:
     import json
     import signal
 
+    if args.anytime and args.parallel != "none":
+        raise SystemExit(
+            "error: --anytime drives the solve locally; drop --parallel "
+            "(checkpointed process execution is the serve scheduler's job)"
+        )
+    if args.workers < 0:
+        raise SystemExit("error: --workers must be >= 0 (0 = CPU count)")
     graph = _load_graph(args)
     start = time.perf_counter()
     from repro.core.session import Session
@@ -155,7 +192,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
         result = task.best()
         bound = task.bound()
     else:
-        result = session.solve(args.k, method=args.method)
+        result = _run_solve(session, args)
     elapsed = time.perf_counter() - start
 
     if args.json or args.anytime:
@@ -342,6 +379,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print a machine-readable JSON summary instead of prose",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (0 = CPU count); >1 parallelises the "
+        "l/lp HeapInit phase without changing the solution",
+    )
+    p.add_argument(
+        "--parallel",
+        default="none",
+        choices=("none", "process"),
+        help="process-parallel execution tier: 'process' runs the solve "
+        "over shared-memory CSR worker processes (methods l/lp/opt-bb)",
     )
     p.set_defaults(fn=cmd_solve)
 

@@ -31,17 +31,19 @@ Two ``FindMin`` engines implement the walk (pick with ``backend=``):
 
 Both engines visit candidates in the same (ascending) order, so the
 solution *and* the ``findmin_calls``/``branches_pruned`` counters are
-identical across backends and worker counts. Parallel HeapInit workers
-return their own stats, which are merged into the caller's — the L/LP
-ablation counters therefore match sequential runs for any ``workers``.
-On platforms without the ``"fork"`` start method the parallel path
-falls back to sequential HeapInit (same result, no crash).
+identical across backends and worker counts. With ``workers > 1`` the
+HeapInit phase fans out through the process tier
+(:func:`repro.parallel.heapinit.parallel_heap_init`): workers attach
+zero-copy to the oriented-CSR arrays via shared memory and run
+:class:`_FindMinCSR` per root chunk, under any start method (``fork``,
+``spawn`` or ``forkserver`` — no inherited globals). Worker stats are
+merged into the caller's, so the L/LP ablation counters match
+sequential runs for any ``workers``.
 """
 
 from __future__ import annotations
 
 import heapq
-import multiprocessing
 import os
 from typing import Iterable
 
@@ -277,66 +279,6 @@ class _FindMinCSR:
                 best_score = self.best_key[0]
 
 
-# Copy-on-write state for forked HeapInit workers (Linux fork start
-# method: children inherit this without pickling the graph).
-_PARALLEL_STATE: dict | None = None
-
-
-def _heapinit_worker(
-    chunk: list[int],
-) -> tuple[
-    list[tuple[CliqueKey, int, tuple[int, ...]]], dict[str, float]
-]:  # pragma: no cover - child process
-    state = _PARALLEL_STATE
-    stats = {"findmin_calls": 0.0, "branches_pruned": 0.0}
-    if state["backend"] == "csr":
-        finder = _FindMinCSR(
-            state["ocsr"], state["scores"], state["prune"], stats, state["valid"]
-        )
-    else:
-        finder = _FindMin(state["out"], state["scores"], state["prune"], stats)
-    k = state["k"]
-    found = []
-    for u in chunk:
-        if finder.live_out_degree(u) >= k - 1:
-            hit = finder.search(u, k)
-            if hit is not None:
-                found.append((hit[0], u, hit[1]))
-    return found, stats
-
-
-def _parallel_heap_init(
-    state: dict, n: int, workers: int, stats: dict[str, float]
-) -> list[tuple[CliqueKey, int, tuple[int, ...]]]:
-    """HeapInit across forked workers (Algorithm 3 line 11, 'in parallel').
-
-    Per-root local minima are independent, so the merged heap contents —
-    and therefore the final solution — are identical to the sequential
-    path; only wall-clock changes. Each worker returns ``(found,
-    stats)`` and the per-worker ``findmin_calls``/``branches_pruned``
-    counters are summed into ``stats``, keeping ablation numbers
-    worker-count-invariant.
-    """
-    global _PARALLEL_STATE
-    workers = min(workers, n)
-    chunk_size = max(1, n // (workers * 4))
-    chunks = [list(range(i, min(i + chunk_size, n))) for i in range(0, n, chunk_size)]
-    _PARALLEL_STATE = state
-    try:
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(processes=workers) as pool:
-            parts = pool.map(_heapinit_worker, chunks)
-    finally:
-        _PARALLEL_STATE = None
-    heap: list[tuple[CliqueKey, int, tuple[int, ...]]] = []
-    for found, worker_stats in parts:
-        heap.extend(found)
-        stats["findmin_calls"] += worker_stats["findmin_calls"]
-        stats["branches_pruned"] += worker_stats["branches_pruned"]
-    stats["heap_pushes"] += len(heap)
-    return heap
-
-
 class LightweightEngine:
     """Resumable step machine for Algorithm 3 (one FindMin per tick).
 
@@ -367,6 +309,7 @@ class LightweightEngine:
         backend: str = "auto",
         warm_start: Iterable[Iterable[int]] | None = None,
         oriented: OrientedGraph | None = None,
+        start_method: str = "auto",
     ) -> None:
         if k < 2:
             raise InvalidParameterError(f"k must be >= 2, got {k}")
@@ -414,17 +357,18 @@ class LightweightEngine:
             self.finder = _FindMin(
                 out, scores, prune, self.stats, graph, [True] * graph.n
             )
-            state["out"] = out
+            # ``dag`` kept for the parallel path: HeapInit workers always
+            # run the CSR walk (same candidates, same counters), so a
+            # sets-backend engine lazily derives oriented-CSR arrays from
+            # it when (and only when) the fan-out actually happens.
+            state.update(out=out, dag=dag)
         self._pstate = state
 
         if workers == 0:
             workers = os.cpu_count() or 1
         self.workers = workers
-        use_parallel = (
-            workers > 1
-            and graph.n > workers
-            and "fork" in multiprocessing.get_all_start_methods()
-        )
+        self.start_method = start_method
+        use_parallel = workers > 1 and graph.n > workers
         self.phase = "init-parallel" if use_parallel else "init"
         if self.phase == "init" and graph.n == 0:
             self.phase = "done"  # nothing to scan; the heap stays empty
@@ -455,10 +399,27 @@ class LightweightEngine:
     def tick(self) -> None:
         """Advance one work unit (a HeapInit root or a main-loop pop)."""
         if self.phase == "init-parallel":
-            # Forked workers return only merged results, so the whole
-            # parallel HeapInit is one coarse (non-interruptible) tick.
-            self.heap = _parallel_heap_init(
-                self._pstate, self.graph.n, self.workers, self.stats
+            # Workers return only merged results, so the whole parallel
+            # HeapInit is one coarse (non-interruptible) tick. Deferred
+            # import: repro.parallel sits above core in the layer DAG.
+            from repro.parallel.heapinit import parallel_heap_init
+
+            state = self._pstate
+            ocsr = state["ocsr"] if "ocsr" in state else state["dag"].csr()
+            finder = self.finder
+            if isinstance(finder, _FindMinCSR):
+                valid = finder.valid
+            else:
+                valid = np.asarray(finder.valid, dtype=bool)
+            self.heap = parallel_heap_init(
+                ocsr=ocsr,
+                scores=state["scores"],
+                valid=valid,
+                k=self.k,
+                prune=self.prune,
+                workers=self.workers,
+                stats=self.stats,
+                start_method=self.start_method,
             )
             heapq.heapify(self.heap)
             self.phase = "drain" if self.heap else "done"
@@ -569,9 +530,9 @@ class LightweightEngine:
         heapq.heapify(self.heap)
         phase = state["phase"]
         if phase == "init-parallel" and self.phase != "init-parallel":
-            # Checkpoint taken on a fork-capable platform, restored on a
-            # spawn-only one (or with fewer cores configured): fall back
-            # to sequential HeapInit — same heap, same stats, no crash.
+            # Checkpoint taken with workers > 1, restored onto an engine
+            # configured sequentially (fewer cores, workers=1 options):
+            # fall back to sequential HeapInit — same heap, same stats.
             phase = "init"
         self.phase = phase
         self.next_root = int(state["next_root"])
@@ -590,6 +551,7 @@ def lightweight(
     scores: np.ndarray | None = None,
     backend: str = "auto",
     oriented: OrientedGraph | None = None,
+    start_method: str = "auto",
 ) -> CliqueSetResult:
     """Compute a disjoint k-clique set with Algorithm 3.
 
@@ -607,10 +569,10 @@ def lightweight(
     workers:
         Processes for the HeapInit phase (the paper runs it in
         parallel). ``1`` is sequential; ``0`` uses the CPU count.
-        Results and stats are identical for any worker count. On
-        platforms without the ``"fork"`` start method (e.g. Windows,
-        macOS spawn-only configurations) HeapInit silently runs
-        sequentially instead of crashing.
+        Results and stats are identical for any worker count. The
+        fan-out goes through the shared-memory process tier
+        (:mod:`repro.parallel`), which is portable across the
+        ``fork``, ``spawn`` and ``forkserver`` start methods.
     scores:
         Precomputed node scores for ``k`` (e.g. from a session cache);
         skips the counting pass and makes ``listing_order`` irrelevant.
@@ -627,6 +589,11 @@ def lightweight(
         the same ``scores`` (e.g. from
         :meth:`repro.core.session.Preprocessing.score_oriented`); skips
         the per-call orientation build. Only read, never mutated.
+    start_method:
+        Start method for the HeapInit worker processes (``"auto"``
+        prefers ``fork``; see
+        :func:`repro.parallel.context.resolve_context`). Irrelevant to
+        the solution.
 
     Returns
     -------
@@ -646,6 +613,7 @@ def lightweight(
         scores=scores,
         backend=backend,
         oriented=oriented,
+        start_method=start_method,
     )
     while not engine.finished:
         engine.tick()

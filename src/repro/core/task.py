@@ -119,6 +119,21 @@ class TaskSnapshot:
     bound: int
     done: bool
 
+    def as_dict(self) -> dict:
+        """JSON-safe dict form (what the process lane streams back).
+
+        Plain builtins only, so snapshots survive pickling across the
+        worker boundary and ``json.dumps`` in the serving layer without
+        further sanitising.
+        """
+        return {
+            "state": self.state,
+            "work": int(self.work),
+            "size": int(self.size),
+            "bound": int(self.bound),
+            "done": bool(self.done),
+        }
+
 
 def normalize_warm_start(
     warm_start: "CliqueSetResult | Iterable[Iterable[int]] | None",

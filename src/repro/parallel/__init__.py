@@ -1,0 +1,49 @@
+"""Process-parallel execution tier over shared-memory CSR substrates.
+
+The paper's heavy phases (HeapInit, branch-and-bound search) are
+embarrassingly parallel per root, but Python threads only buy
+concurrency, not compute. This package provides the process tier:
+solve engines run in worker *processes* that attach **zero-copy** to
+the session's flat int64 CSR arrays through
+:mod:`multiprocessing.shared_memory`.
+
+Modules
+-------
+:mod:`repro.parallel.shared_csr`
+    :class:`~repro.parallel.shared_csr.SharedCSR` — named numpy arrays
+    packed into one shared-memory segment with an explicit
+    create/attach/close/unlink lifecycle and resource-tracker hygiene.
+:mod:`repro.parallel.heapinit`
+    Fork/spawn-portable parallel HeapInit for the lightweight engine
+    (replaces the PR 2 fork-only ``multiprocessing.Pool`` path).
+:mod:`repro.parallel.bb`
+    Shared-incumbent parallel branch-and-bound: subtree tasks with a
+    :class:`multiprocessing.Value` best-size broadcast and dynamic
+    (work-stealing) task distribution.
+:mod:`repro.parallel.worker`
+    Module-level worker entry points (picklable under ``spawn``) plus
+    the per-process attachment/session caches.
+:mod:`repro.parallel.pool`
+    :class:`~repro.parallel.pool.ProcessSolvePool` — a persistent
+    worker pool for whole-solve offload and the scheduler's process
+    lane (checkpoint ping-pong with crash recovery), plus
+    :class:`~repro.parallel.pool.ProcessLaneTask`, the
+    scheduler-compatible runner.
+
+Every parallel path pins its solution identical to the sequential
+path; the lightweight tier additionally pins stats (see
+``tests/test_parallel_tier.py``).
+"""
+
+from repro.parallel.shared_csr import SharedCSR
+from repro.parallel.heapinit import parallel_heap_init
+from repro.parallel.bb import parallel_exact_bb
+from repro.parallel.pool import ProcessLaneTask, ProcessSolvePool
+
+__all__ = [
+    "SharedCSR",
+    "parallel_heap_init",
+    "parallel_exact_bb",
+    "ProcessLaneTask",
+    "ProcessSolvePool",
+]

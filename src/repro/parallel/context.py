@@ -1,0 +1,46 @@
+"""Start-method selection for the process tier.
+
+Every fan-out in :mod:`repro.parallel` accepts a ``start_method``
+argument resolved here. The tier itself is start-method-portable —
+substrates travel via shared memory and worker entry points are
+module-level — so the choice is purely a cost matrix:
+
+=============  =====================================================
+``"fork"``     Cheapest startup (no interpreter re-exec, parent pages
+               inherited copy-on-write). Default where available
+               (Linux). Unsafe only for threaded parents, which the
+               tier avoids by forking before scheduler threads run
+               hot loops.
+``"spawn"``    Fresh interpreter per worker; slowest startup but the
+               portability floor (Windows, macOS default) and the
+               configuration the spawn-portability tests pin.
+``"forkserver"``  Middle ground where configured.
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing.context import BaseContext
+
+from repro.errors import InvalidParameterError
+
+
+def resolve_context(start_method: str = "auto") -> BaseContext:
+    """Resolve a start-method name to a multiprocessing context.
+
+    ``"auto"`` prefers ``fork`` and falls back to the platform default
+    (``spawn`` on Windows/macOS). Explicit names are validated against
+    :func:`multiprocessing.get_all_start_methods` so a typo fails fast
+    instead of raising deep inside pool startup.
+    """
+    available = multiprocessing.get_all_start_methods()
+    if start_method == "auto":
+        chosen = "fork" if "fork" in available else available[0]
+        return multiprocessing.get_context(chosen)
+    if start_method not in available:
+        raise InvalidParameterError(
+            f"start_method must be 'auto' or one of {available}, "
+            f"got {start_method!r}"
+        )
+    return multiprocessing.get_context(start_method)

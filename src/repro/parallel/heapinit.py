@@ -1,0 +1,123 @@
+"""Fork/spawn-portable parallel HeapInit over shared CSR arrays.
+
+Algorithm 3 line 11 runs HeapInit "in parallel": per-root local minima
+are independent, so root spans fan out to worker processes and the
+merged heap contents — and therefore the final solution — are
+identical to the sequential path. This module replaces the PR 2
+implementation (a fork-only ``multiprocessing.Pool`` feeding workers
+through a copy-on-write module global) with the shared-memory tier:
+the oriented-CSR arrays, scores and validity mask are packed into one
+:class:`~repro.parallel.shared_csr.SharedCSR` segment, and workers
+attach zero-copy under **any** start method.
+
+Stats contract: each worker returns its span's ``findmin_calls`` /
+``branches_pruned`` counters, which are summed into the caller's stats
+dict — the L/LP ablation counters are worker-count-invariant, pinned
+by ``tests/test_parallel_tier.py``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.graph.dag import OrientedCSR
+from repro.core.scores import CliqueKey
+from repro.parallel import worker
+from repro.parallel.context import resolve_context
+from repro.parallel.shared_csr import SharedCSR
+
+#: Minimum roots per chunk: below this the per-task IPC overhead
+#: dwarfs the FindMin work, and degenerate inputs (``n < workers*4``)
+#: used to explode into pathological 1-node chunks.
+MIN_CHUNK = 4
+
+
+def chunk_spans(n: int, workers: int, min_chunk: int = MIN_CHUNK) -> list[tuple[int, int]]:
+    """Split roots ``0..n-1`` into contiguous ``(start, stop)`` spans.
+
+    Targets about four spans per worker (cheap dynamic load balancing)
+    while keeping every span at least ``min_chunk`` roots, and returns
+    no spans at all for an empty residual graph — the two degenerate
+    regimes that crashed or thrashed the pre-tier implementation
+    (``Pool(processes=0)`` on ``n == 0``; 1-node chunks whenever
+    ``n < workers * 4``).
+    """
+    if n <= 0:
+        return []
+    workers = max(1, workers)
+    size = max(min_chunk, -(-n // (workers * 4)))
+    return [(start, min(start + size, n)) for start in range(0, n, size)]
+
+
+def parallel_heap_init(
+    *,
+    ocsr: OrientedCSR,
+    scores: np.ndarray,
+    valid: np.ndarray,
+    k: int,
+    prune: bool,
+    workers: int,
+    stats: dict[str, float],
+    start_method: str = "auto",
+) -> list[tuple[CliqueKey, int, tuple[int, ...]]]:
+    """HeapInit across worker processes; returns the unheapified entries.
+
+    Packs ``(ocsr, scores, valid)`` into a fresh shared segment, fans
+    root spans out over a short-lived executor, merges the returned
+    entries and folds every worker's counters into ``stats``. The
+    segment is closed and unlinked before returning — worker
+    attachments die with the executor.
+
+    Degenerate inputs run inline (no processes): an empty residual
+    graph returns ``[]``, and fewer spans than two make a pool
+    pointless. Results and stats are identical either way.
+    """
+    n = int(len(valid))
+    spans = chunk_spans(n, workers)
+
+    def merge(
+        parts: list[tuple[list[tuple[CliqueKey, int, tuple[int, ...]]], dict[str, float]]],
+    ) -> list[tuple[CliqueKey, int, tuple[int, ...]]]:
+        heap: list[tuple[CliqueKey, int, tuple[int, ...]]] = []
+        for found, span_stats in parts:
+            heap.extend(found)
+            stats["findmin_calls"] += span_stats["findmin_calls"]
+            stats["branches_pruned"] += span_stats["branches_pruned"]
+        stats["heap_pushes"] += len(heap)
+        return heap
+
+    if not spans:
+        return merge([])
+    workers = min(max(1, workers), len(spans))
+    if workers <= 1:
+        return merge(
+            [
+                worker.run_heapinit_span(ocsr, scores, valid, k, prune, a, b)
+                for a, b in spans
+            ]
+        )
+    ctx = resolve_context(start_method)
+    handle = SharedCSR.create(
+        {
+            "indptr": ocsr.indptr,
+            "cols": ocsr.cols,
+            "rank": ocsr.rank,
+            "scores": scores,
+            "valid": valid,
+        }
+    )
+    try:
+        descriptor = handle.descriptor()
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=ctx,
+            initializer=worker.init_heapinit,
+            initargs=(descriptor, k, prune),
+        ) as pool:
+            parts = list(pool.map(worker.heapinit_span, spans))
+    finally:
+        handle.close()
+        handle.unlink()
+    return merge(parts)

@@ -1,0 +1,361 @@
+"""Persistent process pool for whole solves and the scheduler lane.
+
+:class:`ProcessSolvePool` is the long-lived face of the tier: it owns
+one :class:`~repro.parallel.shared_csr.SharedCSR` segment holding the
+session graph's CSR arrays plus one ``ProcessPoolExecutor`` whose
+workers attach zero-copy at initializer time and rebuild an equal-
+fingerprint :class:`~repro.core.session.Session` on first use. On top
+of that substrate it offers three services:
+
+* :meth:`ProcessSolvePool.solve` / :meth:`~ProcessSolvePool.submit_solve`
+  — whole solves, either routed through the engine-native fan-outs
+  (``l``/``lp`` HeapInit, ``opt-bb`` shared-incumbent B&B) or shipped
+  to a pool worker as a one-shot payload;
+* :meth:`ProcessSolvePool.step_task` / :meth:`~ProcessSolvePool.run_task`
+  — the checkpoint ping-pong: a paused
+  :meth:`~repro.core.task.SolveTask.checkpoint` is the migration
+  primitive, stepped remotely one quantum at a time with
+  :class:`~repro.core.task.TaskSnapshot` streams coming back;
+* :class:`ProcessLaneTask` — a :class:`~repro.serve.scheduler.Resumable`
+  adapter so the serve scheduler can drive a remote solve in its
+  priority loop (``Scheduler.submit_process``).
+
+Fault tolerance: the parent always holds the latest checkpoint, so a
+dead worker (``BrokenProcessPool``) costs one executor rebuild and one
+re-dispatch of the same checkpoint — the final solution is unchanged,
+and ``stats["worker_restarts"]`` records the recovery.
+
+Lock hierarchy: ``ProcessSolvePool._lock`` is a leaf — the pool
+computes the graph's CSR (which takes ``Graph._lock``) *before*
+acquiring it, and never calls out while holding it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Mapping
+
+from repro.concurrency import make_lock
+from repro.errors import InvalidParameterError
+from repro.jsonsafe import json_safe
+from repro.core.result import CliqueSetResult
+from repro.core.session import Session
+from repro.core.task import SolveTask
+from repro.parallel import worker
+from repro.parallel.bb import parallel_exact_bb
+from repro.parallel.context import resolve_context
+from repro.parallel.shared_csr import SharedCSR
+
+#: Methods whose engines have a native in-engine fan-out; everything
+#: else a pool worker runs sequentially against the shared graph.
+_ENGINE_PARALLEL = frozenset({"l", "lp", "opt-bb"})
+
+
+class ProcessSolvePool:
+    """Worker processes sharing one session graph over shared memory.
+
+    The pool is lazy: the shared segment and executor are created on
+    the first dispatch, so constructing one is cheap and a pool that
+    only ever routes ``l``/``lp`` solves (which fan out through their
+    own short-lived executors) never starts workers at all. Use as a
+    context manager or call :meth:`close` to release the segment.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        *,
+        workers: int = 2,
+        start_method: str = "auto",
+        max_retries: int = 2,
+    ) -> None:
+        if workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        if max_retries < 0:
+            raise InvalidParameterError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        self.session = session
+        self.workers = workers
+        self.start_method = start_method
+        self.max_retries = max_retries
+        self.stats: dict[str, float] = {
+            "steps_dispatched": 0.0,
+            "worker_restarts": 0.0,
+        }
+        self._lock = make_lock("ProcessSolvePool._lock")
+        self._handle: SharedCSR | None = None
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    def _ensure_started(self) -> ProcessPoolExecutor:
+        """Create the shared segment and executor on first use."""
+        # CSR build takes Graph._lock; do it before taking our leaf lock.
+        csr = self.session.graph.csr()
+        with self._lock:
+            if self._closed:
+                raise InvalidParameterError("pool is closed")
+            if self._executor is None:
+                self._handle = SharedCSR.create(
+                    {"indptr": csr.indptr, "cols": csr.cols}
+                )
+                self._executor = self._new_executor()
+            return self._executor
+
+    def _new_executor(self) -> ProcessPoolExecutor:
+        """A fresh executor over the existing shared segment."""
+        assert self._handle is not None
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=resolve_context(self.start_method),
+            initializer=worker.init_pool,
+            initargs=(self._handle.descriptor(),),
+        )
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live pool workers (empty before first dispatch).
+
+        Exposed so fault-injection tests can kill a worker mid-solve
+        and assert the checkpoint reassignment path.
+        """
+        with self._lock:
+            executor = self._executor
+        if executor is None:
+            return []
+        return [int(pid) for pid in list(executor._processes or {})]
+
+    def close(self) -> None:
+        """Shut down the executor and release the shared segment."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor = self._executor
+            handle = self._handle
+            self._executor = None
+            self._handle = None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+        if handle is not None:
+            handle.close()
+            handle.unlink()
+
+    def __enter__(self) -> "ProcessSolvePool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- whole solves --------------------------------------------------
+    def solve(self, k: int, method: str = "lp", **options: object) -> CliqueSetResult:
+        """One solve at the pool's worker count, engine-native fan-out.
+
+        ``l``/``lp`` run in-process with their HeapInit phase fanned out
+        over a short-lived executor; ``opt-bb`` runs the
+        shared-incumbent subtree search. Solutions are identical to the
+        sequential path (``workers=1``) by construction. Other methods
+        raise: they have no parallel decomposition — dispatch them with
+        :meth:`submit_solve` to run sequentially off-process instead.
+        """
+        if method in ("l", "lp"):
+            return self.session.solve(
+                k, method, workers=self.workers, **options
+            )
+        if method == "opt-bb":
+            raw_budget = options.pop("max_cliques", None)
+            max_cliques = None if raw_budget is None else int(raw_budget)  # type: ignore[call-overload]
+            if options:
+                raise InvalidParameterError(
+                    f"unknown opt-bb options: {sorted(options)}"
+                )
+            return parallel_exact_bb(
+                None,
+                k,
+                workers=self.workers,
+                scores=self.session.prep.scores(k),
+                cliques=self.session.prep.cliques(k, max_cliques=max_cliques),
+                start_method=self.start_method,
+            )
+        raise InvalidParameterError(
+            f"method {method!r} has no process-parallel decomposition; "
+            f"parallel methods: {sorted(_ENGINE_PARALLEL)} "
+            "(use submit_solve() for off-process sequential solves)"
+        )
+
+    def submit_solve(self, k: int, method: str = "lp", **options: object) -> "Future[dict]":
+        """Ship one whole solve to a pool worker; returns a payload future.
+
+        The future resolves to the worker's JSON-safe result payload
+        (``{"cliques", "k", "method", "size", "stats"}``). Fanning many
+        of these out is the solve-throughput mode benchmarked by
+        ``benchmarks/bench_parallel.py``.
+        """
+        executor = self._ensure_started()
+        payload = {
+            "k": int(k),
+            "method": str(method),
+            "options": json_safe(dict(options)),
+        }
+        return executor.submit(worker.solve_payload, payload)
+
+    # -- checkpoint ping-pong ------------------------------------------
+    def _dispatch(self, fn: Callable[..., dict], payload: Mapping[str, object]) -> dict:
+        """Run one worker call with broken-pool recovery.
+
+        ``BrokenProcessPool`` means a worker died mid-call; the parent
+        still holds the payload (checkpoints are the migration
+        primitive), so recovery is: rebuild the executor, re-dispatch,
+        count a restart. Gives up after ``max_retries`` rebuilds.
+        """
+        attempts = 0
+        while True:
+            executor = self._ensure_started()
+            try:
+                return executor.submit(fn, payload).result()
+            except BrokenProcessPool:
+                attempts += 1
+                with self._lock:
+                    if self._executor is executor:
+                        self._executor = None
+                executor.shutdown(wait=False, cancel_futures=True)
+                if attempts > self.max_retries:
+                    raise
+                with self._lock:
+                    self.stats["worker_restarts"] += 1.0
+
+    def step_task(
+        self,
+        checkpoint: Mapping[str, object],
+        *,
+        max_work: int | None = None,
+        max_seconds: float | None = None,
+    ) -> dict:
+        """Advance a checkpointed solve by one quantum in a worker.
+
+        Returns the worker's ``{"snapshot", "checkpoint", "done"[,
+        "result"]}`` payload; the returned checkpoint supersedes the
+        input one and is what a reassignment re-dispatches.
+        """
+        payload: dict[str, Any] = {"checkpoint": dict(checkpoint)}
+        if max_work is not None:
+            payload["max_work"] = int(max_work)
+        if max_seconds is not None:
+            payload["max_seconds"] = float(max_seconds)
+        out = self._dispatch(worker.step_payload, payload)
+        with self._lock:
+            self.stats["steps_dispatched"] += 1.0
+        return out
+
+    def run_task(
+        self,
+        checkpoint: Mapping[str, object],
+        *,
+        max_work_per_step: int | None = None,
+        max_seconds_per_step: float | None = None,
+        on_snapshot: Callable[[dict], None] | None = None,
+    ) -> tuple[dict, list[dict]]:
+        """Drive a checkpointed solve to completion across workers.
+
+        Returns ``(result_payload, snapshots)``; ``on_snapshot`` (if
+        given) observes each snapshot dict as it streams back. Survives
+        worker death between quanta via :meth:`step_task`'s recovery.
+        """
+        current: Mapping[str, object] = checkpoint
+        snapshots: list[dict] = []
+        while True:
+            out = self.step_task(
+                current,
+                max_work=max_work_per_step,
+                max_seconds=max_seconds_per_step,
+            )
+            snapshots.append(out["snapshot"])
+            if on_snapshot is not None:
+                on_snapshot(out["snapshot"])
+            if out["done"]:
+                return out["result"], snapshots
+            current = out["checkpoint"]
+
+    def checkpoint_of(
+        self, k: int, method: str = "lp", **options: object
+    ) -> dict:
+        """A fresh (zero-work) checkpoint for this session's graph.
+
+        Convenience for callers that want to hand a brand-new solve to
+        :meth:`run_task` / :class:`ProcessLaneTask` without stepping a
+        local task first.
+        """
+        task: SolveTask = self.session.task(k, method, **options)
+        return task.checkpoint()
+
+
+class ProcessLaneTask:
+    """A scheduler-lane adapter driving one remote checkpointed solve.
+
+    Satisfies the scheduler's ``Resumable`` contract: :meth:`step`
+    advances the solve in a pool worker (one quantum per dispatch,
+    looping internally when ``seconds`` is ``None``), :meth:`result`
+    yields the final :class:`~repro.core.task.TaskSnapshot`-shaped
+    result payload, and :meth:`partial` harvests the latest snapshot
+    *plus* the resumable checkpoint on deadline — the caller can
+    re-submit the checkpoint later and lose no work.
+    """
+
+    def __init__(
+        self,
+        pool: ProcessSolvePool,
+        checkpoint: Mapping[str, object],
+        *,
+        max_work_per_step: int | None = None,
+    ) -> None:
+        self.pool = pool
+        self._checkpoint: dict = dict(checkpoint)
+        self._max_work = max_work_per_step
+        self._snapshots: list[dict] = []
+        self._result: dict | None = None
+
+    def step(self, seconds: float | None = None) -> bool:
+        """Advance remotely; ``True`` once the solve is done.
+
+        ``seconds`` bounds one remote quantum; ``None`` (the
+        scheduler's exclusive-runner mode) keeps dispatching quanta
+        until completion, honouring the contract that an unbounded step
+        finishes the work.
+        """
+        while True:
+            out = self.pool.step_task(
+                self._checkpoint, max_work=self._max_work, max_seconds=seconds
+            )
+            self._snapshots.append(out["snapshot"])
+            self._checkpoint = out["checkpoint"]
+            if out["done"]:
+                self._result = out["result"]
+                return True
+            if seconds is not None:
+                return False
+
+    def result(self) -> dict:
+        """The final result payload; raises until :meth:`step` returns True."""
+        if self._result is None:
+            raise InvalidParameterError(
+                "lane task has not finished; drive step() to completion first"
+            )
+        return self._result
+
+    def partial(self) -> dict:
+        """Deadline harvest: the last snapshot plus the live checkpoint."""
+        return {
+            "snapshot": self._snapshots[-1] if self._snapshots else None,
+            "checkpoint": dict(self._checkpoint),
+        }
+
+    @property
+    def snapshots(self) -> list[dict]:
+        """All snapshots streamed back so far (oldest first)."""
+        return list(self._snapshots)
+
+    @property
+    def checkpoint(self) -> dict:
+        """The latest checkpoint (the reassignment handle)."""
+        return dict(self._checkpoint)

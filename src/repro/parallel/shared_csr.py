@@ -1,0 +1,259 @@
+"""Shared-memory handle for flat CSR substrate arrays.
+
+A :class:`SharedCSR` packs a set of named, contiguous numpy arrays —
+typically the session's :class:`repro.graph.dag.OrientedCSR` triple
+plus scores and validity masks — into **one**
+:class:`multiprocessing.shared_memory.SharedMemory` segment. The owner
+process calls :meth:`SharedCSR.create`; worker processes rebuild
+zero-copy views from the JSON-safe :meth:`SharedCSR.descriptor` via
+:meth:`SharedCSR.attach` — only the descriptor (a small dict of
+offsets) ever crosses the process boundary, never the arrays and never
+the handle itself (the repro-lint ``migration`` rule enforces the
+latter).
+
+Lifecycle contract::
+
+    parent                         worker
+    ------                         ------
+    handle = SharedCSR.create(...)
+    desc = handle.descriptor()  -> SharedCSR.attach(desc)
+    ...                            views = handle.array("cols"), ...
+    handle.close()              <- (process exit; OS reclaims the map)
+    handle.unlink()
+
+* ``close()`` releases this process's mapping (views become invalid);
+* ``unlink()`` removes the segment system-wide and is called exactly
+  once, by the owner, after every worker is done;
+* resource-tracker hygiene relies on POSIX children sharing the
+  owner's tracker process (fork inherits its pipe; spawn receives
+  ``tracker_fd`` in the preparation data): the attach-side re-register
+  that Python < 3.13 performs unconditionally (no ``track=False``) is
+  an idempotent set-add there, so the segment has exactly one tracked
+  entry, removed by the owner's ``unlink``. Workers must therefore
+  **not** unregister what they borrow — that would delete the owner's
+  entry and make the final unlink trip a tracker ``KeyError``.
+
+Workers typically keep their attachment open for the process lifetime
+(the per-process caches in :mod:`repro.parallel.worker` do exactly
+that); the OS reclaims the mapping at exit and the owner's ``unlink``
+frees the segment.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+#: Byte alignment of each packed array (cache-line friendly; keeps any
+#: dtype the numpy int64/uint8 substrates use naturally aligned).
+_ALIGN = 64
+
+
+def _aligned(nbytes: int) -> int:
+    """Round ``nbytes`` up to the packing alignment."""
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedCSR:
+    """Named numpy arrays in one shared-memory segment (see module docs).
+
+    Construct via :meth:`create` (owner side) or :meth:`attach` (worker
+    side); the plain constructor is internal. The handle supports the
+    context-manager protocol: ``with SharedCSR.create(...) as handle``
+    closes *and unlinks* on exit for owners, and only closes for
+    attached handles.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        layout: dict[str, tuple[str, tuple[int, ...], int]],
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._layout = layout
+        self._owner = owner
+        self._closed = False
+        self._unlinked = False
+        self._views: dict[str, np.ndarray] = {}
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def create(cls, arrays: Mapping[str, np.ndarray]) -> "SharedCSR":
+        """Pack ``arrays`` into a fresh shared segment (owner side).
+
+        Each array is copied once into the segment at an aligned
+        offset. Arrays must be non-object numpy arrays; names must be
+        non-empty strings. The caller owns the returned handle and must
+        eventually ``close()`` and ``unlink()`` it.
+        """
+        if not arrays:
+            raise InvalidParameterError("SharedCSR.create needs at least one array")
+        layout: dict[str, tuple[str, tuple[int, ...], int]] = {}
+        offset = 0
+        packed: list[tuple[int, np.ndarray]] = []
+        for name, array in arrays.items():
+            if not name or not isinstance(name, str):
+                raise InvalidParameterError(
+                    f"array names must be non-empty strings, got {name!r}"
+                )
+            contiguous = np.ascontiguousarray(array)
+            if contiguous.dtype.hasobject:
+                raise InvalidParameterError(
+                    f"array {name!r} has object dtype; only flat numeric "
+                    "arrays can live in shared memory"
+                )
+            layout[name] = (contiguous.dtype.str, tuple(contiguous.shape), offset)
+            packed.append((offset, contiguous))
+            offset += _aligned(contiguous.nbytes)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+        for start, contiguous in packed:
+            if contiguous.nbytes:
+                view: np.ndarray = np.ndarray(
+                    contiguous.shape,
+                    dtype=contiguous.dtype,
+                    buffer=shm.buf,
+                    offset=start,
+                )
+                view[...] = contiguous
+                del view
+        return cls(shm, layout, owner=True)
+
+    @classmethod
+    def attach(cls, descriptor: Mapping[str, object]) -> "SharedCSR":
+        """Open an existing segment from a :meth:`descriptor` (worker side).
+
+        The creating process remains responsible for ``unlink()``; the
+        borrowing worker's implicit tracker registration is harmless
+        (see the module docstring's lifecycle notes) and must not be
+        undone here.
+        """
+        try:
+            segment = str(descriptor["segment"])
+            raw = descriptor["arrays"]
+        except (KeyError, TypeError) as exc:
+            raise InvalidParameterError(
+                f"malformed SharedCSR descriptor: {descriptor!r}"
+            ) from exc
+        if not isinstance(raw, Mapping):
+            raise InvalidParameterError(
+                f"descriptor 'arrays' must be a mapping, got {type(raw).__name__}"
+            )
+        shm = shared_memory.SharedMemory(name=segment)
+        layout = {
+            str(name): (str(spec["dtype"]), tuple(int(d) for d in spec["shape"]),
+                        int(spec["offset"]))
+            for name, spec in raw.items()
+        }
+        return cls(shm, layout, owner=False)
+
+    # -- descriptor / views --------------------------------------------
+    def descriptor(self) -> dict:
+        """JSON-safe attachment recipe: segment name plus array layout.
+
+        This dict — not the handle — is what crosses process
+        boundaries (initializer args, task payloads, checkpoints).
+        """
+        return {
+            "segment": self._shm.name,
+            "arrays": {
+                name: {"dtype": dtype, "shape": list(shape), "offset": offset}
+                for name, (dtype, shape, offset) in self._layout.items()
+            },
+        }
+
+    def array(self, name: str) -> np.ndarray:
+        """Zero-copy view of the named packed array.
+
+        Views share the handle's lifetime: they must not be used after
+        :meth:`close`. Treat them as read-only unless the packing
+        protocol explicitly says otherwise (workers mutating a borrowed
+        substrate would corrupt every sibling).
+        """
+        if self._closed:
+            raise InvalidParameterError(
+                f"SharedCSR segment {self._shm.name!r} is closed"
+            )
+        if name not in self._layout:
+            raise InvalidParameterError(
+                f"no array {name!r} in segment {self._shm.name!r} "
+                f"(have: {sorted(self._layout)})"
+            )
+        if name not in self._views:
+            dtype, shape, offset = self._layout[name]
+            self._views[name] = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=self._shm.buf, offset=offset
+            )
+        return self._views[name]
+
+    def names(self) -> Iterator[str]:
+        """Iterate the packed array names."""
+        return iter(self._layout)
+
+    @property
+    def segment(self) -> str:
+        """The underlying shared-memory segment name."""
+        return self._shm.name
+
+    @property
+    def owner(self) -> bool:
+        """Whether this handle created (and must unlink) the segment."""
+        return self._owner
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has released this process's mapping."""
+        return self._closed
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Release this process's mapping (idempotent).
+
+        All views handed out by :meth:`array` become invalid. If an
+        external reference still pins the buffer the unmap is deferred
+        to garbage collection rather than raising.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._views.clear()
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a live view pins the map
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment system-wide (owner only, idempotent)."""
+        if not self._owner:
+            raise InvalidParameterError(
+                "only the creating process may unlink a SharedCSR segment"
+            )
+        if self._unlinked:
+            return
+        self._unlinked = True
+        self._shm.unlink()
+
+    def __enter__(self) -> "SharedCSR":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()
+
+    def __reduce__(self) -> tuple:
+        raise TypeError(
+            "SharedCSR handles must not cross process boundaries; send "
+            "descriptor() and SharedCSR.attach() it in the worker"
+        )
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"SharedCSR(segment={self._shm.name!r}, arrays={len(self._layout)}, "
+            f"owner={self._owner}, {state})"
+        )

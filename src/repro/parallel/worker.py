@@ -1,0 +1,305 @@
+"""Worker-process entry points for the process-parallel tier.
+
+Everything in this module runs inside pool worker processes. All entry
+points are module-level functions (picklable by qualified name, so they
+work under the ``spawn`` start method with no inherited globals), and
+all cross-process traffic is JSON-safe payload dicts plus
+:meth:`repro.parallel.shared_csr.SharedCSR.descriptor` attachment
+recipes — live handles, engines and sessions never cross the boundary.
+
+Per-process caches (module globals, populated lazily):
+
+* attached :class:`~repro.parallel.shared_csr.SharedCSR` segments, one
+  per segment name — attachments stay open for the worker's lifetime
+  (the owner unlinks after the fan-out; the OS reclaims mappings at
+  worker exit);
+* one :class:`~repro.core.session.Session` per shared *graph* segment,
+  rebuilt zero-copy via :meth:`repro.graph.graph.Graph.from_csr_arrays`
+  (equal fingerprint, so checkpoint restores validate);
+* one :class:`~repro.core.exact_bb.ExactBBEngine` per shared clique
+  substrate, reset per subtree task instead of re-decoding;
+* the last stepped :class:`~repro.core.task.SolveTask` per lane task
+  identity, so the scheduler's checkpoint ping-pong only pays a full
+  restore after a reassignment (worker death), not on every quantum.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.graph.dag import OrientedCSR
+from repro.graph.graph import Graph
+from repro.jsonsafe import json_safe
+from repro.core.exact_bb import ExactBBEngine
+from repro.core.lightweight import _FindMinCSR
+from repro.core.result import CliqueSetResult
+from repro.core.scores import CliqueKey
+from repro.core.session import Session
+from repro.core.task import SolveTask
+from repro.parallel.shared_csr import SharedCSR
+
+#: Attached segments by name (borrowed; never unlinked here).
+_ATTACHED: dict[str, SharedCSR] = {}
+#: HeapInit executor context: substrate views + (k, prune).
+_HEAPINIT: dict[str, Any] = {}
+#: B&B executor context: clique-substrate descriptor + k.
+_BB: dict[str, Any] = {}
+#: Cached B&B engines by (segment, k) — reset per subtree task.
+_BB_ENGINES: dict[tuple[str, int], ExactBBEngine] = {}
+#: Shared best-size incumbent (``multiprocessing.Value``) or ``None``.
+_INCUMBENT: Any = None
+#: ProcessSolvePool context: the shared graph descriptor.
+_POOL: dict[str, Any] = {}
+#: Sessions by graph segment name.
+_SESSIONS: dict[str, Session] = {}
+#: Lane-task cache: identity key -> (last emitted checkpoint, task).
+_LANE_TASKS: dict[str, tuple[dict, SolveTask]] = {}
+
+
+def _attach(descriptor: Mapping[str, object]) -> SharedCSR:
+    """Attach to (or return the cached attachment of) a segment."""
+    segment = str(descriptor["segment"])
+    handle = _ATTACHED.get(segment)
+    if handle is None:
+        handle = SharedCSR.attach(descriptor)
+        _ATTACHED[segment] = handle
+    return handle
+
+
+# ----------------------------------------------------------------------
+# HeapInit fan-out (lightweight engine, init-parallel phase)
+# ----------------------------------------------------------------------
+def init_heapinit(descriptor: Mapping[str, object], k: int, prune: bool) -> None:
+    """Executor initializer: attach the HeapInit substrate zero-copy."""
+    handle = _attach(descriptor)
+    _HEAPINIT.update(
+        ocsr=OrientedCSR(
+            handle.array("indptr"), handle.array("cols"), handle.array("rank")
+        ),
+        scores=handle.array("scores"),
+        valid=handle.array("valid"),
+        k=int(k),
+        prune=bool(prune),
+    )
+
+
+def run_heapinit_span(
+    ocsr: OrientedCSR,
+    scores: np.ndarray,
+    valid: np.ndarray,
+    k: int,
+    prune: bool,
+    start: int,
+    stop: int,
+) -> tuple[list[tuple[CliqueKey, int, tuple[int, ...]]], dict[str, float]]:
+    """FindMin over roots ``start..stop-1`` (pure; also used in-process).
+
+    Returns the found ``(key, root, clique)`` heap entries plus the
+    span's ``findmin_calls`` / ``branches_pruned`` counters. Always the
+    CSR walk: it visits candidates in the same order as the sets walk,
+    so merged counters stay backend- and worker-count-invariant.
+    """
+    stats = {"findmin_calls": 0.0, "branches_pruned": 0.0}
+    finder = _FindMinCSR(ocsr, scores, prune, stats, valid)
+    found: list[tuple[CliqueKey, int, tuple[int, ...]]] = []
+    for u in range(start, stop):
+        if finder.live_out_degree(u) >= k - 1:
+            hit = finder.search(u, k)
+            if hit is not None:
+                found.append((hit[0], u, hit[1]))
+    return found, stats
+
+
+def heapinit_span(
+    span: tuple[int, int],
+) -> tuple[list[tuple[CliqueKey, int, tuple[int, ...]]], dict[str, float]]:
+    """Worker task: one HeapInit root span over the attached substrate."""
+    ctx = _HEAPINIT
+    return run_heapinit_span(
+        ctx["ocsr"],
+        ctx["scores"],
+        ctx["valid"],
+        ctx["k"],
+        ctx["prune"],
+        int(span[0]),
+        int(span[1]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Branch-and-bound fan-out (shared incumbent + subtree tasks)
+# ----------------------------------------------------------------------
+def init_bb(descriptor: Mapping[str, object], k: int, incumbent: Any) -> None:
+    """Executor initializer: attach the clique substrate, keep the incumbent.
+
+    ``incumbent`` is the shared ``multiprocessing.Value('q')`` holding
+    the best solution *size* found by any worker so far; it rides the
+    initializer channel because synchronized objects cannot cross via
+    task pickling.
+    """
+    global _INCUMBENT
+    _INCUMBENT = incumbent
+    handle = _attach(descriptor)
+    _BB.update(segment=handle.segment, k=int(k))
+
+
+def _bb_engine(segment: str, k: int) -> ExactBBEngine:
+    """Decode (once per process) and cache the engine for a substrate."""
+    engine = _BB_ENGINES.get((segment, k))
+    if engine is None:
+        handle = _ATTACHED[segment]
+        flat = handle.array("cliques")
+        scores = handle.array("scores")
+        cliques = [tuple(int(v) for v in row) for row in flat]
+        # The parent packed the cliques already sorted by clique_key;
+        # the constructor's stable re-sort reproduces the same order.
+        engine = ExactBBEngine(None, k, scores=scores, cliques=cliques)
+        _BB_ENGINES[(segment, k)] = engine
+    return engine
+
+
+def bb_span(payload: Mapping[str, object]) -> dict:
+    """Worker task: exhaust one strided subtree slice of the B&B search.
+
+    Owns every branch whose *first* chosen clique index ``i`` satisfies
+    ``i % stride == offset``; deeper choices are unrestricted. Every
+    ``sync_every`` ticks the worker publishes local incumbent-size
+    improvements to the shared value and tightens its own
+    ``prune_floor`` to ``global_size - 1`` — ties with the global best
+    survive, so each worker still reports its slice's lexicographically
+    first optimum and the parent merge is bit-identical to sequential.
+    """
+    ctx = _BB
+    engine = _bb_engine(str(ctx["segment"]), int(ctx["k"]))
+    offset = int(payload["offset"])
+    stride = int(payload["stride"])
+    sync_every = max(1, int(payload.get("sync_every", 256)))
+    incumbent = _INCUMBENT
+    floor = 0
+    if incumbent is not None:
+        floor = max(0, int(incumbent.value) - 1)
+    engine.reset_search(root_slice=(offset, stride), prune_floor=floor)
+    published = 0
+    broadcasts = 0
+    since_sync = 0
+    while not engine.finished:
+        engine.tick()
+        since_sync += 1
+        if incumbent is not None and since_sync >= sync_every:
+            since_sync = 0
+            size = len(engine.best)
+            if size > published:
+                with incumbent.get_lock():
+                    if size > incumbent.value:
+                        incumbent.value = size
+                        broadcasts += 1
+                published = size
+            engine.prune_floor = max(
+                engine.prune_floor, int(incumbent.value) - 1, 0
+            )
+    if incumbent is not None and len(engine.best) > published:
+        size = len(engine.best)
+        with incumbent.get_lock():
+            if size > incumbent.value:
+                incumbent.value = size
+                broadcasts += 1
+    return {
+        "indices": [int(i) for i in engine.best],
+        "ticks": int(engine.ticks),
+        "broadcasts": broadcasts,
+    }
+
+
+# ----------------------------------------------------------------------
+# ProcessSolvePool: whole-solve offload + scheduler process lane
+# ----------------------------------------------------------------------
+def init_pool(graph_descriptor: Mapping[str, object]) -> None:
+    """Executor initializer: remember the pool's shared graph substrate."""
+    _POOL["graph"] = dict(graph_descriptor)
+
+
+def _session_for(descriptor: Mapping[str, object]) -> Session:
+    """Session over the shared graph (cached per segment, zero-copy CSR)."""
+    segment = str(descriptor["segment"])
+    session = _SESSIONS.get(segment)
+    if session is None:
+        handle = _attach(descriptor)
+        graph = Graph.from_csr_arrays(handle.array("indptr"), handle.array("cols"))
+        session = Session(graph)
+        _SESSIONS[segment] = session
+    return session
+
+
+def result_payload(result: CliqueSetResult) -> dict:
+    """JSON-safe dict form of a solve result (order-preserving)."""
+    return {
+        "cliques": [sorted(int(u) for u in clique) for clique in result.cliques],
+        "k": int(result.k),
+        "method": result.method,
+        "size": len(result.cliques),
+        "stats": json_safe(dict(result.stats)),
+    }
+
+
+def solve_payload(payload: Mapping[str, object]) -> dict:
+    """Worker task: run one whole solve against the shared-graph session."""
+    descriptor = payload.get("graph") or _POOL["graph"]
+    session = _session_for(descriptor)  # type: ignore[arg-type]
+    options = dict(payload.get("options") or {})  # type: ignore[call-overload]
+    result = session.solve(int(payload["k"]), str(payload["method"]), **options)
+    return result_payload(result)
+
+
+def _lane_key(descriptor: Mapping[str, object], checkpoint: Mapping[str, object]) -> str:
+    """Stable identity of a lane task (graph + method + k + options)."""
+    return json.dumps(
+        [
+            str(descriptor["segment"]),
+            str(checkpoint.get("method")),
+            int(checkpoint["k"]),
+            json_safe(dict(checkpoint.get("options") or {})),  # type: ignore[call-overload]
+        ],
+        sort_keys=True,
+    )
+
+
+def step_payload(payload: Mapping[str, object]) -> dict:
+    """Worker task: advance a checkpointed solve by one quantum.
+
+    Restores the checkpoint onto the cached shared-graph session —
+    unless this worker already holds the task whose last emitted
+    checkpoint equals the incoming one, in which case it continues the
+    live task (the fast path of the scheduler's ping-pong). Returns the
+    post-step snapshot, the new checkpoint (the parent's reassignment
+    handle), and the final result once done.
+    """
+    descriptor = payload.get("graph") or _POOL["graph"]
+    session = _session_for(descriptor)  # type: ignore[arg-type]
+    checkpoint = payload["checkpoint"]
+    if not isinstance(checkpoint, Mapping):
+        raise TypeError(f"checkpoint must be a mapping, got {type(checkpoint)}")
+    key = _lane_key(descriptor, checkpoint)  # type: ignore[arg-type]
+    cached = _LANE_TASKS.get(key)
+    if cached is not None and cached[0] == checkpoint:
+        task = cached[1]
+    else:
+        task = session.restore_task(checkpoint)
+    raw_work = payload.get("max_work")
+    raw_seconds = payload.get("max_seconds")
+    snapshot = task.step(
+        None if raw_work is None else int(raw_work),  # type: ignore[arg-type]
+        None if raw_seconds is None else float(raw_seconds),  # type: ignore[arg-type]
+    )
+    new_checkpoint = task.checkpoint()
+    _LANE_TASKS[key] = (new_checkpoint, task)
+    out: dict[str, Any] = {
+        "snapshot": snapshot.as_dict(),
+        "checkpoint": new_checkpoint,
+        "done": bool(task.done),
+    }
+    if task.done:
+        out["result"] = result_payload(task.result())
+    return out

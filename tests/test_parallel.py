@@ -71,43 +71,51 @@ class TestParallelStats:
         assert result.stats["findmin_calls"] > result.stats["heap_pushes"]
 
 
-class TestForkUnavailableFallback:
-    """``workers > 1`` must not crash where fork is unavailable.
+class TestStartMethodPortability:
+    """``workers > 1`` must work under every start method.
 
-    Regression: ``multiprocessing.get_context("fork")`` raised
-    ``ValueError`` on spawn-only platforms (Windows, macOS default).
-    The guard checks ``get_all_start_methods()`` and falls back to the
-    sequential HeapInit path.
+    The PR 2 implementation was fork-only (workers read the substrate
+    from a copy-on-write module global) and silently fell back to
+    sequential HeapInit elsewhere. The shared-memory tier has no such
+    fallback: on a spawn-only platform the fan-out still runs, it just
+    resolves a spawn context (see :mod:`repro.parallel.context`).
     """
 
-    def test_falls_back_to_sequential(self, monkeypatch):
-        g = powerlaw_cluster(100, 4, 0.5, seed=2)
-        baseline = lightweight(g, 3, workers=1)
-
-        def no_fork_context(method=None):
-            raise AssertionError(
-                f"get_context({method!r}) must not be called without fork"
-            )
+    def test_spawn_only_platform_resolves_spawn(self, monkeypatch):
+        from repro.parallel import context as ctx_mod
 
         monkeypatch.setattr(
-            lw.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+            ctx_mod.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
         )
-        monkeypatch.setattr(lw.multiprocessing, "get_context", no_fork_context)
-        result = lightweight(g, 3, workers=4)
-        assert result.sorted_cliques() == baseline.sorted_cliques()
-        assert result.stats == baseline.stats
+        assert ctx_mod.resolve_context("auto").get_start_method() == "spawn"
 
-    def test_parallel_path_still_used_when_fork_available(self, monkeypatch):
-        if "fork" not in multiprocessing.get_all_start_methods():
-            pytest.skip("platform has no fork start method")
+    def test_lightweight_no_longer_depends_on_fork_checks(self):
+        # The engine module must not consult multiprocessing at all any
+        # more — start-method policy lives in repro.parallel.context.
+        assert not hasattr(lw, "multiprocessing")
+
+    def test_parallel_tier_invoked_for_multi_worker_solves(self, monkeypatch):
+        from repro.parallel import heapinit as hi
+
         g = powerlaw_cluster(100, 4, 0.5, seed=2)
         called = {}
-        real = lw._parallel_heap_init
+        real = hi.parallel_heap_init
 
-        def spy(state, n, workers, stats):
-            called["workers"] = workers
-            return real(state, n, workers, stats)
+        def spy(**kwargs):
+            called["workers"] = kwargs["workers"]
+            return real(**kwargs)
 
-        monkeypatch.setattr(lw, "_parallel_heap_init", spy)
+        monkeypatch.setattr(hi, "parallel_heap_init", spy)
         lightweight(g, 3, workers=2)
         assert called["workers"] == 2
+
+    def test_explicit_spawn_matches_sequential(self):
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no spawn start method")
+        from repro.parallel.heapinit import parallel_heap_init  # noqa: F401
+
+        g = powerlaw_cluster(80, 4, 0.5, seed=2)
+        baseline = lightweight(g, 3, workers=1)
+        spawned = lightweight(g, 3, workers=2, start_method="spawn")
+        assert spawned.sorted_cliques() == baseline.sorted_cliques()
+        assert spawned.stats == baseline.stats

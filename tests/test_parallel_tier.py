@@ -1,0 +1,354 @@
+"""Tests for the process-parallel tier (:mod:`repro.parallel`).
+
+Covers the SharedCSR shared-memory substrate lifecycle, the HeapInit
+chunking regressions, solution/stat pinning of the process-parallel
+solve paths against their sequential twins, checkpoint migration
+(including bit-identity under the ``spawn`` start method), worker-death
+recovery, and the scheduler's process lane.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from tests.conftest import brute_force_max_disjoint
+from repro.core.exact_bb import exact_optimum_bb
+from repro.core.session import Session
+from repro.errors import InvalidParameterError
+from repro.graph.generators import erdos_renyi_gnp, powerlaw_cluster
+from repro.parallel import ProcessLaneTask, ProcessSolvePool, SharedCSR
+from repro.parallel.bb import parallel_exact_bb
+from repro.parallel.context import resolve_context
+from repro.parallel.heapinit import MIN_CHUNK, chunk_spans, parallel_heap_init
+
+
+def _ordered(result) -> list[tuple[int, ...]]:
+    """Solution-order canonical form (pins order, not just content)."""
+    return [tuple(sorted(c)) for c in result.cliques]
+
+
+class TestSharedCSR:
+    def test_roundtrip_values_and_layout(self):
+        arrays = {
+            "indptr": np.arange(5, dtype=np.int64),
+            "cols": np.array([3, 1, 4, 1, 5], dtype=np.int64),
+            "flags": np.array([True, False, True]),
+        }
+        handle = SharedCSR.create(arrays)
+        try:
+            desc = handle.descriptor()
+            assert desc["segment"] == handle.segment
+            attached = SharedCSR.attach(desc)
+            try:
+                assert sorted(attached.names()) == sorted(arrays)
+                for name, expected in arrays.items():
+                    got = attached.array(name)
+                    assert got.dtype == expected.dtype
+                    assert np.array_equal(got, expected)
+                assert not attached.owner
+            finally:
+                attached.close()
+        finally:
+            handle.close()
+            handle.unlink()
+
+    def test_views_are_zero_copy(self):
+        handle = SharedCSR.create({"a": np.arange(8, dtype=np.int64)})
+        try:
+            view = handle.array("a")
+            assert view.base is not None  # backed by the segment buffer
+            assert handle.array("a") is view  # cached, not rebuilt
+        finally:
+            handle.close()
+            handle.unlink()
+
+    def test_handle_refuses_to_pickle(self):
+        import pickle
+
+        handle = SharedCSR.create({"a": np.zeros(1, dtype=np.int64)})
+        try:
+            with pytest.raises(TypeError, match="descriptor"):
+                pickle.dumps(handle)
+        finally:
+            handle.close()
+            handle.unlink()
+
+    def test_close_is_idempotent_and_invalidates_views(self):
+        handle = SharedCSR.create({"a": np.zeros(4, dtype=np.int64)})
+        handle.close()
+        handle.close()
+        with pytest.raises(InvalidParameterError, match="closed"):
+            handle.array("a")
+        handle.unlink()
+
+    def test_only_owner_unlinks(self):
+        handle = SharedCSR.create({"a": np.zeros(2, dtype=np.int64)})
+        attached = SharedCSR.attach(handle.descriptor())
+        try:
+            with pytest.raises(InvalidParameterError, match="owner|creating"):
+                attached.unlink()
+        finally:
+            attached.close()
+            handle.close()
+            handle.unlink()
+
+    def test_create_validates_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            SharedCSR.create({})
+        with pytest.raises(InvalidParameterError, match="object dtype"):
+            SharedCSR.create({"bad": np.array([{"x": 1}], dtype=object)})
+
+    def test_unknown_array_name(self):
+        with SharedCSR.create({"a": np.zeros(1, dtype=np.int64)}) as handle:
+            with pytest.raises(InvalidParameterError, match="no array"):
+                handle.array("missing")
+
+    def test_malformed_descriptor(self):
+        with pytest.raises(InvalidParameterError, match="descriptor"):
+            SharedCSR.attach({"nope": 1})
+
+
+class TestChunkSpans:
+    """Regressions for the degenerate HeapInit chunking inputs.
+
+    The pre-tier implementation crashed with ``Pool(processes=0)`` on
+    an empty residual graph and produced pathological 1-node chunks
+    whenever ``n < workers * 4``.
+    """
+
+    def test_empty_graph_yields_no_spans(self):
+        assert chunk_spans(0, 4) == []
+        assert chunk_spans(-1, 4) == []
+
+    def test_spans_cover_exactly_once(self):
+        for n in (1, 3, 7, 16, 100, 257):
+            for workers in (1, 2, 4, 7):
+                spans = chunk_spans(n, workers)
+                covered = [u for a, b in spans for u in range(a, b)]
+                assert covered == list(range(n))
+
+    def test_no_tiny_chunks(self):
+        # n < workers*4 used to explode into 1-node chunks; every span
+        # except possibly the tail must now hold >= MIN_CHUNK roots.
+        for n in (2, 5, 9, 15):
+            for workers in (2, 4, 8):
+                spans = chunk_spans(n, workers)
+                assert all(b - a >= MIN_CHUNK for a, b in spans[:-1])
+                assert len(spans) <= max(1, -(-n // MIN_CHUNK))
+
+    def test_workers_zero_is_clamped(self):
+        assert chunk_spans(10, 0) == chunk_spans(10, 1)
+
+
+class TestParallelHeapInitDegenerate:
+    def test_empty_residual_graph(self):
+        stats = {"findmin_calls": 0.0, "branches_pruned": 0.0, "heap_pushes": 0.0}
+        from repro.graph.graph import Graph
+        from repro.graph.dag import OrientedGraph
+
+        g = Graph.from_edges([], n=0)
+        ocsr = OrientedGraph(g, np.zeros(0, dtype=np.int64)).csr()
+        heap = parallel_heap_init(
+            ocsr=ocsr,
+            scores=np.zeros(0, dtype=np.int64),
+            valid=np.zeros(0, dtype=bool),
+            k=3,
+            prune=True,
+            workers=4,
+            stats=stats,
+        )
+        assert heap == []
+        assert stats["heap_pushes"] == 0.0
+
+    def test_tiny_graph_many_workers_matches_sequential(self):
+        # n < workers*4: must clamp instead of thrashing or crashing.
+        from repro.core.lightweight import lightweight
+
+        g = erdos_renyi_gnp(10, 0.6, seed=4)
+        baseline = lightweight(g, 3, workers=1)
+        fanned = lightweight(g, 3, workers=8)
+        assert fanned.sorted_cliques() == baseline.sorted_cliques()
+        assert fanned.stats == baseline.stats
+
+
+class TestDifferentialSolutions:
+    """Process-parallel solves pinned against their sequential twins."""
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_lp_solutions_and_stats_worker_invariant(self, workers):
+        g = powerlaw_cluster(180, 5, 0.5, seed=12)
+        session = Session(g)
+        seq = session.solve(4, "lp", workers=1)
+        par = session.solve(4, "lp", workers=workers)
+        assert _ordered(par) == _ordered(seq)
+        assert par.stats == seq.stats
+
+    def test_bb_matches_sequential_and_oracle(self, random_graphs):
+        for g in random_graphs:
+            seq = exact_optimum_bb(g, 3)
+            par = parallel_exact_bb(g, 3, workers=2)
+            assert _ordered(par) == _ordered(seq)
+            assert len(par.cliques) == brute_force_max_disjoint(g, 3)
+            assert par.stats["subtree_tasks"] >= 1.0
+
+    def test_bb_worker_count_invariant(self):
+        g = erdos_renyi_gnp(40, 0.25, seed=9)
+        base = parallel_exact_bb(g, 3, workers=1)
+        for workers in (2, 3):
+            again = parallel_exact_bb(g, 3, workers=workers)
+            assert _ordered(again) == _ordered(base)
+
+    def test_bb_no_cliques(self):
+        g = erdos_renyi_gnp(12, 0.05, seed=1)  # too sparse for triangles
+        result = parallel_exact_bb(g, 5, workers=2)
+        assert result.cliques == []
+        assert result.stats["subtree_tasks"] == 0.0
+
+    def test_bb_rejects_bad_workers(self):
+        g = erdos_renyi_gnp(10, 0.4, seed=2)
+        with pytest.raises(InvalidParameterError, match="workers"):
+            parallel_exact_bb(g, 3, workers=0)
+
+
+class TestProcessSolvePool:
+    def test_solve_routes_and_pins(self):
+        g = powerlaw_cluster(150, 5, 0.5, seed=21)
+        session = Session(g)
+        seq = session.solve(3, "lp")
+        with ProcessSolvePool(session, workers=2) as pool:
+            assert _ordered(pool.solve(3, "lp")) == _ordered(seq)
+            with pytest.raises(InvalidParameterError, match="decomposition"):
+                pool.solve(3, "hg")
+
+    def test_submit_solve_round_trips_payload(self):
+        g = erdos_renyi_gnp(80, 0.15, seed=5)
+        session = Session(g)
+        seq = session.solve(3, "lp")
+        with ProcessSolvePool(session, workers=2) as pool:
+            payload = pool.submit_solve(3, "lp").result(timeout=120)
+            assert [tuple(c) for c in payload["cliques"]] == _ordered(seq)
+            assert payload["stats"] == dict(seq.stats)
+            assert payload["size"] == seq.size
+
+    def test_checkpoint_ping_pong_matches_sequential(self):
+        g = erdos_renyi_gnp(90, 0.12, seed=6)
+        session = Session(g)
+        seq = session.solve(3, "lp")
+        with ProcessSolvePool(session, workers=2) as pool:
+            result, snapshots = pool.run_task(
+                pool.checkpoint_of(3, "lp"), max_work_per_step=60
+            )
+            assert [tuple(c) for c in result["cliques"]] == _ordered(seq)
+            assert len(snapshots) >= 2  # actually migrated in quanta
+            assert pool.stats["steps_dispatched"] >= len(snapshots)
+
+    def test_worker_death_recovers_from_checkpoint(self):
+        g = erdos_renyi_gnp(100, 0.12, seed=8)
+        session = Session(g)
+        seq = session.solve(3, "lp")
+        with ProcessSolvePool(session, workers=1) as pool:
+            out = pool.step_task(pool.checkpoint_of(3, "lp"), max_work=25)
+            assert not out["done"]
+            pids = pool.worker_pids()
+            assert pids
+            os.kill(pids[0], signal.SIGKILL)
+            # The dead worker held the lane-task cache; the parent's
+            # checkpoint is the only surviving state and must finish
+            # the solve bit-identically on a rebuilt pool.
+            while not out["done"]:
+                out = pool.step_task(out["checkpoint"], max_work=50)
+            assert [tuple(c) for c in out["result"]["cliques"]] == _ordered(seq)
+            assert pool.stats["worker_restarts"] >= 1.0
+
+    def test_lane_task_step_contract(self):
+        g = erdos_renyi_gnp(70, 0.15, seed=3)
+        session = Session(g)
+        seq = session.solve(3, "lp")
+        with ProcessSolvePool(session, workers=1) as pool:
+            lane = ProcessLaneTask(
+                pool, pool.checkpoint_of(3, "lp"), max_work_per_step=40
+            )
+            with pytest.raises(InvalidParameterError, match="finished"):
+                lane.result()
+            harvested = lane.partial()
+            assert harvested["checkpoint"]["work"] == 0
+            assert lane.step(None) is True  # unbounded step runs to done
+            assert [tuple(c) for c in lane.result()["cliques"]] == _ordered(seq)
+            assert lane.snapshots[-1]["done"] is True
+
+    def test_rejects_bad_parameters(self):
+        session = Session(erdos_renyi_gnp(10, 0.3, seed=0))
+        with pytest.raises(InvalidParameterError, match="workers"):
+            ProcessSolvePool(session, workers=0)
+        with pytest.raises(InvalidParameterError, match="max_retries"):
+            ProcessSolvePool(session, workers=1, max_retries=-1)
+
+
+class TestSchedulerProcessLane:
+    def test_submit_process_runs_to_completion(self):
+        from repro.serve.scheduler import Scheduler
+
+        g = erdos_renyi_gnp(80, 0.15, seed=14)
+        session = Session(g)
+        seq = session.solve(3, "lp")
+        scheduler = Scheduler(workers=1, quantum=0.05)
+        try:
+            with ProcessSolvePool(session, workers=1) as pool:
+                lane = ProcessLaneTask(
+                    pool, pool.checkpoint_of(3, "lp"), max_work_per_step=50
+                )
+                ticket = scheduler.submit_process(lane)
+                result = ticket.result(timeout=120)
+                assert [tuple(c) for c in result["cliques"]] == _ordered(seq)
+        finally:
+            scheduler.shutdown()
+
+
+@pytest.mark.slow
+class TestSpawnPortability:
+    """The tier's contract under a fresh-interpreter start method."""
+
+    def test_spawn_checkpoints_bit_identical(self):
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no spawn start method")
+        g = erdos_renyi_gnp(90, 0.12, seed=17)
+        session = Session(g)
+        local = session.task(3, "lp")
+        local.step(max_work=35)
+        with ProcessSolvePool(session, workers=1, start_method="spawn") as pool:
+            out = pool.step_task(pool.checkpoint_of(3, "lp"), max_work=35)
+            # No inherited globals: the worker rebuilt the graph from
+            # shared memory and its checkpoint must match the local one
+            # byte for byte (same fingerprint, work, engine state).
+            assert out["checkpoint"] == local.checkpoint()
+
+    def test_spawn_bb_matches_sequential(self):
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no spawn start method")
+        g = erdos_renyi_gnp(35, 0.3, seed=19)
+        seq = exact_optimum_bb(g, 3)
+        par = parallel_exact_bb(g, 3, workers=2, start_method="spawn")
+        assert _ordered(par) == _ordered(seq)
+
+
+class TestSharedIncumbent:
+    def test_broadcast_floor_preserves_lex_first_optimum(self):
+        # Dense instance with many optimal ties: the floor must keep
+        # equal-size branches alive so the lex-first optimum survives.
+        g = planted = erdos_renyi_gnp(36, 0.45, seed=23)
+        seq = exact_optimum_bb(planted, 3)
+        par = parallel_exact_bb(g, 3, workers=3, sync_every=1)
+        assert _ordered(par) == _ordered(seq)
+
+    def test_stats_record_fanout_shape(self):
+        g = erdos_renyi_gnp(40, 0.3, seed=27)
+        par = parallel_exact_bb(g, 3, workers=2, tasks_per_worker=2)
+        assert par.stats["subtree_tasks"] <= 4.0
+        assert par.stats["incumbent_broadcasts"] >= 0.0
+        assert par.stats["nodes_expanded"] >= par.stats["subtree_tasks"]

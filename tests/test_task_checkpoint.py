@@ -76,37 +76,31 @@ class TestInProcessRoundTrip:
 
 
 class TestParallelPortability:
-    def test_parallel_checkpoint_restores_sequentially_without_fork(
+    def test_parallel_checkpoint_restores_on_spawn_only_platform(
         self, monkeypatch
     ):
         """An 'init-parallel' checkpoint restored on a spawn-only
-        platform must fall back to sequential HeapInit, not crash."""
+        platform must still fan out — under spawn, with identical
+        results. (The pre-shared-memory tier silently fell back to
+        sequential HeapInit here; the fallback no longer exists.)"""
         import multiprocessing
 
-        if "fork" not in multiprocessing.get_all_start_methods():
-            pytest.skip("platform has no fork start method")
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no spawn start method")
         make = lambda: powerlaw_cluster(120, 5, 0.6, seed=6)  # noqa: E731
         session = Session(make())
         reference = session.solve(3, "lp", workers=4)
         blob = roundtrip(session.task(3, "lp", workers=4).checkpoint())
         assert blob["engine"]["phase"] == "init-parallel"
 
-        import importlib
+        from repro.parallel import context as ctx_mod
 
-        # The function re-export on repro.core shadows the submodule
-        # attribute, so resolve the module itself explicitly.
-        lw = importlib.import_module("repro.core.lightweight")
-
+        # Pretend fork does not exist: "auto" must resolve to spawn and
+        # the restored run must match the reference bit for bit.
         monkeypatch.setattr(
-            lw.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+            ctx_mod.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
         )
-        monkeypatch.setattr(
-            lw.multiprocessing,
-            "get_context",
-            lambda method=None: (_ for _ in ()).throw(
-                AssertionError("fork context must not be requested")
-            ),
-        )
+        assert ctx_mod.resolve_context("auto").get_start_method() == "spawn"
         restored = Session(make()).restore_task(blob)
         result = restored.run()
         assert result.sorted_cliques() == reference.sorted_cliques()

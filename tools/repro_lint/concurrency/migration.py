@@ -62,6 +62,7 @@ _UNPICKLABLE_TYPES = {
     "OrientedGraph",
     "OrientedCSR",
     "Session",
+    "SharedCSR",
     "Preprocessing",
     "SessionPool",
     "Scheduler",

@@ -1,0 +1,16 @@
+"""A live SharedCSR handle must never cross a process boundary."""
+# repro-lint-fixture-module: fixtures.migration_sharedcsr_process_args
+
+import multiprocessing
+
+from repro.parallel.shared_csr import SharedCSR
+
+
+def _worker(handle: SharedCSR) -> int:
+    return len(list(handle.names()))
+
+
+def run(handle: SharedCSR) -> None:
+    proc = multiprocessing.Process(target=_worker, args=(handle,))
+    proc.start()
+    proc.join()

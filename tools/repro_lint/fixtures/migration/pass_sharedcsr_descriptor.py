@@ -1,0 +1,20 @@
+"""The JSON-safe descriptor is what crosses; workers re-attach."""
+# repro-lint-fixture-module: fixtures.migration_sharedcsr_descriptor
+
+import multiprocessing
+
+from repro.parallel.shared_csr import SharedCSR
+
+
+def _worker(descriptor: dict) -> int:
+    handle = SharedCSR.attach(descriptor)
+    try:
+        return len(list(handle.names()))
+    finally:
+        handle.close()
+
+
+def run(handle: SharedCSR) -> None:
+    proc = multiprocessing.Process(target=_worker, args=(handle.descriptor(),))
+    proc.start()
+    proc.join()

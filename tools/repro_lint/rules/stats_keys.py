@@ -48,9 +48,10 @@ CANONICAL_KEYS: frozenset[str] = frozenset(
         "nodes_processed",
         "stale_pops",
         "warm_seeded",
-        # Exact solver (repro.core.exact)
+        # Exact solvers (repro.core.exact, repro.core.exact_bb)
         "clique_graph_edges",
         "clique_graph_nodes",
+        "nodes_expanded",
         # Clique store (repro.cliques.store_all)
         "cliques_stored",
         "cliques_taken",
@@ -83,6 +84,11 @@ CANONICAL_KEYS: frozenset[str] = frozenset(
         "shed_deadline",
         "shed_overload",
         "submitted",
+        # Process tier (repro.parallel)
+        "incumbent_broadcasts",
+        "steps_dispatched",
+        "subtree_tasks",
+        "worker_restarts",
     }
 )
 
