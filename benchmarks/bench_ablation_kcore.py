@@ -57,3 +57,48 @@ def test_pruning_is_solution_invariant(core_periphery):
         find_disjoint_cliques(core_periphery, 4, "lp").sorted_cliques()
         == find_disjoint_cliques(pruned, 4, "lp").sorted_cliques()
     )
+
+
+def build_core_periphery(smoke: bool):
+    """The fixture graph at runner scale: dense core + tree periphery."""
+    if smoke:
+        core = planted_partition(300, 10, 0.35, 0.004, seed=31)
+        periphery = barabasi_albert(1500, 2, seed=32)
+        attach = range(0, 100, 5)
+    else:
+        core = planted_partition(800, 20, 0.35, 0.002, seed=31)
+        periphery = barabasi_albert(5000, 2, seed=32)
+        attach = range(0, 200, 5)
+    offset = core.n
+    edges = list(core.edges())
+    edges += [(u + offset, v + offset) for u, v in periphery.edges()]
+    edges += [(i, offset + i) for i in attach]
+    return Graph(core.n + periphery.n, edges)
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: (k-1)-core pruning payoff and solution invariance."""
+    from repro.bench.runner import CellSpec, check, ratio
+
+    def run() -> dict:
+        graph = build_core_periphery(smoke)
+        pruned, mask = prune_for_cliques(graph, 4)
+        raw = find_disjoint_cliques(graph, 4, "lp")
+        on_pruned = find_disjoint_cliques(pruned, 4, "lp")
+        return {
+            "nodes": graph.n,
+            "edges": graph.m,
+            "kept_nodes": int(mask.sum()),
+            "kept_edges": pruned.m,
+            "solution_size": raw.size,
+            "gate": {
+                "prune_edge_reduction": ratio(graph.m / max(pruned.m, 1)),
+                "solution_invariant": check(
+                    raw.sorted_cliques() == on_pruned.sorted_cliques()
+                ),
+            },
+        }
+
+    config = {"k": 4, "core_seed": 31, "periphery_seed": 32,
+              "scale": "smoke" if smoke else "full"}
+    return [CellSpec("kcore", run, config)]

@@ -34,3 +34,34 @@ def test_ordering_spread_is_real(fbp):
     """Different orderings genuinely change |S| on clustered graphs."""
     sizes = {o: basic_framework(fbp, 4, order=o).size for o in ORDERINGS}
     assert max(sizes.values()) >= min(sizes.values())
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: HG ordering sensitivity vs the score-driven LP."""
+    from repro.bench.experiments import run_ablation_ordering
+    from repro.bench.runner import CellSpec, check, quality
+
+    names = ["FTB", "HST"] if smoke else None
+    k = 4
+
+    def run() -> dict:
+        result = run_ablation_ordering(names, k)
+        lp_total = 0
+        lp_at_least = True
+        for row in result.data.values():
+            lp = row["lp"]
+            lp_total += lp
+            if lp < max(row[o] for o in ORDERINGS):
+                lp_at_least = False
+        return {
+            "sizes": result.data,
+            "gate": {
+                "lp_at_least_best_hg": check(lp_at_least),
+                "lp_size_total": quality(lp_total),
+            },
+            "artefact": result.text,
+        }
+
+    config = {"names": list(names) if names else "all", "k": k,
+              "orderings": list(ORDERINGS)}
+    return [CellSpec("ordering", run, config)]

@@ -25,3 +25,38 @@ def test_worker_count_is_output_invariant(fbp):
     base = lightweight(fbp, 4, workers=1).sorted_cliques()
     for workers in (2, 4):
         assert lightweight(fbp, 4, workers=workers).sorted_cliques() == base
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: parallel HeapInit trade-off + worker invariance."""
+    import time
+
+    from repro.bench.runner import CellSpec, check, ratio
+    from repro.graph import datasets
+
+    name = "HST" if smoke else "FBP"
+    workers = 2 if smoke else 4
+
+    def run() -> dict:
+        graph = datasets.load(name)
+        start = time.perf_counter()
+        seq = lightweight(graph, 4, workers=1)
+        t_seq = time.perf_counter() - start
+        start = time.perf_counter()
+        par = lightweight(graph, 4, workers=workers)
+        t_par = time.perf_counter() - start
+        return {
+            "sequential_s": t_seq,
+            "parallel_s": t_par,
+            "solution_size": seq.size,
+            "workers": workers,
+            "gate": {
+                "parallel_speedup": ratio(t_seq / max(t_par, 1e-9)),
+                "worker_invariant": check(
+                    seq.sorted_cliques() == par.sorted_cliques()
+                ),
+            },
+        }
+
+    config = {"dataset": name, "k": 4, "workers": workers}
+    return [CellSpec("heapinit_workers", run, config)]

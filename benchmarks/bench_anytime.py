@@ -177,7 +177,8 @@ def bench_preemption(args) -> dict:
     return results
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """CLI options (also the source of defaults for runner cells)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--nodes", type=int, default=8000,
                         help="cell-1 lp graph size")
@@ -208,7 +209,67 @@ def main(argv=None) -> int:
                         help="fail at or below this preemptive/shed goodput "
                              "ratio")
     parser.add_argument("--out", default="BENCH_anytime.json")
-    args = parser.parse_args(argv)
+    return parser
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: anytime quality curves and preemptive goodput.
+
+    The curves cell asserts monotone |S|, a dominating bound and
+    task-equals-blocking identity in-band (``monotone_and_pinned``);
+    the preemption cell carries the goodput ratio.
+    """
+    from repro.bench.runner import CellSpec, check, quality, ratio
+    from repro.bench.workloads import seed_for
+
+    args = build_parser().parse_args([])
+    args.seed = seed_for("social_graph")
+    if smoke:
+        args.nodes, args.bb_nodes = 3000, 50
+        args.big_nodes, args.big_attach = 6000, 12
+        args.waves, args.cheap_per_wave = 3, 6
+
+    def run_curves() -> dict:
+        curves = bench_curves(args)
+        return {
+            "lp_samples": len(curves["lp"]["points"]),
+            "lp_final": curves["lp"]["final"],
+            "bb_samples": len(curves["opt-bb"]["points"]),
+            "bb_final": curves["opt-bb"]["final"],
+            "gate": {
+                "monotone_and_pinned": check(True),
+                "final_size_lp": quality(curves["lp"]["final"]["size"]),
+            },
+        }
+
+    def run_preemption() -> dict:
+        preempt = bench_preemption(args)
+        return {
+            "shed": preempt["shed"],
+            "preemptive": preempt["preemptive"],
+            "gate": {
+                "preempt_vs_shed": ratio(preempt["preempt_vs_shed_x"]),
+            },
+        }
+
+    curves_config = {"nodes": args.nodes, "attach": args.attach,
+                     "triangle_p": args.triangle_p, "k": args.k,
+                     "chunk": args.chunk, "bb_nodes": args.bb_nodes,
+                     "bb_chunk": args.bb_chunk, "bb_degree": args.bb_degree,
+                     "seed": args.seed}
+    preempt_config = {"big_nodes": args.big_nodes, "big_attach": args.big_attach,
+                      "small_nodes": args.small_nodes, "waves": args.waves,
+                      "cheap_per_wave": args.cheap_per_wave,
+                      "cheap_deadline": args.cheap_deadline,
+                      "quantum": args.quantum, "seed": args.seed}
+    return [
+        CellSpec("curves", run_curves, curves_config),
+        CellSpec("preemption", run_preemption, preempt_config),
+    ]
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
 
     print(f"cell 1: anytime curves (lp n={args.nodes}, "
           f"opt-bb n={args.bb_nodes})")

@@ -80,7 +80,8 @@ def compare(rows: list, *, k: int, op: str, mode: str, sets_fn, csr_fn, repeats:
     )
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """CLI options (also the source of defaults for runner cells)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--nodes", type=int, default=10000)
     parser.add_argument("--attach", type=int, default=8,
@@ -91,61 +92,121 @@ def main(argv=None) -> int:
     parser.add_argument("--ks", type=int, nargs="+", default=[3, 4, 5])
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--out", default="BENCH_backend.json")
-    args = parser.parse_args(argv)
+    return parser
 
+
+def build_substrate(args):
+    """The shared graph + warm substrates every comparison reads from."""
     graph = powerlaw_cluster(args.nodes, args.attach, args.triangle_p, seed=args.seed)
     graph.csr()  # one-time undirected CSR, shared by everything below
-    print(f"graph: n={graph.n} m={graph.m} (powerlaw_cluster, seed={args.seed})")
-
     # Warm substrates: both backends read from the same session cache.
     prep = Session(graph).prep
     dag = prep.oriented()
     prep.oriented_csr()
+    return graph, dag
+
+
+def run_k(graph, dag, k: int, repeats: int) -> list[dict]:
+    """The seven backend comparisons for one clique size ``k``."""
+    rows: list[dict] = []
+    compare(
+        rows, k=k, op="count", mode="cold", repeats=repeats,
+        sets_fn=lambda k=k: count_cliques(graph, k, backend="sets"),
+        csr_fn=lambda k=k: count_cliques(graph, k, backend="csr"),
+    )
+    compare(
+        rows, k=k, op="count", mode="warm", repeats=repeats,
+        sets_fn=lambda k=k: count_cliques(graph, k, backend="sets", dag=dag),
+        csr_fn=lambda k=k: count_cliques(graph, k, backend="csr", dag=dag),
+    )
+    compare(
+        rows, k=k, op="scores", mode="cold", repeats=repeats,
+        sets_fn=lambda k=k: node_scores(graph, k, backend="sets"),
+        csr_fn=lambda k=k: node_scores(graph, k, backend="csr"),
+        check=lambda a, b: a.tolist() == b.tolist(),
+    )
+    compare(
+        rows, k=k, op="scores", mode="warm", repeats=repeats,
+        sets_fn=lambda k=k: node_scores(graph, k, backend="sets", dag=dag),
+        csr_fn=lambda k=k: node_scores(graph, k, backend="csr", dag=dag),
+        check=lambda a, b: a.tolist() == b.tolist(),
+    )
+    compare(
+        rows, k=k, op="list", mode="cold", repeats=max(1, repeats - 1),
+        sets_fn=lambda k=k: list_cliques(graph, k, backend="sets"),
+        csr_fn=lambda k=k: list_cliques(graph, k, backend="csr"),
+        check=lambda a, b: canonical(a) == canonical(b),
+    )
+    # Forced-CSR FindMin walk, and the phase-aware auto default.
+    compare(
+        rows, k=k, op="solve-csr", mode="cold", repeats=max(1, repeats - 1),
+        sets_fn=lambda k=k: lightweight(graph, k, backend="sets"),
+        csr_fn=lambda k=k: lightweight(graph, k, backend="csr"),
+        check=lambda a, b: a.sorted_cliques() == b.sorted_cliques()
+        and a.stats == b.stats,
+    )
+    compare(
+        rows, k=k, op="solve-auto", mode="cold", repeats=max(1, repeats - 1),
+        sets_fn=lambda k=k: lightweight(graph, k, backend="sets"),
+        csr_fn=lambda k=k: lightweight(graph, k, backend="auto"),
+        check=lambda a, b: a.sorted_cliques() == b.sorted_cliques(),
+    )
+    return rows
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: one per k, sharing one lazily built substrate.
+
+    Every comparison asserts backend equality before reading a clock,
+    so a cell that returns at all has verified the differential
+    contract — ``backends_agree`` records that in the gate.
+    """
+    from repro.bench.runner import CellSpec, check, ratio
+    from repro.bench.workloads import seed_for
+
+    args = build_parser().parse_args([])
+    args.seed = seed_for("synthetic_graph")
+    if smoke:
+        args.nodes, args.attach, args.repeats = 2000, 6, 2
+        args.ks = [3, 4]
+    shared: dict = {}
+
+    def substrate():
+        if not shared:
+            shared["graph"], shared["dag"] = build_substrate(args)
+        return shared["graph"], shared["dag"]
+
+    def make_cell(k: int):
+        def run() -> dict:
+            graph, dag = substrate()
+            rows = run_k(graph, dag, k, args.repeats)
+            cold = next(r for r in rows
+                        if r["op"] == "count" and r["mode"] == "cold")
+            return {
+                "rows": rows,
+                "gate": {
+                    "count_speedup_cold": ratio(cold["speedup"]),
+                    "backends_agree": check(True),
+                },
+            }
+
+        config = {"nodes": args.nodes, "attach": args.attach,
+                  "triangle_p": args.triangle_p, "seed": args.seed,
+                  "k": k, "repeats": args.repeats}
+        return CellSpec(f"k{k}", run, config)
+
+    return [make_cell(k) for k in args.ks]
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    graph, dag = build_substrate(args)
+    print(f"graph: n={graph.n} m={graph.m} (powerlaw_cluster, seed={args.seed})")
 
     rows: list[dict] = []
     for k in args.ks:
-        compare(
-            rows, k=k, op="count", mode="cold", repeats=args.repeats,
-            sets_fn=lambda k=k: count_cliques(graph, k, backend="sets"),
-            csr_fn=lambda k=k: count_cliques(graph, k, backend="csr"),
-        )
-        compare(
-            rows, k=k, op="count", mode="warm", repeats=args.repeats,
-            sets_fn=lambda k=k: count_cliques(graph, k, backend="sets", dag=dag),
-            csr_fn=lambda k=k: count_cliques(graph, k, backend="csr", dag=dag),
-        )
-        compare(
-            rows, k=k, op="scores", mode="cold", repeats=args.repeats,
-            sets_fn=lambda k=k: node_scores(graph, k, backend="sets"),
-            csr_fn=lambda k=k: node_scores(graph, k, backend="csr"),
-            check=lambda a, b: a.tolist() == b.tolist(),
-        )
-        compare(
-            rows, k=k, op="scores", mode="warm", repeats=args.repeats,
-            sets_fn=lambda k=k: node_scores(graph, k, backend="sets", dag=dag),
-            csr_fn=lambda k=k: node_scores(graph, k, backend="csr", dag=dag),
-            check=lambda a, b: a.tolist() == b.tolist(),
-        )
-        compare(
-            rows, k=k, op="list", mode="cold", repeats=max(1, args.repeats - 1),
-            sets_fn=lambda k=k: list_cliques(graph, k, backend="sets"),
-            csr_fn=lambda k=k: list_cliques(graph, k, backend="csr"),
-            check=lambda a, b: canonical(a) == canonical(b),
-        )
-        # Forced-CSR FindMin walk, and the phase-aware auto default.
-        compare(
-            rows, k=k, op="solve-csr", mode="cold", repeats=max(1, args.repeats - 1),
-            sets_fn=lambda k=k: lightweight(graph, k, backend="sets"),
-            csr_fn=lambda k=k: lightweight(graph, k, backend="csr"),
-            check=lambda a, b: a.sorted_cliques() == b.sorted_cliques()
-            and a.stats == b.stats,
-        )
-        compare(
-            rows, k=k, op="solve-auto", mode="cold", repeats=max(1, args.repeats - 1),
-            sets_fn=lambda k=k: lightweight(graph, k, backend="sets"),
-            csr_fn=lambda k=k: lightweight(graph, k, backend="auto"),
-            check=lambda a, b: a.sorted_cliques() == b.sorted_cliques(),
-        )
+        rows.extend(run_k(graph, dag, k, args.repeats))
 
     count_speedups = {
         r["k"]: r["speedup"] for r in rows if r["op"] == "count" and r["mode"] == "cold"

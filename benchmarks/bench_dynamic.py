@@ -44,9 +44,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.bench.workloads import bench_workload, seed_for  # noqa: E402
 from repro.core.session import Session  # noqa: E402
 from repro.dynamic.maintainer import DynamicDisjointCliques  # noqa: E402
-from repro.dynamic.workload import make_workload  # noqa: E402
 from repro.graph.generators import powerlaw_cluster  # noqa: E402
 
 WORKLOADS = ("deletion", "insertion", "mixed")
@@ -64,7 +64,8 @@ def timed_runs(build, run, repeats: int):
     return statistics.median(times), dyn
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """CLI options (also the source of defaults for runner cells)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--nodes", type=int, default=10000)
     parser.add_argument("--attach", type=int, default=24,
@@ -79,7 +80,127 @@ def main(argv=None) -> int:
                         help="batch size of the chunked batched mode")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--out", default="BENCH_dynamic.json")
-    args = parser.parse_args(argv)
+    return parser
+
+
+def run_workload(graph, workload: str, args,
+                 echo=print) -> tuple[list[dict], dict[int, float]]:
+    """Time every mode of one workload; returns rows + best batched speedup.
+
+    Asserts in-band that all modes land on the same final edge set and
+    that the csr/sets batched trajectories produce identical solutions.
+    """
+    rows: list[dict] = []
+    best_speedups: dict[int, float] = {}
+    start, updates = bench_workload(graph, workload, args.count)
+    session = Session(start)
+    for k in args.ks:
+        initial = session.solve(k, method="lp")
+
+        def build():
+            dyn = DynamicDisjointCliques(
+                start, k, initial=initial, validate_initial=False
+            )
+            dyn.apply_batch([])  # pre-stabilise: drain latent swaps
+            return dyn
+
+        modes = {
+            "per-edge": lambda d: d.apply(updates),
+            "batch-full-csr": lambda d: d.apply_batch(updates, backend="csr"),
+            "batch-full-sets": lambda d: d.apply_batch(updates, backend="sets"),
+            f"batch-{args.chunk}-csr": lambda d: d.apply(
+                updates, batch_size=args.chunk, backend="csr"
+            ),
+        }
+        results = {}
+        edge_sets = {}
+        solutions = {}
+        for mode, run in modes.items():
+            seconds, dyn = timed_runs(build, run, args.repeats)
+            results[mode] = (seconds, dyn.size)
+            edge_sets[mode] = frozenset(dyn.graph.edges())
+            solutions[mode] = dyn.solution().sorted_cliques()
+        assert len(set(edge_sets.values())) == 1, \
+            f"modes diverged on the final graph ({workload}, k={k})"
+        assert solutions["batch-full-csr"] == solutions["batch-full-sets"], \
+            f"csr/sets trajectories diverged ({workload}, k={k})"
+
+        per_edge_s = results["per-edge"][0]
+        for mode, (seconds, size) in results.items():
+            row = {
+                "workload": workload,
+                "k": k,
+                "mode": mode,
+                "updates": len(updates),
+                "seconds": round(seconds, 6),
+                "updates_per_sec": round(len(updates) / seconds, 1),
+                "solution_size": size,
+                "speedup_vs_per_edge": round(per_edge_s / seconds, 3),
+            }
+            rows.append(row)
+            echo(
+                f"  {workload:<9} k={k} {mode:<16} "
+                f"{row['updates_per_sec']:>10.0f} up/s  "
+                f"x{row['speedup_vs_per_edge']:.2f}  |S|={size}"
+            )
+        best = min(
+            seconds for mode, (seconds, _) in results.items()
+            if mode != "per-edge"
+        )
+        best_speedups[k] = round(per_edge_s / best, 3)
+    return rows, best_speedups
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: one per workload, sharing one lazily built graph.
+
+    The trajectory-equality asserts run in-band; ``modes_converge``
+    records them in the gate, and the mixed cell carries the headline
+    batched-speedup ratio.
+    """
+    from repro.bench.runner import CellSpec, check, ratio
+    from repro.bench.workloads import seed_for
+
+    args = build_parser().parse_args([])
+    args.seed = seed_for("synthetic_graph")
+    if smoke:
+        args.nodes, args.attach, args.triangle_p = 1500, 8, 0.6
+        args.ks, args.count, args.chunk, args.repeats = [3, 4], 60, 32, 1
+    shared: dict = {}
+
+    def graph():
+        if not shared:
+            shared["graph"] = powerlaw_cluster(
+                args.nodes, args.attach, args.triangle_p, seed=args.seed
+            )
+        return shared["graph"]
+
+    def make_cell(workload: str):
+        def run() -> dict:
+            rows, speedups = run_workload(
+                graph(), workload, args, echo=lambda line: None
+            )
+            result = {
+                "rows": rows,
+                "best_batched_speedup_by_k": speedups,
+                "gate": {"modes_converge": check(True)},
+            }
+            if workload == "mixed":
+                result["gate"]["mixed_speedup"] = ratio(max(speedups.values()))
+            return result
+
+        config = {"nodes": args.nodes, "attach": args.attach,
+                  "triangle_p": args.triangle_p, "seed": args.seed,
+                  "ks": list(args.ks), "count": args.count,
+                  "chunk": args.chunk, "repeats": args.repeats,
+                  "workload": workload}
+        return CellSpec(workload, run, config)
+
+    return [make_cell(workload) for workload in WORKLOADS]
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
 
     graph = powerlaw_cluster(args.nodes, args.attach, args.triangle_p, seed=args.seed)
     print(f"graph: n={graph.n} m={graph.m} (powerlaw_cluster, seed={args.seed})")
@@ -87,63 +208,10 @@ def main(argv=None) -> int:
     rows: list[dict] = []
     mixed_speedups: dict[int, float] = {}
     for workload in WORKLOADS:
-        start, updates = make_workload(graph, workload, args.count, args.seed + 4)
-        session = Session(start)
-        for k in args.ks:
-            initial = session.solve(k, method="lp")
-
-            def build():
-                dyn = DynamicDisjointCliques(
-                    start, k, initial=initial, validate_initial=False
-                )
-                dyn.apply_batch([])  # pre-stabilise: drain latent swaps
-                return dyn
-
-            modes = {
-                "per-edge": lambda d: d.apply(updates),
-                "batch-full-csr": lambda d: d.apply_batch(updates, backend="csr"),
-                "batch-full-sets": lambda d: d.apply_batch(updates, backend="sets"),
-                f"batch-{args.chunk}-csr": lambda d: d.apply(
-                    updates, batch_size=args.chunk, backend="csr"
-                ),
-            }
-            results = {}
-            edge_sets = {}
-            solutions = {}
-            for mode, run in modes.items():
-                seconds, dyn = timed_runs(build, run, args.repeats)
-                results[mode] = (seconds, dyn.size)
-                edge_sets[mode] = frozenset(dyn.graph.edges())
-                solutions[mode] = dyn.solution().sorted_cliques()
-            assert len(set(edge_sets.values())) == 1, \
-                f"modes diverged on the final graph ({workload}, k={k})"
-            assert solutions["batch-full-csr"] == solutions["batch-full-sets"], \
-                f"csr/sets trajectories diverged ({workload}, k={k})"
-
-            per_edge_s = results["per-edge"][0]
-            for mode, (seconds, size) in results.items():
-                row = {
-                    "workload": workload,
-                    "k": k,
-                    "mode": mode,
-                    "updates": len(updates),
-                    "seconds": round(seconds, 6),
-                    "updates_per_sec": round(len(updates) / seconds, 1),
-                    "solution_size": size,
-                    "speedup_vs_per_edge": round(per_edge_s / seconds, 3),
-                }
-                rows.append(row)
-                print(
-                    f"  {workload:<9} k={k} {mode:<16} "
-                    f"{row['updates_per_sec']:>10.0f} up/s  "
-                    f"x{row['speedup_vs_per_edge']:.2f}  |S|={size}"
-                )
-            if workload == "mixed":
-                best = min(
-                    seconds for mode, (seconds, _) in results.items()
-                    if mode != "per-edge"
-                )
-                mixed_speedups[k] = round(per_edge_s / best, 3)
+        workload_rows, speedups = run_workload(graph, workload, args)
+        rows.extend(workload_rows)
+        if workload == "mixed":
+            mixed_speedups = speedups
 
     payload = {
         "bench": "dynamic",

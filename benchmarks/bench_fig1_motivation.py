@@ -64,3 +64,47 @@ def test_lp_at_least_matches_hg_full_teams(social):
         )
 
     assert full(lp_teams) >= full(hg_teams)
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: the Figure 1 motivation claims on one social graph."""
+    from repro.bench.runner import CellSpec, check, quality
+    from repro.bench.workloads import seed_for
+
+    nodes = 400 if smoke else 1200
+    graph_seed = seed_for("social_graph")
+
+    def run() -> dict:
+        graph = powerlaw_cluster(nodes, 8, 0.55, seed=graph_seed)
+        margin = CONVERSION_BY_EDGES[6] / CONVERSION_BY_EDGES[5] - 1
+
+        def full(teams):
+            return sum(
+                1 for t in teams
+                if len(t) == 4 and intra_team_edges(graph, t) == 6
+            )
+
+        lp_teams = teams_by_packing(graph, "lp")
+        hg_full = full(teams_by_packing(graph, "hg"))
+        rng = np.random.default_rng(seed_for("conversion_rng"))
+        random_rate, _ = simulate_conversion(
+            graph, teams_by_random(graph, rng), rng
+        )
+        lp_rate, _ = simulate_conversion(graph, lp_teams, rng)
+        return {
+            "model_margin": round(margin, 4),
+            "lp_conversion": round(lp_rate, 4),
+            "random_conversion": round(random_rate, 4),
+            "lp_teams": len(lp_teams),
+            "gate": {
+                "model_margin_calibrated": check(abs(margin - 0.256) < 0.03),
+                "lp_beats_random": check(lp_rate > random_rate),
+                "lp_at_least_hg_full_teams": check(full(lp_teams) >= hg_full),
+                "lp_full_teams": quality(full(lp_teams)),
+            },
+        }
+
+    config = {"nodes": nodes, "attach": 8, "triangle_p": 0.55,
+              "graph_seed": graph_seed,
+              "conversion_seed": seed_for("conversion_rng")}
+    return [CellSpec("fig1", run, config)]

@@ -49,3 +49,48 @@ def test_shape_hg_fastest(hst, k):
     find_disjoint_cliques(hst, k, "lp")
     lp_time = time.perf_counter() - start
     assert hg_time < lp_time * 1.5  # HG never meaningfully slower
+
+
+def smoke_static_plan(smoke: bool) -> dict:
+    """The shared static-sweep parameters for Fig6/Table II/Table III.
+
+    One plan (and one memoized sweep) backs all three suites, so the
+    runner pays for the (dataset, k, method) grid exactly once per run.
+    """
+    if smoke:
+        return {"names": ["FTB"], "ks": (3, 4),
+                "time_budget": 10.0, "clique_budget": 50_000}
+    from repro.bench.harness import DEFAULT_CLIQUE_BUDGET, DEFAULT_TIME_BUDGET
+    from repro.graph import datasets
+
+    return {"names": list(datasets.TABLE1_NAMES), "ks": KS,
+            "time_budget": DEFAULT_TIME_BUDGET,
+            "clique_budget": DEFAULT_CLIQUE_BUDGET}
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: regenerate Figure 6 from the shared static sweep."""
+    from repro.bench.experiments import cached_static_sweep, run_fig6
+    from repro.bench.runner import CellSpec, quality
+
+    plan = smoke_static_plan(smoke)
+
+    def run() -> dict:
+        sweep = cached_static_sweep(
+            plan["names"], plan["ks"],
+            time_budget=plan["time_budget"],
+            clique_budget=plan["clique_budget"],
+        )
+        result = run_fig6(sweep, plan["names"], plan["ks"])
+        ok = sum(1 for cell in sweep.values() if cell.ok)
+        return {
+            "cells_total": len(sweep),
+            "cells_with_result": ok,
+            "gate": {"cells_ok_count": quality(ok)},
+            "artefact": result.text,
+        }
+
+    config = {"names": plan["names"], "ks": list(plan["ks"]),
+              "time_budget": plan["time_budget"],
+              "clique_budget": plan["clique_budget"]}
+    return [CellSpec("fig6", run, config)]

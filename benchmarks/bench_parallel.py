@@ -176,7 +176,8 @@ def bench_pool_throughput(args) -> dict:
     }
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """CLI options (also the source of defaults for runner cells)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--nodes", type=int, default=6000,
                         help="cell-1/3 powerlaw graph size")
@@ -201,7 +202,63 @@ def main(argv=None) -> int:
                              "(0.0 = equality-check only; single-core "
                              "boxes cannot beat a warm sequential loop)")
     parser.add_argument("--out", default="BENCH_parallel.json")
-    args = parser.parse_args(argv)
+    return parser
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: the three process-tier comparisons.
+
+    Every parallel solve is asserted equal to its sequential twin
+    in-band before any clock is read (``solutions_pinned``); on
+    single-core machines the ratios are recorded as observed and only
+    coverage is gated cross-mode.
+    """
+    from repro.bench.runner import CellSpec, check, ratio
+
+    args = build_parser().parse_args([])
+    if smoke:
+        args.nodes, args.bb_nodes = 1200, 30
+        args.repeats, args.batch_rounds, args.workers = 1, 1, 2
+
+    def run_heapinit() -> dict:
+        cell = bench_heapinit(args)
+        cell["gate"] = {
+            "heapinit_speedup": ratio(cell["speedup_x"]),
+            "solutions_pinned": check(True),
+        }
+        return cell
+
+    def run_bb() -> dict:
+        cell = bench_exact_bb(args)
+        cell["gate"] = {
+            "exact_bb_speedup": ratio(cell["speedup_x"]),
+            "solutions_pinned": check(True),
+        }
+        return cell
+
+    def run_pool() -> dict:
+        cell = bench_pool_throughput(args)
+        cell["gate"] = {
+            "pool_throughput": ratio(cell["throughput_x"]),
+            "solutions_pinned": check(True),
+        }
+        return cell
+
+    config = {"nodes": args.nodes, "attach": args.attach,
+              "triangle_p": args.triangle_p, "k": args.k,
+              "bb_nodes": args.bb_nodes, "bb_p": args.bb_p,
+              "workers": args.workers, "batch_rounds": args.batch_rounds,
+              "repeats": args.repeats, "seed": args.seed,
+              "start_method": args.start_method}
+    return [
+        CellSpec("heapinit", run_heapinit, config),
+        CellSpec("exact_bb", run_bb, config),
+        CellSpec("pool_throughput", run_pool, config),
+    ]
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
 
     start_method = resolve_context(args.start_method).get_start_method()
     print(f"cpus={os.cpu_count()} start_method={start_method} "

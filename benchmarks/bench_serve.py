@@ -237,7 +237,8 @@ def bench_worker_scaling(args) -> dict:
     return results
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """CLI options (also the source of defaults for runner cells)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--nodes", type=int, default=4000,
                         help="cell-1 tenant graph size")
@@ -262,7 +263,65 @@ def main(argv=None) -> int:
     parser.add_argument("--min-scaling", type=float, default=1.0,
                         help="fail at or below this goodput scaling")
     parser.add_argument("--out", default="BENCH_serve.json")
-    args = parser.parse_args(argv)
+    return parser
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: warm-vs-cold pool and scheduler goodput scaling.
+
+    The warm/cold cell asserts every served solve equal to a direct
+    ``Session.solve`` in-band (``served_matches_direct``); cross-mode
+    gating treats the throughput ratios as coverage-only.
+    """
+    from repro.bench.runner import CellSpec, check, ratio
+    from repro.bench.workloads import seed_for
+
+    args = build_parser().parse_args([])
+    args.seed = seed_for("social_graph")
+    if smoke:
+        args.nodes, args.rounds = 2000, 3
+        args.big_nodes, args.big_attach = 6000, 12
+        args.waves, args.cheap_per_wave = 3, 6
+
+    def run_pool() -> dict:
+        graph = powerlaw_cluster(args.nodes, args.attach, args.triangle_p,
+                                 seed=args.seed)
+        pool_cell = bench_warm_vs_cold(graph, args.rounds)
+        return {
+            "cold": pool_cell["cold"],
+            "warm": pool_cell["warm"],
+            "gate": {
+                "warm_vs_cold": ratio(pool_cell["warm_vs_cold_x"]),
+                "served_matches_direct": check(True),
+            },
+        }
+
+    def run_scaling() -> dict:
+        scaling_cell = bench_worker_scaling(args)
+        return {
+            "workers_1": scaling_cell["workers-1"],
+            f"workers_{args.workers}": scaling_cell[f"workers-{args.workers}"],
+            "gate": {
+                "worker_scaling": ratio(scaling_cell["goodput_scaling_x"]),
+            },
+        }
+
+    pool_config = {"nodes": args.nodes, "attach": args.attach,
+                   "triangle_p": args.triangle_p, "rounds": args.rounds,
+                   "seed": args.seed}
+    scaling_config = {"big_nodes": args.big_nodes, "big_attach": args.big_attach,
+                      "small_nodes": args.small_nodes, "waves": args.waves,
+                      "cheap_per_wave": args.cheap_per_wave,
+                      "cheap_deadline": args.cheap_deadline,
+                      "workers": args.workers, "seed": args.seed}
+    return [
+        CellSpec("warm_vs_cold", run_pool, pool_config),
+        CellSpec("worker_scaling", run_scaling, scaling_config),
+    ]
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
 
     graph = powerlaw_cluster(args.nodes, args.attach, args.triangle_p,
                              seed=args.seed)

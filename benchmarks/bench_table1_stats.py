@@ -36,3 +36,38 @@ def test_table1_rows_are_stable(ftb, hst):
     assert count_cliques(ftb, 3) == 424
     assert count_cliques(ftb, 4) == 188
     assert hst.n == 1858
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: regenerate Table I plus the registry stability gate."""
+    from repro.bench.experiments import run_table1
+    from repro.bench.runner import CellSpec, check, quality
+    from repro.graph import datasets
+
+    names = ["FTB", "HST"] if smoke else None
+    ks = (3, 4) if smoke else KS
+
+    def run() -> dict:
+        result = run_table1(names, ks)
+        ftb = datasets.load("FTB")
+        stable = (
+            ftb.n == 115 and ftb.m == 517
+            and count_cliques(ftb, 3) == 424
+            and count_cliques(ftb, 4) == 188
+            and datasets.load("HST").n == 1858
+        )
+        total = sum(
+            row[f"k{k}"] for row in result.data.values() for k in ks
+        )
+        return {
+            "datasets": {name: {"n": row["n"], "m": row["m"]}
+                         for name, row in result.data.items()},
+            "gate": {
+                "registry_stable": check(stable),
+                "clique_count_total": quality(total),
+            },
+            "artefact": result.text,
+        }
+
+    config = {"names": list(names) if names else "all", "ks": list(ks)}
+    return [CellSpec("table1", run, config)]

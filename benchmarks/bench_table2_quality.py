@@ -46,3 +46,53 @@ def test_lp_close_to_opt_on_tiny(benchmark, k):
     benchmark.extra_info["lp"] = lp.size
     benchmark.extra_info["opt"] = opt.size
     assert lp.size >= opt.size - 1  # paper Table IV: ER <= 8%
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: Table II from the shared sweep + GC==LP identity."""
+    from repro.bench.experiments import cached_static_sweep, run_table2
+    from repro.bench.runner import CellSpec, check, load_bench_module, quality
+    from repro.graph import datasets
+
+    plan = load_bench_module("bench_fig6_runtime").smoke_static_plan(smoke)
+
+    def run() -> dict:
+        sweep = cached_static_sweep(
+            plan["names"], plan["ks"],
+            time_budget=plan["time_budget"],
+            clique_budget=plan["clique_budget"],
+        )
+        result = run_table2(sweep, plan["names"], plan["ks"])
+        lp_total = 0
+        lp_at_least_hg = True
+        for name in plan["names"]:
+            for k in plan["ks"]:
+                hg = sweep.get((name, k, "hg"))
+                lp = sweep.get((name, k, "lp"))
+                if lp and lp.ok:
+                    lp_total += lp.value
+                if hg and hg.ok and lp and lp.ok and lp.value < hg.value * 0.98:
+                    lp_at_least_hg = False
+        # Differential identity, stronger than matching sizes: GC and LP
+        # must return the *same cliques* under the shared ordering.
+        ftb = datasets.load("FTB")
+        gc_equals_lp = (
+            find_disjoint_cliques(ftb, 3, "gc").sorted_cliques()
+            == find_disjoint_cliques(ftb, 3, "lp").sorted_cliques()
+        )
+        return {
+            "lp_size_by_cell": {
+                f"{name}-k{k}": sweep[(name, k, "lp")].value
+                for name in plan["names"] for k in plan["ks"]
+                if sweep.get((name, k, "lp")) and sweep[(name, k, "lp")].ok
+            },
+            "gate": {
+                "gc_equals_lp": check(gc_equals_lp),
+                "lp_at_least_hg": check(lp_at_least_hg),
+                "lp_size_total": quality(lp_total),
+            },
+            "artefact": result.text,
+        }
+
+    config = {"names": plan["names"], "ks": list(plan["ks"])}
+    return [CellSpec("table2", run, config)]

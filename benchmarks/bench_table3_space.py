@@ -56,3 +56,56 @@ def test_lp_survives_where_gc_dies(benchmark, fb):
         find_disjoint_cliques, args=(fb, 5, "lp"), rounds=1, iterations=1
     )
     assert result.size > 0
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: Table III artefact plus the FB memory-shape gate."""
+    from repro.bench.experiments import cached_static_sweep, run_table3
+    from repro.bench.harness import DEFAULT_CLIQUE_BUDGET
+    from repro.bench.runner import CellSpec, check, load_bench_module
+    from repro.graph import datasets
+
+    plan = load_bench_module("bench_fig6_runtime").smoke_static_plan(smoke)
+
+    def run_artefact() -> dict:
+        sweep = cached_static_sweep(
+            plan["names"], plan["ks"],
+            time_budget=plan["time_budget"],
+            clique_budget=plan["clique_budget"],
+        )
+        result = run_table3(sweep, plan["names"], plan["ks"])
+        peaks = {
+            f"{name}-k{k}-{method}": round(cell.peak_mb, 2)
+            for (name, k, method), cell in sweep.items()
+            if cell.ok and cell.peak_mb
+        }
+        return {"peak_mb_by_cell": peaks, "artefact": result.text}
+
+    def run_memory_shape() -> dict:
+        fb = datasets.load("FB")
+        gc_peak = peak_mb(lambda: find_disjoint_cliques(fb, 3, "gc"))
+        lp_peak = peak_mb(lambda: find_disjoint_cliques(fb, 3, "lp"))
+        hg_peak = peak_mb(lambda: find_disjoint_cliques(fb, 3, "hg"))
+        try:
+            find_disjoint_cliques(fb, 5, "gc", max_cliques=DEFAULT_CLIQUE_BUDGET)
+            gc_ooms = False
+        except OutOfMemoryError:
+            gc_ooms = True
+        return {
+            "gc_peak_mb": round(gc_peak, 2),
+            "lp_peak_mb": round(lp_peak, 2),
+            "hg_peak_mb": round(hg_peak, 2),
+            "gate": {
+                "gc_dominates_lp": check(gc_peak > 2 * lp_peak),
+                "hg_within_lp_band": check(hg_peak <= lp_peak * 1.5 + 1),
+                "gc_ooms_at_budget": check(gc_ooms),
+            },
+        }
+
+    return [
+        CellSpec("table3", run_artefact,
+                 {"names": plan["names"], "ks": list(plan["ks"])}),
+        CellSpec("memory_shape_fb", run_memory_shape,
+                 {"dataset": "FB", "k": 3,
+                  "clique_budget": DEFAULT_CLIQUE_BUDGET}),
+    ]

@@ -30,3 +30,37 @@ def test_opt_runtime_small(benchmark, name):
     graph = datasets.load(name)
     result = benchmark(find_disjoint_cliques, graph, 4, "opt")
     benchmark.extra_info["opt_size"] = result.size
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: Table IV, gating LP against the exact optimum."""
+    from repro.bench.experiments import run_table4
+    from repro.bench.runner import CellSpec, check, quality
+
+    names = ["Swallow", "Tortoise"] if smoke else None
+    ks = (4, 5) if smoke else (3, 4, 5, 6)
+    time_budget = 10.0 if smoke else 60.0
+
+    def run() -> dict:
+        result = run_table4(names, ks, time_budget=time_budget)
+        lp_total = 0
+        within_band = True
+        for per_k in result.data.values():
+            for cell in per_k.values():
+                lp_total += cell["lp"]
+                opt = cell["opt"]
+                if isinstance(opt, int) and opt > 0:
+                    if (opt - cell["lp"]) / opt > 0.34:
+                        within_band = False
+        return {
+            "grid": result.data,
+            "gate": {
+                "lp_within_band": check(within_band),
+                "lp_size_total": quality(lp_total),
+            },
+            "artefact": result.text,
+        }
+
+    config = {"names": list(names) if names else "all", "ks": list(ks),
+              "time_budget": time_budget}
+    return [CellSpec("table4", run, config)]

@@ -48,3 +48,49 @@ def test_hg_runtime_k_insensitive(ws_graphs):
         find_disjoint_cliques(g, k, "hg")
         times.append(time.perf_counter() - start)
     assert max(times) < 10 * min(times)
+
+
+def smoke_synthetic_plan(smoke: bool) -> dict:
+    """Shared Watts-Strogatz sweep parameters for Tables V and VI."""
+    if smoke:
+        return {"degrees": (8, 16), "n": 300, "ks": (3, 4)}
+    from repro.bench.harness import scaled
+
+    return {"degrees": (8, 16, 32, 64), "n": scaled(1000, minimum=100),
+            "ks": (3, 4, 5, 6)}
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: Table V runtimes from the shared synthetic sweep."""
+    from repro.bench.experiments import cached_synthetic_sweep, run_table5
+    from repro.bench.runner import CellSpec, check, quality
+
+    plan = smoke_synthetic_plan(smoke)
+
+    def run() -> dict:
+        sweep = cached_synthetic_sweep(plan["degrees"], plan["n"], plan["ks"])
+        result = run_table5(sweep, plan["degrees"], plan["ks"])
+        top_degree = max(plan["degrees"])
+        hg_times = [
+            sweep[(top_degree, k, "hg")].seconds
+            for k in plan["ks"]
+            if sweep.get((top_degree, k, "hg"))
+            and sweep[(top_degree, k, "hg")].ok
+        ]
+        insensitive = bool(hg_times) and max(hg_times) < 10 * max(
+            min(hg_times), 1e-9
+        )
+        ok = sum(1 for cell in sweep.values() if cell.ok)
+        return {
+            "cells_total": len(sweep),
+            "cells_with_result": ok,
+            "gate": {
+                "hg_k_insensitive": check(insensitive),
+                "cells_ok_count": quality(ok),
+            },
+            "artefact": result.text,
+        }
+
+    config = {"degrees": list(plan["degrees"]), "n": plan["n"],
+              "ks": list(plan["ks"])}
+    return [CellSpec("table5", run, config)]

@@ -42,3 +42,41 @@ def test_size_increases_with_density():
         find_disjoint_cliques(dense, 4, "lp").size
         > find_disjoint_cliques(sparse, 4, "lp").size
     )
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: Table VI quality from the shared synthetic sweep."""
+    from repro.bench.experiments import cached_synthetic_sweep, run_table6
+    from repro.bench.runner import CellSpec, check, load_bench_module, quality
+
+    plan = load_bench_module("bench_table5_synthetic_time").smoke_synthetic_plan(smoke)
+
+    def run() -> dict:
+        sweep = cached_synthetic_sweep(plan["degrees"], plan["n"], plan["ks"])
+        result = run_table6(sweep, plan["degrees"], plan["ks"])
+        lp_total = 0
+        gc_equals_lp = True
+        for degree in plan["degrees"]:
+            for k in plan["ks"]:
+                gc = sweep.get((degree, k, "gc"))
+                lp = sweep.get((degree, k, "lp"))
+                if lp and lp.ok:
+                    lp_total += lp.value
+                if gc and gc.ok and lp and lp.ok and gc.value != lp.value:
+                    gc_equals_lp = False
+        return {
+            "lp_size_by_cell": {
+                f"deg{degree}-k{k}": sweep[(degree, k, "lp")].value
+                for degree in plan["degrees"] for k in plan["ks"]
+                if sweep.get((degree, k, "lp")) and sweep[(degree, k, "lp")].ok
+            },
+            "gate": {
+                "gc_equals_lp": check(gc_equals_lp),
+                "lp_size_total": quality(lp_total),
+            },
+            "artefact": result.text,
+        }
+
+    config = {"degrees": list(plan["degrees"]), "n": plan["n"],
+              "ks": list(plan["ks"])}
+    return [CellSpec("table6", run, config)]

@@ -34,3 +34,39 @@ def test_index_far_smaller_than_clique_count(fb, k):
     dyn = DynamicDisjointCliques(fb, k)
     total = count_cliques(fb, k)
     assert dyn.index_size < total / 2
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: Table VII index builds + the compactness gate."""
+    from repro.bench.experiments import run_table7
+    from repro.bench.runner import CellSpec, check, quality
+    from repro.graph import datasets
+
+    names = ["FTB", "HST"] if smoke else None
+    ks = (3, 4) if smoke else KS
+
+    def run() -> dict:
+        result = run_table7(names, ks)
+        index_total = sum(
+            cell["index_size"] for per_k in result.data.values()
+            for cell in per_k.values()
+        )
+        ftb = datasets.load("FTB")
+        compact = (
+            DynamicDisjointCliques(ftb, 3).index_size
+            < count_cliques(ftb, 3) / 2
+        )
+        return {
+            "index_size_by_cell": {
+                f"{name}-k{k}": per_k[k]["index_size"]
+                for name, per_k in result.data.items() for k in per_k
+            },
+            "gate": {
+                "index_below_clique_count": check(compact),
+                "index_size_total": quality(index_total),
+            },
+            "artefact": result.text,
+        }
+
+    config = {"names": list(names) if names else "all", "ks": list(ks)}
+    return [CellSpec("table7", run, config)]

@@ -3,20 +3,24 @@
 The paper's finding: after 10K-scale update workloads the maintained
 solution stays within a fraction of a percent of a from-scratch rebuild
 (and occasionally beats it thanks to swap local search).
+
+All update streams come from :mod:`repro.bench.workloads`, so these
+benchmarks, Figure 7 and the ``repro bench`` runner time identical
+workloads.
 """
 
 import pytest
 
+from repro.bench.workloads import bench_workload
 from repro.core.api import find_disjoint_cliques
 from repro.dynamic import DynamicDisjointCliques
-from repro.dynamic.workload import deletion_workload, mixed_workload
 
 COUNT = 80
 
 
 @pytest.mark.parametrize("k", (3, 4))
 def test_drift_after_deletions(benchmark, hst, k):
-    updates = deletion_workload(hst, COUNT, seed=21)
+    _, updates = bench_workload(hst, "deletion", COUNT)
 
     def run():
         dyn = DynamicDisjointCliques(hst, k)
@@ -32,7 +36,7 @@ def test_drift_after_deletions(benchmark, hst, k):
 
 @pytest.mark.parametrize("k", (3, 4))
 def test_drift_after_mixed(benchmark, hst, k):
-    start_graph, updates = mixed_workload(hst, COUNT, seed=22)
+    start_graph, updates = bench_workload(hst, "mixed", COUNT)
 
     def run():
         dyn = DynamicDisjointCliques(start_graph, k)
@@ -49,9 +53,44 @@ def test_drift_after_mixed(benchmark, hst, k):
 def test_insertions_never_shrink_solution(hst):
     """Edge insertions can only help: |S| must be monotone under the
     insertion workload (paper: sizes increase slightly)."""
-    deletions = deletion_workload(hst, COUNT, seed=23)
+    _, deletions = bench_workload(hst, "deletion", COUNT)
     dyn = DynamicDisjointCliques(hst, 3)
     dyn.apply(deletions)
     before = dyn.size
     dyn.apply([("insert", u, v) for _, u, v in deletions])
     assert dyn.size >= before
+
+
+def cells(smoke: bool = False) -> list:
+    """Runner cells: Table VIII drift from the shared dynamic sweep."""
+    from repro.bench.experiments import cached_dynamic_sweep, run_table8
+    from repro.bench.runner import CellSpec, check, load_bench_module, quality
+
+    plan = load_bench_module("bench_fig7_updates").smoke_dynamic_plan(smoke)
+
+    def run() -> dict:
+        sweep = cached_dynamic_sweep(plan["names"], plan["ks"], plan["count"])
+        result = run_table8(sweep, plan["names"], plan["ks"])
+        drift_total = 0
+        bounded = True
+        for cell in sweep.values():
+            drift = abs(int(cell["size"]) - int(cell["rebuild"]))
+            drift_total += drift
+            if drift > max(3, int(cell["rebuild"]) // 20):
+                bounded = False
+        return {
+            "drift_by_cell": {
+                f"{name}-k{k}-{workload}":
+                    int(cell["size"]) - int(cell["rebuild"])
+                for (name, k, workload), cell in sweep.items()
+            },
+            "gate": {
+                "drift_bounded": check(bounded),
+                "drift_total_abs": quality(drift_total),
+            },
+            "artefact": result.text,
+        }
+
+    config = {"names": plan["names"], "ks": list(plan["ks"]),
+              "count": plan["count"]}
+    return [CellSpec("table8", run, config)]

@@ -3,12 +3,24 @@
 Each ``bench_*`` file regenerates one of the paper's tables or figures
 (see DESIGN.md §5). Benchmarks run at reduced scale so the whole suite
 finishes in minutes; the full-scale artefacts for EXPERIMENTS.md come
-from ``python -m repro.bench.experiments all``.
+from ``python -m repro.bench.experiments all`` or — with manifests and
+a regression gate — ``python -m repro bench --reproduce-all``.
+
+Seeds and update streams are canonical: every benchmark draws them from
+:mod:`repro.bench.workloads` (directly or via the fixtures below), so
+the pytest-driven benchmarks and the ``repro bench`` runner measure
+identical workloads.
 """
+
+import sys
+from pathlib import Path
 
 import pytest
 
-from repro.graph import datasets
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.workloads import bench_workload, seed_manifest  # noqa: E402
+from repro.graph import datasets  # noqa: E402
 
 
 @pytest.fixture(scope="session")
@@ -33,3 +45,19 @@ def fb():
 def fbp():
     """Medium FBPages-like dataset (4K nodes)."""
     return datasets.load("FBP")
+
+
+@pytest.fixture(scope="session")
+def bench_seeds():
+    """The canonical seed manifest every benchmark stream derives from."""
+    return seed_manifest()
+
+
+@pytest.fixture(scope="session")
+def workload_factory():
+    """Canonical workload builder: ``(graph, kind, count) -> (start, updates)``.
+
+    The same entry point the ``repro bench`` runner records into its
+    manifests, so fixtures and runner cells share seeds by construction.
+    """
+    return bench_workload

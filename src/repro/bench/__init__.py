@@ -10,6 +10,18 @@ from repro.bench.harness import (
     scaled,
 )
 from repro.bench.plotting import ascii_log_chart, sparkline
+from repro.bench.runner import (
+    CellSpec,
+    GateThresholds,
+    SuiteSpec,
+    check,
+    gate_run,
+    load_run,
+    quality,
+    ratio,
+    run_suites,
+    suite_names,
+)
 from repro.bench.tables import (
     format_count,
     format_micros,
@@ -17,6 +29,7 @@ from repro.bench.tables import (
     render_series,
     render_table,
 )
+from repro.bench.workloads import bench_workload, seed_for, seed_manifest, stream_seed
 
 __all__ = [
     "CellOutcome",
@@ -26,6 +39,20 @@ __all__ = [
     "BENCH_SCALE",
     "DEFAULT_TIME_BUDGET",
     "DEFAULT_CLIQUE_BUDGET",
+    "CellSpec",
+    "SuiteSpec",
+    "GateThresholds",
+    "ratio",
+    "quality",
+    "check",
+    "run_suites",
+    "gate_run",
+    "load_run",
+    "suite_names",
+    "bench_workload",
+    "stream_seed",
+    "seed_for",
+    "seed_manifest",
     "format_count",
     "format_seconds",
     "format_micros",

@@ -49,6 +49,7 @@ from repro.bench.tables import (
     render_series,
     render_table,
 )
+from repro.bench.workloads import seed_for, stream_seed
 
 KS = (3, 4, 5, 6)
 STATIC_METHODS = ("opt", "hg", "gc", "l", "lp")
@@ -313,12 +314,18 @@ def run_synthetic_sweep(
     n: int | None = None,
     ks: Sequence[int] = KS,
     rewire_p: float = 0.3,
-    seed: int = 7,
+    seed: int | None = None,
     time_budget: float = DEFAULT_TIME_BUDGET,
     clique_budget: int = DEFAULT_CLIQUE_BUDGET,
 ) -> dict[tuple[int, int, str], CellOutcome]:
-    """The paper's synthetic scalability sweep (scaled to ``n`` nodes)."""
+    """The paper's synthetic scalability sweep (scaled to ``n`` nodes).
+
+    ``seed=None`` uses the canonical ``synthetic_graph`` stream from
+    :mod:`repro.bench.workloads`, keeping this sweep comparable with the
+    pytest-driven synthetic benchmarks.
+    """
     n = n if n is not None else scaled(1000, minimum=100)
+    seed = seed if seed is not None else seed_for("synthetic_graph")
     grid: dict[tuple[int, int, str], CellOutcome] = {}
     for degree in degrees:
         session = Session(watts_strogatz(n, degree, rewire_p, seed=seed))
@@ -422,7 +429,7 @@ def run_dynamic_sweep(
     names: Sequence[str] | None = None,
     ks: Sequence[int] = KS,
     count: int | None = None,
-    seed: int = 11,
+    seed: int | None = None,
 ) -> dict[tuple[str, int, str], dict[str, float]]:
     """Timed update workloads; the basis of Figure 7 and Table VIII.
 
@@ -431,15 +438,21 @@ def run_dynamic_sweep(
     workload of ``2 * count`` updates from a fresh maintainer — matching
     the paper's protocol. Records mean per-update latency and the final
     |S| alongside a rebuild-from-scratch reference.
+
+    ``seed=None`` draws the deletion and mixed streams from the
+    canonical seeds in :mod:`repro.bench.workloads`; an explicit seed
+    keeps the legacy ``seed`` / ``seed + 1`` split.
     """
     names = list(names or datasets.TABLE1_NAMES)
     count = count if count is not None else scaled(200, minimum=10)
+    del_seed = seed if seed is not None else stream_seed("deletion")
+    mix_seed = seed + 1 if seed is not None else stream_seed("mixed")
     grid: dict[tuple[str, int, str], dict[str, float]] = {}
     for name in names:
         graph = datasets.load(name)
         workload_n = min(count, graph.m // 4)
         for k in ks:
-            deletions = deletion_workload(graph, workload_n, seed=seed)
+            deletions = deletion_workload(graph, workload_n, seed=del_seed)
             dyn = DynamicDisjointCliques(graph, k, method="lp")
             start = time.perf_counter()
             dyn.apply(deletions)
@@ -465,7 +478,7 @@ def run_dynamic_sweep(
                 "count": workload_n,
             }
 
-            start_graph, updates = mixed_workload(graph, workload_n, seed=seed + 1)
+            start_graph, updates = mixed_workload(graph, workload_n, seed=mix_seed)
             dyn2 = DynamicDisjointCliques(start_graph, k, method="lp")
             start = time.perf_counter()
             dyn2.apply(updates)
@@ -607,6 +620,66 @@ def run_ablation_pruning(
         note="score pass prewarmed via the session; times cover FindMin only",
     )
     return ExperimentResult("ablation_pruning", text, data)
+
+
+# ----------------------------------------------------------------------
+# Memoized sweeps (shared across benchmark-runner cells)
+# ----------------------------------------------------------------------
+_SWEEP_CACHE: dict[tuple[Any, ...], Any] = {}
+
+
+def clear_sweep_cache() -> None:
+    """Drop every memoized sweep (tests use this to force re-runs)."""
+    _SWEEP_CACHE.clear()
+
+
+def _cached(key: tuple[Any, ...], build: Any) -> Any:
+    if key not in _SWEEP_CACHE:
+        _SWEEP_CACHE[key] = build()
+    return _SWEEP_CACHE[key]
+
+
+def cached_static_sweep(
+    names: Sequence[str],
+    ks: Sequence[int],
+    time_budget: float = DEFAULT_TIME_BUDGET,
+    clique_budget: int = DEFAULT_CLIQUE_BUDGET,
+) -> dict[tuple[str, int, str], CellOutcome]:
+    """Memoized :func:`run_static_sweep` so Fig6/T2/T3 cells share one pass."""
+    key = ("static", tuple(names), tuple(ks), time_budget, clique_budget)
+    return _cached(
+        key,
+        lambda: run_static_sweep(
+            names, ks, time_budget=time_budget, clique_budget=clique_budget
+        ),
+    )
+
+
+def cached_synthetic_sweep(
+    degrees: Sequence[int],
+    n: int,
+    ks: Sequence[int],
+    time_budget: float = DEFAULT_TIME_BUDGET,
+    clique_budget: int = DEFAULT_CLIQUE_BUDGET,
+) -> dict[tuple[int, int, str], CellOutcome]:
+    """Memoized :func:`run_synthetic_sweep` so Tables V/VI share one pass."""
+    key = ("synthetic", tuple(degrees), n, tuple(ks), time_budget, clique_budget)
+    return _cached(
+        key,
+        lambda: run_synthetic_sweep(
+            degrees, n=n, ks=ks, time_budget=time_budget, clique_budget=clique_budget
+        ),
+    )
+
+
+def cached_dynamic_sweep(
+    names: Sequence[str],
+    ks: Sequence[int],
+    count: int,
+) -> dict[tuple[str, int, str], dict[str, float]]:
+    """Memoized :func:`run_dynamic_sweep` so Fig7/Table VIII share one pass."""
+    key = ("dynamic", tuple(names), tuple(ks), count)
+    return _cached(key, lambda: run_dynamic_sweep(names, ks, count=count))
 
 
 # ----------------------------------------------------------------------

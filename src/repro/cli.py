@@ -346,6 +346,68 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return experiments_main(args.artefacts or ["all"])
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench import runner as bench_runner
+
+    if args.list:
+        for spec in bench_runner.SUITES:
+            print(f"{spec.name:<18} [{spec.kind:<8}] {spec.title}")
+        return 0
+
+    names = list(args.suites) or None
+    if args.reproduce_all:
+        names = None
+    if names is not None:
+        for name in names:
+            bench_runner.get_suite(name)  # fail fast on typos
+
+    outcome = bench_runner.run_suites(
+        names,
+        smoke=args.smoke,
+        results_dir=args.results_dir,
+        run_id=args.run_id,
+        echo=print,
+    )
+    print(f"run {outcome.run_id}: {outcome.cells_ok} cells ok, "
+          f"{outcome.cells_error} errored -> {outcome.run_dir}")
+    for line in outcome.errors:
+        print(f"  ERROR {line}", file=sys.stderr)
+
+    exit_code = 1 if outcome.cells_error else 0
+    if args.gate:
+        thresholds = bench_runner.GateThresholds(
+            max_speedup_loss=args.max_speedup_loss,
+            max_quality_drift=args.max_quality_drift,
+            min_ratio=args.min_ratio,
+        )
+        fresh = bench_runner.load_run(outcome.run_dir)
+        baseline = bench_runner.load_run(args.gate)
+        failures = bench_runner.gate_run(fresh, baseline, thresholds)
+        gate_payload = {
+            "baseline": str(baseline.path),
+            "thresholds": {
+                "max_speedup_loss": thresholds.max_speedup_loss,
+                "max_quality_drift": thresholds.max_quality_drift,
+                "min_ratio": thresholds.min_ratio,
+            },
+            "failures": failures,
+            "passed": not failures,
+        }
+        (outcome.run_dir / "gate.json").write_text(
+            json.dumps(gate_payload, indent=2) + "\n", encoding="utf-8"
+        )
+        if failures:
+            print(f"GATE FAILED vs {baseline.path}:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"gate passed vs {baseline.path}")
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.core.registry import REGISTRY
 
@@ -455,6 +517,36 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="regenerate tables/figures")
     p.add_argument("artefacts", nargs="*", help="e.g. table1 fig6 (default: all)")
     p.set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser(
+        "bench",
+        help="run benchmark suites into a manifest-backed results directory",
+    )
+    p.add_argument("suites", nargs="*",
+                   help="suite names to run (default: all; see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="list registered suites and exit")
+    p.add_argument("--smoke", action="store_true",
+                   help="reduced-scale run (minutes, not hours)")
+    p.add_argument("--reproduce-all", action="store_true",
+                   help="run every registered suite (ignores positional names)")
+    p.add_argument("--gate", metavar="BASELINE", default=None,
+                   help="compare against a baseline run directory and fail "
+                        "on regressions")
+    p.add_argument("--results-dir", type=Path, default=None,
+                   help="results root (default: <repo>/results)")
+    p.add_argument("--run-id", default=None,
+                   help="explicit run directory name (default: timestamp)")
+    p.add_argument("--max-speedup-loss", type=float, default=0.5,
+                   help="same-mode gate: allowed fractional loss on ratio "
+                        "metrics (default 0.5)")
+    p.add_argument("--max-quality-drift", type=float, default=0.05,
+                   help="same-mode gate: allowed relative drift on quality "
+                        "metrics (default 0.05)")
+    p.add_argument("--min-ratio", type=float, default=0.0,
+                   help="cross-mode gate: absolute floor for ratio metrics "
+                        "(default 0.0)")
+    p.set_defaults(fn=cmd_bench)
     return parser
 
 

@@ -59,6 +59,8 @@ PUBLIC_MODULES = (
     "repro.serve.protocol",
     "repro.serve.server",
     "repro.serve.client",
+    "repro.bench.runner",
+    "repro.bench.workloads",
 )
 
 

@@ -1,0 +1,220 @@
+"""One-shot migration of the legacy root ``BENCH_*.json`` baselines.
+
+The five standalone benchmark scripts (backend, dynamic, parallel,
+serve, anytime) used to drop a single headline JSON at the repo root.
+The ``repro bench`` runner replaced that with per-run directories under
+``results/``: a manifest, a ``metrics.jsonl`` stream, and a gated
+summary. This script rehosts the legacy files as one synthetic
+full-mode run — ``results/baseline-legacy/`` — so the regression gate
+has a baseline from day one, and replaces each root file with a
+relative symlink into the migrated run to keep old paths working.
+
+The synthesized gate records use the same suite / cell / metric names
+the scripts' ``cells()`` specs emit today, so both the same-mode and
+cross-mode gates line up against fresh runs.
+
+Usage::
+
+    PYTHONPATH=src python tools/migrate_bench_baselines.py [--force]
+
+Idempotent: re-running refreshes ``results/baseline-legacy`` in place
+(with ``--force``) and leaves correct symlinks untouched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+from typing import Any
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import runner  # noqa: E402
+from repro.jsonsafe import json_safe  # noqa: E402
+
+RUN_ID = "baseline-legacy"
+LEGACY_SUITES = ("anytime", "backend", "dynamic", "parallel", "serve")
+
+
+def _load_legacy(name: str) -> dict[str, Any]:
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    target = REPO_ROOT / "results" / RUN_ID / "suites" / path.name
+    if path.is_symlink():
+        # Already migrated: read through the link target.
+        path = path.resolve()
+    if not path.exists() and target.exists():
+        path = target
+    with path.open(encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _record(suite: str, cell: str, seconds: float, metrics: dict[str, Any],
+            gate: dict[str, Any]) -> dict[str, Any]:
+    return {
+        "schema": runner.SCHEMA_VERSION,
+        "suite": suite,
+        "cell": cell,
+        "status": "ok",
+        "seconds": round(float(seconds), 6),
+        "metrics": json_safe(metrics),
+        "gate": json_safe(gate),
+    }
+
+
+def synthesize_records(legacy: dict[str, dict[str, Any]]) -> list[dict[str, Any]]:
+    """Map each legacy headline onto the runner's gate record shape."""
+    records: list[dict[str, Any]] = []
+
+    backend = legacy["backend"]
+    for k, speedup in backend["headline"]["count_speedup_by_k"].items():
+        records.append(_record(
+            "backend", f"k{k}", 0.0,
+            {"count_speedup_cold": float(speedup)},
+            {"count_speedup_cold": runner.ratio(speedup),
+             "backends_agree": runner.check(True)},
+        ))
+
+    dynamic = legacy["dynamic"]
+    mixed_best = dynamic["headline"]["mixed_speedup_max"]
+    for workload in ("deletion", "insertion", "mixed"):
+        gate: dict[str, Any] = {"modes_converge": runner.check(True)}
+        metrics: dict[str, Any] = {}
+        if workload == "mixed":
+            gate["mixed_speedup"] = runner.ratio(mixed_best)
+            metrics["mixed_speedup_max"] = float(mixed_best)
+        records.append(_record("dynamic", workload, 0.0, metrics, gate))
+
+    parallel = legacy["parallel"]
+    records.append(_record(
+        "parallel", "heapinit", 0.0,
+        {"speedup_x": parallel["headline"]["heapinit_speedup_x"]},
+        {"heapinit_speedup": runner.ratio(parallel["headline"]["heapinit_speedup_x"]),
+         "solutions_pinned": runner.check(True)},
+    ))
+    records.append(_record(
+        "parallel", "exact_bb", 0.0,
+        {"speedup_x": parallel["headline"]["exact_bb_speedup_x"]},
+        {"exact_bb_speedup": runner.ratio(parallel["headline"]["exact_bb_speedup_x"]),
+         "solutions_pinned": runner.check(True)},
+    ))
+    records.append(_record(
+        "parallel", "pool_throughput", 0.0,
+        {"throughput_x": parallel["headline"]["pool_throughput_x"]},
+        {"pool_throughput": runner.ratio(parallel["headline"]["pool_throughput_x"]),
+         "solutions_pinned": runner.check(True)},
+    ))
+
+    serve = legacy["serve"]
+    records.append(_record(
+        "serve", "warm_vs_cold", 0.0,
+        {"warm_vs_cold_x": serve["headline"]["warm_vs_cold_x"]},
+        {"warm_vs_cold": runner.ratio(serve["headline"]["warm_vs_cold_x"]),
+         "served_matches_direct": runner.check(True)},
+    ))
+    records.append(_record(
+        "serve", "worker_scaling", 0.0,
+        {"goodput_scaling_x": serve["headline"]["worker_scaling_x"]},
+        {"worker_scaling": runner.ratio(serve["headline"]["worker_scaling_x"])},
+    ))
+
+    anytime = legacy["anytime"]
+    lp_final = anytime["curves"]["lp"]["final"]["size"]
+    records.append(_record(
+        "anytime", "curves", 0.0,
+        {"lp_final_size": lp_final},
+        {"monotone_and_pinned": runner.check(True),
+         "final_size_lp": runner.quality(lp_final)},
+    ))
+    records.append(_record(
+        "anytime", "preemption", 0.0,
+        {"preempt_vs_shed_x": anytime["headline"]["preempt_vs_shed_x"]},
+        {"preempt_vs_shed": runner.ratio(anytime["headline"]["preempt_vs_shed_x"])},
+    ))
+    return records
+
+
+def build_legacy_manifest(legacy: dict[str, dict[str, Any]]) -> dict[str, Any]:
+    """A manifest for the synthetic run, marked as migrated legacy data."""
+    manifest = runner.build_manifest(
+        RUN_ID, "full",
+        [(runner.get_suite(name), []) for name in LEGACY_SUITES],
+    )
+    manifest["migrated_from"] = sorted(f"BENCH_{name}.json" for name in legacy)
+    # The legacy headlines predate the manifest schema; record their
+    # recorded python version rather than the migrating interpreter's.
+    pythons = {str(d["config"].get("python")) for d in legacy.values()
+               if d.get("config", {}).get("python")}
+    if len(pythons) == 1:
+        manifest["environment"]["python"] = pythons.pop()
+    for name, payload in legacy.items():
+        suite_entry = manifest["suites"].get(name)
+        if suite_entry is not None:
+            suite_entry["legacy_config"] = json_safe(payload.get("config", {}))
+    return manifest
+
+
+def migrate(force: bool = False) -> Path:
+    """Build ``results/baseline-legacy`` and symlink the root files."""
+    legacy = {name: _load_legacy(name) for name in LEGACY_SUITES}
+    run_dir = REPO_ROOT / "results" / RUN_ID
+    if run_dir.exists():
+        if not force:
+            raise SystemExit(
+                f"{run_dir} already exists; re-run with --force to refresh"
+            )
+        shutil.rmtree(run_dir)
+    (run_dir / "suites").mkdir(parents=True)
+
+    records = synthesize_records(legacy)
+    manifest = build_legacy_manifest(legacy)
+    summary = runner.build_summary(RUN_ID, "full", records)
+
+    with (run_dir / "manifest.json").open("w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    with (run_dir / "metrics.jsonl").open("w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    with (run_dir / "summary.json").open("w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    for name, payload in legacy.items():
+        with (run_dir / "suites" / f"BENCH_{name}.json").open(
+            "w", encoding="utf-8"
+        ) as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+    runner.update_index(run_dir.parent, run_dir, manifest, summary)
+
+    # Keep the old root paths working as links into the migrated run.
+    for name in LEGACY_SUITES:
+        root_file = REPO_ROOT / f"BENCH_{name}.json"
+        rel_target = Path("results") / RUN_ID / "suites" / f"BENCH_{name}.json"
+        if root_file.is_symlink():
+            if root_file.readlink() == rel_target:
+                continue
+            root_file.unlink()
+        elif root_file.exists():
+            root_file.unlink()
+        root_file.symlink_to(rel_target)
+    return run_dir
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--force", action="store_true",
+                        help="refresh an existing results/baseline-legacy")
+    args = parser.parse_args(argv)
+    run_dir = migrate(force=args.force)
+    print(f"migrated {len(LEGACY_SUITES)} legacy baselines -> {run_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+# repro-lint-fixture-module: repro.bench.fixture_manifest_fail
+"""Numpy values leaking into bench manifest/summary emission."""
+
+import numpy as np
+
+
+def build_manifest(run_id: str, seconds: np.ndarray) -> dict:
+    return {
+        "run_id": run_id,
+        "seconds": seconds,
+        "numpy": np.__version__,
+    }
+
+
+def build_summary(records: list, totals: np.ndarray) -> dict:
+    return {
+        "stats": {"seconds_total": totals},
+    }

@@ -1,0 +1,21 @@
+# repro-lint-fixture-module: repro.bench.fixture_manifest_pass
+"""Bench manifest/summary emission with safe coercers throughout."""
+
+import numpy as np
+
+from repro.jsonsafe import json_safe
+
+
+def build_manifest(run_id: str, seconds: np.ndarray) -> dict:
+    return {
+        "run_id": str(run_id),
+        "seconds": seconds.tolist(),
+        "numpy": str(np.__version__),
+    }
+
+
+def build_summary(records: list, totals: np.ndarray) -> dict:
+    return {
+        "stats": {"seconds_total": round(float(np.sum(totals)), 6)},
+        "records": json_safe(records),
+    }

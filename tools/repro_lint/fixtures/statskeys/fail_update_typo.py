@@ -1,0 +1,6 @@
+# repro-lint-fixture-module: repro.bench.fixture_stats_update_fail
+"""A typo'd counter smuggled in through ``stats.update({...})``."""
+
+
+def summarize(stats: dict) -> None:
+    stats.update({"suite_run": 1, "cells_ok": 2})

@@ -1,0 +1,11 @@
+# repro-lint-fixture-module: repro.bench.fixture_stats_update_pass
+"""Runner summary counters merged via ``stats.update({...})``."""
+
+
+def summarize(stats: dict) -> None:
+    stats.update({
+        "suites_run": 1,
+        "cells_ok": 2,
+        "cells_error": 0,
+        "seconds_total": 1.5,
+    })

@@ -1,9 +1,12 @@
 """Checkpoint/protocol JSON-safety: no numpy values may reach the wire.
 
-Three structures in this repository are ``json.dumps``-bound by
+Four structures in this repository are ``json.dumps``-bound by
 contract: NDJSON protocol envelopes (:mod:`repro.serve.protocol`),
-:meth:`repro.core.task.SolveTask.checkpoint` dicts, and the engine
-``state_dict`` payloads nested inside them. ``json.dumps`` raises
+:meth:`repro.core.task.SolveTask.checkpoint` dicts, the engine
+``state_dict`` payloads nested inside them, and the bench runner's
+manifest/summary payloads (:func:`repro.bench.runner.build_manifest`
+and :func:`repro.bench.runner.build_summary`, written to every
+``results/<run-id>/`` directory). ``json.dumps`` raises
 ``TypeError`` on ``np.int64``/``np.ndarray`` — but only at serialisation
 time, on whichever rarely-exercised path let the value through (the
 defect this rule was built on: an ``hg`` task checkpoint with an
@@ -39,8 +42,15 @@ from tools.repro_lint.core import ModuleInfo, Violation
 
 RULE = "jsonsafety"
 
-#: Function names whose dict literals are JSON-bound by contract.
-BOUNDARY_FUNCTIONS = {"checkpoint", "state_dict"}
+#: Function names whose dict literals are JSON-bound by contract:
+#: task checkpoints, engine state dicts, and the bench runner's
+#: manifest/summary emission (``results/<run-id>/*.json``).
+BOUNDARY_FUNCTIONS = {
+    "checkpoint",
+    "state_dict",
+    "build_manifest",
+    "build_summary",
+}
 
 #: Calls that coerce their argument into JSON-safe values.
 SAFE_CALLS = {

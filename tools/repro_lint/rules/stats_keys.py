@@ -10,10 +10,10 @@ test assertion.
 
 The rule collects, per module, every string literal used as a ``stats``
 key — subscript reads/writes (``stats["x"]``, ``self.stats["x"]``),
-``stats.get("x", ...)`` / ``stats.setdefault("x", ...)`` calls, and the
-keys of dict literals assigned to a ``stats`` name or passed as a
-``stats=`` keyword — and requires each to appear in
-:data:`CANONICAL_KEYS`. Introducing a genuinely new counter is a
+``stats.get("x", ...)`` / ``stats.setdefault("x", ...)`` /
+``stats.update({...})`` calls, and the keys of dict literals assigned
+to a ``stats`` name or passed as a ``stats=`` keyword — and requires
+each to appear in :data:`CANONICAL_KEYS`. Introducing a genuinely new counter is a
 one-line addition to that set, which makes the vocabulary growth
 reviewable instead of accidental.
 """
@@ -89,6 +89,11 @@ CANONICAL_KEYS: frozenset[str] = frozenset(
         "steps_dispatched",
         "subtree_tasks",
         "worker_restarts",
+        # Bench runner summaries (repro.bench.runner)
+        "cells_error",
+        "cells_ok",
+        "seconds_total",
+        "suites_run",
     }
 )
 
@@ -120,6 +125,14 @@ def _iter_key_literals(tree: ast.Module) -> Iterator[tuple[int, str]]:
                 key = node.args[0]
                 if isinstance(key, ast.Constant) and isinstance(key.value, str):
                     yield key.lineno, key.value
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr == "update"
+                and _is_stats_expr(fn.value)
+                and node.args
+                and isinstance(node.args[0], ast.Dict)
+            ):
+                yield from _dict_keys(node.args[0])
             for kw in node.keywords:
                 if kw.arg == "stats" and isinstance(kw.value, ast.Dict):
                     yield from _dict_keys(kw.value)
