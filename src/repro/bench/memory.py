@@ -31,8 +31,11 @@ def deep_sizeof(obj: Any) -> int:
             continue
         total += sys.getsizeof(current)
         if isinstance(current, dict):
-            stack.extend(current.keys())
-            stack.extend(current.values())
+            # Traversal order cannot affect the result: every reachable
+            # object is visited exactly once (the ``seen`` id-set) and
+            # folded into an order-independent sum.
+            stack.extend(current.keys())  # repro-lint: ignore=iterorder
+            stack.extend(current.values())  # repro-lint: ignore=iterorder
         elif isinstance(current, (list, tuple, set, frozenset)):
             stack.extend(current)
         elif hasattr(current, "__dict__"):

@@ -36,7 +36,8 @@ def ascii_log_chart(
     """
     numeric = [
         v
-        for values in series.values()
+        # Only min/max consume this list: order-insensitive.
+        for values in series.values()  # repro-lint: ignore=iterorder
         for v in values
         if isinstance(v, (int, float)) and v > 0
     ]

@@ -255,6 +255,10 @@ def environment_info() -> dict[str, Any]:
         "cpu_count": os.cpu_count(),
         "start_method": multiprocessing.get_start_method(allow_none=True)
         or "default",
+        # Hash-randomization provenance: results must be byte-identical
+        # under every seed (the CI double-run leg verifies this), so a
+        # digest mismatch between two runs should be attributable.
+        "python_hash_seed": os.environ.get("PYTHONHASHSEED") or "unset",
     }
 
 
@@ -334,7 +338,10 @@ def run_cell_record(suite: SuiteSpec, cell: CellSpec) -> dict[str, Any]:
 
 
 def build_summary(
-    run_id: str, mode: str, records: Iterable[Mapping[str, Any]]
+    run_id: str,
+    mode: str,
+    records: Iterable[Mapping[str, Any]],
+    environment: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Aggregate streamed cell records into the run summary.
 
@@ -342,6 +349,11 @@ def build_summary(
     names. Per gate metric: ``check`` values AND together (recording
     the first failing cell), ``ratio`` values take the minimum
     (recording the contributing cell), ``quality`` values sum.
+
+    ``environment`` is the *manifest's* environment block — passed
+    through (not re-read from the current process) so a summary rebuilt
+    later by :func:`load_run` reports the hash seed the run actually
+    executed under.
     """
     suites: dict[str, dict[str, Any]] = {}
     gate: dict[str, dict[str, Any]] = {}
@@ -367,10 +379,12 @@ def build_summary(
             sum(e["seconds"] for e in suites.values()), 6
         ),
     }
+    environment = environment or {}
     return {
         "schema": int(SCHEMA_VERSION),
         "run_id": str(run_id),
         "mode": str(mode),
+        "python_hash_seed": str(environment.get("python_hash_seed", "unset")),
         "suites": suites,
         "gate": gate,
         "stats": stats,
@@ -510,7 +524,9 @@ def run_suites(
                         )
                         say(f"  {cell.name}: ERROR {record.get('error')}")
     finally:
-        summary = build_summary(run_id, mode, records)
+        summary = build_summary(
+            run_id, mode, records, environment=manifest.get("environment")
+        )
         (run_dir / "summary.json").write_text(
             json.dumps(json_safe(summary), indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
@@ -592,6 +608,7 @@ def load_run(path: str | Path) -> RunData:
             manifest.get("run_id", root.name),
             manifest.get("mode", "full"),
             records,
+            environment=manifest.get("environment"),
         )
     return RunData(path=root, manifest=manifest, records=records, summary=summary)
 

@@ -87,4 +87,4 @@ def build_clique_graph(
         for i, a in enumerate(indices):
             for b in indices[i + 1 :]:
                 edges.add((a, b) if a < b else (b, a))
-    return CliqueGraph(cliques, Graph(len(cliques), list(edges)))
+    return CliqueGraph(cliques, Graph(len(cliques), sorted(edges)))

@@ -330,7 +330,9 @@ class SolverRegistry:
 
     def methods(self) -> tuple[Method, ...]:
         """Registered :class:`Method` objects in registration order."""
-        return tuple(self._methods.values())
+        # Registration order IS the documented contract here, and every
+        # registration happens at deterministic module-import time.
+        return tuple(self._methods.values())  # repro-lint: ignore=iterorder
 
     def __iter__(self) -> Iterator[Method]:
         return iter(self._methods.values())

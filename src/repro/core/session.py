@@ -327,7 +327,8 @@ class Preprocessing:
                 total += int(self._core.nbytes)
             for rank in self._ranks.values():
                 total += int(rank.nbytes)
-            for dag in (*self._oriented.values(), *self._score_oriented.values()):
+            # Order-independent accumulation into a size total.
+            for dag in (*self._oriented.values(), *self._score_oriented.values()):  # repro-lint: ignore=iterorder
                 total += graph.n * 64 + graph.m * 60 + int(dag.rank.nbytes)
                 if dag.has_csr:
                     csr = dag.csr()

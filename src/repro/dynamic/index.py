@@ -139,7 +139,8 @@ class CandidateIndex:
         if not owners:
             return ("all_free", None)
         if len(owners) == 1 and any(u not in self.owner_of for u in clique):
-            return ("candidate", owners.pop())
+            # Singleton set: pop() is deterministic by the guard above.
+            return ("candidate", owners.pop())  # repro-lint: ignore=iterorder
         return ("invalid", None)
 
     def add_candidate(self, clique: Clique, owner: int) -> bool:
@@ -388,7 +389,9 @@ class CandidateIndex:
         seen: set[Clique] = set()
         for u, v in edges:
             seen.update(cliques_through_edge(self.graph, u, v, self.k))
-        for clique in sorted(seen, key=sorted):
+        # Distinct cliques have distinct sorted node lists, so the key
+        # is tie-free and the sort is a total (hash-independent) order.
+        for clique in sorted(seen, key=sorted):  # repro-lint: ignore=iterorder
             self._classify_into(clique, report)
         return report
 

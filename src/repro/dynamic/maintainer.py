@@ -137,7 +137,10 @@ class DynamicDisjointCliques:
     def solution(self) -> CliqueSetResult:
         """Snapshot of the maintained solution."""
         return CliqueSetResult(
-            list(self.index.solution.values()),
+            # Owner-sorted listing: the solution dict's insertion order
+            # encodes the update trajectory, which equivalent maintenance
+            # paths are allowed to differ on; the snapshot must not.
+            [self.index.solution[owner] for owner in sorted(self.index.solution)],
             k=self.k,
             method="dynamic",
             stats=dict(self.stats),

@@ -93,7 +93,9 @@ def load(name: str) -> Graph:
 
 def specs(tier: str | None = None) -> list[DatasetSpec]:
     """All specs, optionally filtered by tier."""
-    out = list(_REGISTRY.values())
+    # Registration order is the documented catalog order; registrations
+    # all happen at deterministic module-import time.
+    out = list(_REGISTRY.values())  # repro-lint: ignore=iterorder
     if tier is not None:
         out = [s for s in out if s.tier == tier]
     return out

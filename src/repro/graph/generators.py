@@ -38,7 +38,7 @@ def erdos_renyi_gnm(n: int, m: int, seed: int | None = None) -> Graph:
             u, v = int(rng.integers(n)), int(rng.integers(n))
             if u != v:
                 edges.add((min(u, v), max(u, v)))
-    return Graph(n, list(edges))
+    return Graph(n, sorted(edges))
 
 
 def erdos_renyi_gnp(n: int, p: float, seed: int | None = None) -> Graph:
@@ -111,7 +111,7 @@ def watts_strogatz(n: int, degree: int, p: float, seed: int | None = None) -> Gr
                 adj[u].discard(v)
                 adj[v].discard(u)
                 add(u, w)
-    edges = [(u, v) for u in range(n) for v in adj[u] if u < v]
+    edges = [(u, v) for u in range(n) for v in sorted(adj[u]) if u < v]
     return Graph(n, edges)
 
 
@@ -179,7 +179,11 @@ def powerlaw_cluster(
                 and rng.random() < triangle_p
                 and adj[last_target]
             ):
-                pool = [w for w in adj[last_target] if w != u and w not in adj[u]]
+                # int-element set: CPython hashes ints identically under
+                # every PYTHONHASHSEED, so this iteration order is a pure
+                # function of the seeded insertion sequence. Sorting here
+                # would re-deal every pinned powerlaw instance downstream.
+                pool = [w for w in adj[last_target] if w != u and w not in adj[u]]  # repro-lint: ignore=iterorder
                 if pool:
                     v = pool[int(rng.integers(len(pool)))]
                     add(u, v)
@@ -191,7 +195,7 @@ def powerlaw_cluster(
                 added += 1
                 last_target = v
         repeated.extend([u] * m_attach)
-    edges = [(u, v) for u in range(n) for v in adj[u] if u < v]
+    edges = [(u, v) for u in range(n) for v in sorted(adj[u]) if u < v]
     return Graph(n, edges)
 
 

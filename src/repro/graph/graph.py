@@ -149,12 +149,11 @@ class Graph:
         """Induced subgraph plus the list mapping new ids to original ids."""
         keep = sorted(set(nodes))
         index = {orig: new for new, orig in enumerate(keep)}
-        keep_set = index.keys()
         edges = [
             (index[u], index[v])
             for u in keep
-            for v in self._adj[u]
-            if u < v and v in keep_set
+            for v in sorted(self._adj[u])
+            if u < v and v in index
         ]
         return Graph(len(keep), edges), keep
 

@@ -71,7 +71,8 @@ def local_search_packing(
         for clique in all_cliques:
             hit = {used[u] for u in clique if u in used}
             if len(hit) == 1:
-                blockers[hit.pop()].append(clique)
+                # Singleton set: pop() is deterministic by the guard.
+                blockers[hit.pop()].append(clique)  # repro-lint: ignore=iterorder
         for idx in range(len(chosen)):
             candidates = blockers.get(idx, [])
             for i, a in enumerate(candidates):

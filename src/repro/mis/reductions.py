@@ -60,8 +60,9 @@ def reduce_mis(graph: Graph) -> MISKernel:
     changed = True
     while changed:
         changed = False
-        # Degree-0 and degree-1 rules (cheap; run first).
-        for u in list(alive):
+        # Degree-0 and degree-1 rules (cheap; run first). Ascending scan
+        # order pins which endpoint the degree-1 rule forces.
+        for u in sorted(alive):
             if u not in adj:
                 continue
             deg = len(adj[u])
@@ -76,7 +77,8 @@ def reduce_mis(graph: Graph) -> MISKernel:
                 remove(v)
                 changed = True
         # Domination rule: delete v when some neighbour u has N[u] ⊆ N[v].
-        for v in list(alive):
+        # Ascending scan order pins which dominated vertex goes first.
+        for v in sorted(alive):
             if v not in adj:
                 continue
             closed_v = adj[v] | {v}
@@ -89,6 +91,6 @@ def reduce_mis(graph: Graph) -> MISKernel:
     mapping = sorted(alive)
     index = {orig: i for i, orig in enumerate(mapping)}
     edges = [
-        (index[u], index[v]) for u in mapping for v in adj[u] if u < v
+        (index[u], index[v]) for u in mapping for v in sorted(adj[u]) if u < v
     ]
     return MISKernel(Graph(len(mapping), edges), mapping, forced)

@@ -158,7 +158,9 @@ class SessionPool:
             return
         while True:
             with self._lock:
-                snapshot = list(self._sessions.items())
+                # LRU-to-MRU order is the eviction policy's contract;
+                # which session is evicted never reaches a result.
+                snapshot = list(self._sessions.items())  # repro-lint: ignore=iterorder
             if len(snapshot) <= 1:
                 return
             total = sum(self._estimate(s) for _, s in snapshot)
@@ -200,7 +202,8 @@ class SessionPool:
         while a size survey is in flight.
         """
         with self._lock:
-            sessions = list(self._sessions.values())
+            # Order-independent accumulation into a size total.
+            sessions = list(self._sessions.values())  # repro-lint: ignore=iterorder
         return sum(self._estimate(s) for s in sessions)
 
     def fingerprints(self) -> tuple[str, ...]:

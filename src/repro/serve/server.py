@@ -269,7 +269,9 @@ class Server:
         # that feed's lock (a flush may be in progress), and holding the
         # server lock through that would stall every other request.
         with self._lock:
-            feed_items = list(self._feeds.items())
+            # Feed-registration order keys a JSON object whose consumers
+            # look up by feed id; key order is not part of the protocol.
+            feed_items = list(self._feeds.items())  # repro-lint: ignore=iterorder
             graphs = sorted(self._graphs)
         feeds = {feed_id: feed.info() for feed_id, feed in feed_items}
         return {
@@ -556,7 +558,9 @@ class Server:
         contained and counted.
         """
         with self._lock:
-            feeds = list(self._feeds.values())
+            # Sweep order is scheduling-only: each feed's flush is
+            # independent and per-feed failures are contained below.
+            feeds = list(self._feeds.values())  # repro-lint: ignore=iterorder
         flushed = 0
         for feed in feeds:
             try:

@@ -125,6 +125,22 @@ class TestManifest:
         json.dumps(json_safe(info))
         assert isinstance(info["numpy"], str)
 
+    def test_environment_records_hash_seed(self, monkeypatch):
+        monkeypatch.setenv("PYTHONHASHSEED", "101")
+        assert runner.environment_info()["python_hash_seed"] == "101"
+        monkeypatch.delenv("PYTHONHASHSEED")
+        assert runner.environment_info()["python_hash_seed"] == "unset"
+        # CPython treats an empty value as unset; so does the manifest.
+        monkeypatch.setenv("PYTHONHASHSEED", "")
+        assert runner.environment_info()["python_hash_seed"] == "unset"
+
+    def test_summary_surfaces_manifest_hash_seed(self):
+        summary = runner.build_summary(
+            "r", "smoke", [], environment={"python_hash_seed": "202"}
+        )
+        assert summary["python_hash_seed"] == "202"
+        assert runner.build_summary("r", "smoke", [])["python_hash_seed"] == "unset"
+
 
 class TestRunSuites:
     def test_run_writes_all_files(self, fake_suites, tmp_path):
@@ -215,6 +231,10 @@ class TestLoadRun:
         data = runner.load_run(outcome.run_dir)
         assert data.summary["stats"]["cells_ok"] == 2
         assert data.summary["gate"]["table1"]["speedup"]["value"] == 2.0
+        # The rebuilt summary reports the manifest's recorded hash seed,
+        # not whatever the rebuilding process happens to run under.
+        recorded = data.manifest["environment"]["python_hash_seed"]
+        assert data.summary["python_hash_seed"] == recorded
 
 
 class TestGate:

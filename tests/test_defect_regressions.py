@@ -232,3 +232,72 @@ class TestHarnessForkGuard:
 
         outcome = harness.run_cell_subprocess(lambda: "ok", time_budget=10.0)
         assert outcome.value == "ok"
+
+
+class TestIterationOrderDefects:
+    """The iterorder sweep (PR 10): order-bearing values must not inherit
+    hash-table iteration order. Each test pins one fixed site."""
+
+    def test_subgraph_edge_list_is_sorted(self):
+        # graph/graph.py formerly aliased ``index.keys()`` and iterated
+        # raw adjacency sets; the edge list is now lexicographically
+        # sorted regardless of input order.
+        graph = Graph(6, TRIANGLES)
+        sub, mapping = graph.subgraph_with_mapping([5, 3, 4, 0, 2, 1])
+        assert mapping == [0, 1, 2, 3, 4, 5]
+        edges = [
+            (u, v) for u in range(sub.n) for v in sorted(sub.neighbors(u)) if u < v
+        ]
+        assert edges == sorted(edges)
+        # Scrambled input yields the identical subgraph.
+        sub2, mapping2 = graph.subgraph_with_mapping([1, 0, 2, 5, 4, 3])
+        assert mapping2 == mapping
+        assert sorted(sub2.edges()) == sorted(sub.edges())
+
+    def test_generator_edge_lists_are_canonical(self):
+        from repro.graph.generators import erdos_renyi_gnm, watts_strogatz
+
+        g1 = erdos_renyi_gnm(40, 120, seed=7)
+        g2 = erdos_renyi_gnm(40, 120, seed=7)
+        assert sorted(g1.edges()) == sorted(g2.edges())
+        w1 = watts_strogatz(30, 4, 0.3, seed=3)
+        w2 = watts_strogatz(30, 4, 0.3, seed=3)
+        assert sorted(w1.edges()) == sorted(w2.edges())
+
+    def test_mis_kernel_is_input_order_invariant(self):
+        # mis/reductions.py formerly scanned ``list(alive)`` (set order);
+        # both reduction loops now scan ascending, so the kernel is a
+        # pure function of the graph.
+        from repro.mis.reductions import reduce_mis
+
+        graph = powerlaw_cluster(60, 3, 0.4, seed=11)
+        k1 = reduce_mis(graph)
+        k2 = reduce_mis(Graph(graph.n, sorted(graph.edges(), reverse=True)))
+        assert k1.mapping == k2.mapping
+        assert sorted(k1.forced) == sorted(k2.forced)
+        assert sorted(k1.kernel.edges()) == sorted(k2.kernel.edges())
+
+    def test_maintainer_snapshot_is_owner_sorted(self):
+        # dynamic/maintainer.py formerly listed solution cliques in dict
+        # insertion order (the update trajectory); snapshots are now
+        # owner-sorted, so equivalent trajectories agree exactly.
+        from repro.dynamic import DynamicDisjointCliques
+
+        graph = powerlaw_cluster(80, 5, 0.5, seed=4)
+        dyn = DynamicDisjointCliques(graph, 3)
+        snapshot = dyn.solution()
+        expected = [
+            dyn.index.solution[owner] for owner in sorted(dyn.index.solution)
+        ]
+        assert list(snapshot.cliques) == expected
+
+    def test_clique_graph_build_is_repeatable(self):
+        # cliques/clique_graph.py now feeds Graph a sorted edge list, so
+        # repeated builds are bit-identical structures.
+        from repro.cliques.clique_graph import build_clique_graph
+
+        graph = powerlaw_cluster(50, 4, 0.5, seed=9)
+        a = build_clique_graph(graph, 3)
+        b = build_clique_graph(graph, 3)
+        assert a.cliques == b.cliques
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())

@@ -1,0 +1,90 @@
+"""Hash-randomization invariance: the runtime half of the determinism
+rules (PR 10 tentpole, mirroring PR 7's tracked-locks validation).
+
+``PYTHONHASHSEED`` only takes effect at interpreter startup, so these
+tests shell out: the same pinned workload runs in two subprocesses under
+two distinct seeds and every order-bearing output — solutions, stats,
+mid-run checkpoint JSON bytes — must agree exactly. The static
+``iterorder``/``rngflow``/``envdep`` rules claim this invariance; this
+suite is what keeps that claim honest.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+SOLVE_SCRIPT = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro import Session
+from repro.graph.generators import erdos_renyi_gnm, powerlaw_cluster
+from repro.jsonsafe import json_safe
+
+graph = powerlaw_cluster(120, 5, 0.5, seed=3)
+session = Session(graph)
+lp = session.solve(3, "lp")
+
+small = erdos_renyi_gnm(36, 120, seed=9)
+bb = Session(small).solve(3, "opt-bb")
+
+task = session.task(3, "lp")
+task.step(max_work=4)
+payload = {{
+    "lp_solution": lp.sorted_cliques(),
+    "lp_stats": json_safe(dict(lp.stats)),
+    "bb_solution": bb.sorted_cliques(),
+    "bb_stats": json_safe(dict(bb.stats)),
+    "checkpoint": json_safe(task.checkpoint()),
+}}
+print(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+"""
+
+
+def _run_under_seed(script: str, seed: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=ROOT,
+        env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestHashRandomizationInvariance:
+    def test_pinned_solves_identical_under_two_seeds(self):
+        script = SOLVE_SCRIPT.format(src=str(ROOT / "src"))
+        out_a = _run_under_seed(script, "101")
+        out_b = _run_under_seed(script, "202")
+        # Byte-identical canonical JSON: solutions, stats AND the
+        # checkpoint restore payload.
+        assert out_a == out_b
+        payload = json.loads(out_a)
+        assert payload["lp_solution"], "pinned lp solve found no cliques"
+        assert payload["bb_solution"], "pinned opt-bb solve found no cliques"
+        assert payload["checkpoint"]
+
+    def test_digest_tool_is_seed_invariant(self):
+        cmd = [sys.executable, str(ROOT / "tools" / "determinism_digest.py"), "solve"]
+        outputs = {}
+        for seed in ("0", "424242"):
+            proc = subprocess.run(
+                cmd,
+                capture_output=True,
+                text=True,
+                timeout=600,
+                cwd=ROOT,
+                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs[seed] = proc.stdout
+        assert outputs["0"] == outputs["424242"]
+        assert "combined " in outputs["0"]

@@ -14,7 +14,8 @@ from types import SimpleNamespace
 
 import pytest
 
-from tools.repro_lint.concurrency import FIXTURE_CHECKERS
+from tools.repro_lint.concurrency import FIXTURE_CHECKERS as CONCURRENCY_CHECKERS
+from tools.repro_lint.determinism import FIXTURE_CHECKERS as DETERMINISM_CHECKERS
 from tools.repro_lint.core import (
     ROOT,
     Violation,
@@ -27,6 +28,9 @@ from tools.repro_lint.rules import FILE_RULES, PROJECT_RULES
 from tools.repro_lint.rules.registry_meta import check_registry_object
 
 FIXTURES = Path(__file__).resolve().parent.parent / "tools" / "repro_lint" / "fixtures"
+
+#: Project-scope rules with single-file fixture entry points.
+FIXTURE_CHECKERS = {**CONCURRENCY_CHECKERS, **DETERMINISM_CHECKERS}
 
 
 def run_rule_on_fixture(rule: str, path: Path) -> list:
@@ -295,3 +299,104 @@ class TestRepoIsClean:
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "0 new" in proc.stdout
+
+
+class TestDeterminismRules:
+    """Behavioral unit tests for the determinism package beyond the
+    fixture corpus: suppression wiring, ratchet hygiene, and the
+    interprocedural paths that single-file fixtures exercise thinly."""
+
+    def test_suppression_silences_iterorder(self, tmp_path):
+        source = (FIXTURES / "iterorder" / "fail_set_sinks.py").read_text()
+        waived = source.replace(
+            "    return list(nodes)",
+            "    return list(nodes)  # repro-lint: ignore=iterorder",
+        )
+        assert waived != source
+        target = tmp_path / "waived.py"
+        target.write_text(waived)
+
+        from tools.repro_lint.determinism import check_iterorder_files
+
+        def rule(root):
+            return check_iterorder_files([target])
+
+        report = run_rules({}, {"iterorder": rule}, files=[target])
+        assert all("list(nodes)" not in v.message for v in report.violations)
+        assert not report.stale_suppressions
+
+    def test_stale_determinism_suppression_fails(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text(
+            '"""Clean module."""\n\n'
+            "x = 1  # repro-lint: ignore=rngflow\n"
+        )
+
+        from tools.repro_lint.determinism import check_rngflow_files
+
+        def rule(root):
+            return check_rngflow_files([target])
+
+        report = run_rules({}, {"rngflow": rule}, files=[target])
+        assert report.failed
+        [entry] = report.stale_suppressions
+        assert "ignore=rngflow" in entry
+
+    def test_shipped_baseline_has_no_determinism_entries(self):
+        baseline = load_baseline()
+        for rule in ("iterorder", "rngflow", "envdep"):
+            assert not any(f.startswith(f"{rule}|") for f in baseline)
+
+    def test_envdep_traces_through_helper_returns(self, tmp_path):
+        target = tmp_path / "helper_chain.py"
+        target.write_text(
+            "import os\n\n\n"
+            "def _width() -> int:\n"
+            "    return os.cpu_count() or 1\n\n\n"
+            "def _indirect() -> int:\n"
+            "    return _width()\n\n\n"
+            "class Engine:\n"
+            "    def checkpoint(self) -> dict:\n"
+            "        return {'w': _indirect()}\n"
+        )
+        from tools.repro_lint.determinism import check_envdep_files
+
+        violations = check_envdep_files([target])
+        assert violations, "two-hop env return chain must be traced"
+        assert all(v.rule == "envdep" for v in violations)
+
+    def test_iterorder_respects_parameter_annotations(self, tmp_path):
+        target = tmp_path / "annotated.py"
+        target.write_text(
+            "def ordered(xs: list[int]) -> list[int]:\n"
+            "    return list(xs)\n\n\n"
+            "def unordered(xs: set[int]) -> list[int]:\n"
+            "    return list(xs)\n"
+        )
+        from tools.repro_lint.determinism import check_iterorder_files
+
+        violations = check_iterorder_files([target])
+        assert len(violations) == 1
+        assert violations[0].line == 6
+
+    def test_rngflow_seed_laundering_through_locals(self, tmp_path):
+        target = tmp_path / "laundered.py"
+        target.write_text(
+            "import numpy as np\n\n\n"
+            "def good(seed: int) -> object:\n"
+            "    derived = seed * 3 + 1\n"
+            "    return np.random.default_rng(derived)\n\n\n"
+            "def bad() -> object:\n"
+            "    import time\n"
+            "    stamp = time.time_ns()\n"
+            "    return np.random.default_rng(stamp)\n"
+        )
+        from tools.repro_lint.determinism import check_rngflow_files
+
+        violations = check_rngflow_files([target])
+        assert len(violations) == 1
+        assert "entropy" in violations[0].message
+
+    def test_determinism_rules_are_registered(self):
+        for rule in ("iterorder", "rngflow", "envdep"):
+            assert rule in PROJECT_RULES

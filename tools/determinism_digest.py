@@ -1,0 +1,130 @@
+"""Canonical digests for the hash-randomization double-run check.
+
+CI runs this tool twice under two distinct ``PYTHONHASHSEED`` values
+(see the ``static-analysis`` job) and diffs the output: any divergence
+means some solution, stat or checkpoint payload inherited hash-table
+iteration order — exactly the property the ``iterorder``/``rngflow``/
+``envdep`` static rules claim to rule out. The digests deliberately
+exclude wall-clock values, so the comparison is noise-free.
+
+Two modes::
+
+    python tools/determinism_digest.py solve
+        Pinned in-process workload: seeded generator graphs, a full
+        ``lp`` solve, a full ``opt-bb`` exact solve, and a stepped
+        ``lp`` task checkpointed mid-run. Emits one ``<label> <sha256>``
+        line per component plus a ``combined`` line.
+
+    python tools/determinism_digest.py run <results/run-dir>
+        Digest of a bench run directory's order-bearing content: per
+        record the suite/cell/status and gate entries (never timings)
+        from ``metrics.jsonl``, plus the recorded seed manifest.
+
+Exit status is always 0 on success; the *comparison* happens in CI by
+diffing the two outputs (uploaded as artifacts on mismatch).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _digest(payload: object) -> str:
+    """SHA-256 of the canonical JSON encoding of ``payload``."""
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def solve_digests() -> dict[str, str]:
+    """Digests of a pinned lp + opt-bb workload with a mid-run checkpoint."""
+    from repro import Session
+    from repro.graph.generators import erdos_renyi_gnm, powerlaw_cluster
+    from repro.jsonsafe import json_safe
+
+    out: dict[str, str] = {}
+
+    # Full lp solve on a mid-sized seeded power-law graph.
+    graph = powerlaw_cluster(160, 5, 0.5, seed=7)
+    session = Session(graph)
+    lp = session.solve(3, "lp")
+    out["lp_solution"] = _digest(lp.sorted_cliques())
+    out["lp_stats"] = _digest(json_safe(dict(lp.stats)))
+
+    # Exact branch-and-bound on a small seeded G(n, m) instance.
+    small = erdos_renyi_gnm(40, 140, seed=11)
+    bb = Session(small).solve(3, "opt-bb")
+    out["opt_bb_solution"] = _digest(bb.sorted_cliques())
+    out["opt_bb_stats"] = _digest(json_safe(dict(bb.stats)))
+
+    # Mid-run checkpoint: the restore payload must be byte-identical
+    # across hash seeds for cross-process task migration to be sound.
+    task = session.task(3, "lp")
+    task.step(max_work=5)
+    checkpoint = json.dumps(
+        json_safe(task.checkpoint()), sort_keys=True, separators=(",", ":")
+    )
+    out["lp_checkpoint"] = hashlib.sha256(
+        checkpoint.encode("utf-8")
+    ).hexdigest()
+
+    out["combined"] = _digest(sorted(out.items()))
+    return out
+
+
+def run_digests(run_dir: Path) -> dict[str, str]:
+    """Digest of a bench run directory's order-bearing records."""
+    metrics_path = run_dir / "metrics.jsonl"
+    if not metrics_path.exists():
+        raise SystemExit(f"no metrics.jsonl under {run_dir}")
+    records = []
+    for line in metrics_path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        gate = {}
+        for name, entry in (record.get("gate") or {}).items():
+            # "ratio" gates are wall-clock speedups — noise across runs.
+            # Keep name+kind (coverage is order-bearing) but drop the
+            # measured value; "check"/"quality" values are pinned.
+            if entry.get("kind") == "ratio":
+                entry = {"kind": "ratio"}
+            gate[name] = entry
+        records.append(
+            {
+                "suite": record.get("suite"),
+                "cell": record.get("cell"),
+                "status": record.get("status"),
+                "gate": gate,
+            }
+        )
+    out = {"records": _digest(records)}
+    manifest_path = run_dir / "manifest.json"
+    if manifest_path.exists():
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        out["seeds"] = _digest(manifest.get("seeds"))
+    out["combined"] = _digest(sorted(out.items()))
+    return out
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) >= 1 and argv[0] == "solve":
+        digests = solve_digests()
+    elif len(argv) >= 2 and argv[0] == "run":
+        digests = run_digests(Path(argv[1]))
+    else:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for label, value in sorted(digests.items()):
+        print(f"{label} {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

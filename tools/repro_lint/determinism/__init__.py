@@ -1,0 +1,64 @@
+"""Interprocedural determinism analysis for repro-lint.
+
+Three project-scope rules on top of the shared concurrency
+:class:`~tools.repro_lint.concurrency.model.RepoModel` plus the
+ordering-type lattice in :mod:`tools.repro_lint.determinism.model`:
+
+``iterorder``
+    Set/frozenset values and dict views must not reach ordered sinks
+    (sequence materialisation, ``enumerate``, ``join``, ``*``
+    unpacking, unstable numpy sorts, hash-keyed orderings) without a
+    canonicalizer. Hash-table iteration order is insertion-history- and
+    ``PYTHONHASHSEED``-dependent; the equivalence suites pin exact
+    output, so order must be chosen, not inherited.
+
+``rngflow``
+    Every RNG construction must receive a seed traceable to a caller-
+    supplied value or the canonical ``SEEDS`` table; the legacy numpy
+    global-state API, module-level ``random.*`` and ambient-entropy
+    seeds fail.
+
+``envdep``
+    Environment reads (``os.cpu_count``, start-method queries,
+    monotonic clocks, env vars) may steer scheduling but must not flow
+    into solutions, pinned stats or checkpoint payloads.
+
+``FIXTURE_CHECKERS`` maps each rule name to a file-list entry point so
+the fixture corpus tests can run a rule over a single synthetic module.
+The static model is validated end-to-end by the CI hash-randomization
+leg: tier-1 plus ``repro bench --smoke`` run twice under two distinct
+``PYTHONHASHSEED`` values and the solution/stat digests must match
+byte-for-byte (see tools/determinism_digest.py).
+"""
+
+from __future__ import annotations
+
+from tools.repro_lint.determinism.envdep import (
+    check_envdep,
+    check_envdep_files,
+)
+from tools.repro_lint.determinism.iterorder import (
+    check_iterorder,
+    check_iterorder_files,
+)
+from tools.repro_lint.determinism.rngflow import (
+    check_rngflow,
+    check_rngflow_files,
+)
+
+#: rule name -> callable(list[Path]) -> list[Violation], for fixtures.
+FIXTURE_CHECKERS = {
+    "iterorder": check_iterorder_files,
+    "rngflow": check_rngflow_files,
+    "envdep": check_envdep_files,
+}
+
+__all__ = [
+    "FIXTURE_CHECKERS",
+    "check_envdep",
+    "check_envdep_files",
+    "check_iterorder",
+    "check_iterorder_files",
+    "check_rngflow",
+    "check_rngflow_files",
+]

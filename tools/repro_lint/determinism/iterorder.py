@@ -1,0 +1,364 @@
+"""``iterorder``: unordered iteration must not reach ordered sinks raw.
+
+Every equivalence suite in this repository pins *exact* solution lists,
+stats and checkpoint bytes — so any place where a ``set``/``frozenset``
+or a dict view is materialised into an order-bearing value is a latent
+reproducibility break: hash-table iteration order is a function of
+insertion history and (for str/bytes elements) ``PYTHONHASHSEED``.
+Following the "control ordering to make exact search practical"
+discipline (Rossi et al., arXiv:1210.5802), order must be *chosen*, not
+inherited from a hash table.
+
+Flagged patterns (see :mod:`tools.repro_lint.determinism.model` for how
+set-ness is resolved — annotations, constructors, set algebra, resolved
+call returns):
+
+* **Ordered sinks over unordered iterables** — ``list(x)`` /
+  ``tuple(x)``, ``enumerate(x)``, ``sep.join(x)``, ``seq.extend(x)``,
+  list comprehensions, and ``*x`` unpacking into a list/tuple/call,
+  where ``x`` types as a set or dict view and no canonicalizer
+  (``sorted``, ``canonicalize``, ``json_safe``, ``np.sort``, the lex
+  helpers) intervenes. Order-insensitive consumers (membership, ``sum``/
+  ``min``/``max``/``len``/``any``/``all``, set/dict comprehensions,
+  statement ``for`` loops) are not sinks.
+* **Dict-view escapes** — binding ``d.keys()``/``.values()``/
+  ``.items()`` to a name or returning it: an aliased view hides its
+  eventual consumption from per-site analysis; use the dict itself for
+  membership or canonicalize at the use site.
+* **Unstable numpy sorts** — ``np.sort``/``np.argsort`` (module or
+  method form) without ``kind="stable"``: tie order is
+  implementation-defined, and ties are exactly where equal-score nodes
+  land in solutions. ``np.lexsort`` is always stable.
+* **Hash-dependent orderings** — ``hash``/``id`` used as a sort key
+  (``key=hash`` or a ``key=lambda`` calling them): ``id`` varies per
+  process, ``str`` hashes per ``PYTHONHASHSEED``.
+* **Arbitrary-element selection** — ``s.pop()`` on a set-typed value
+  and ``sorted(x, key=...)`` over an unordered iterable (stable ties
+  fall back to hash order).
+
+Sites whose downstream use is provably order-insensitive (an
+accumulating sum, a membership-only structure) carry a
+``# repro-lint: ignore=iterorder`` waiver with the argument, per the
+determinism contract in docs/development.md.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from tools.repro_lint.concurrency import model as _cmodel
+from tools.repro_lint.core import Violation, iter_source_files
+from tools.repro_lint.determinism.model import (
+    CANONICALIZERS,
+    DetEnv,
+    VIEW_METHODS,
+    call_head,
+    dotted_name,
+    iter_analyzable_functions,
+)
+
+RULE = "iterorder"
+
+#: Builtin call heads that materialise their argument's order.
+_SEQUENCE_SINKS = frozenset({"list", "tuple", "enumerate"})
+
+#: numpy sort entry points with a ``kind`` parameter (lexsort excluded:
+#: it is always stable).
+_NUMPY_UNSTABLE_SORTS = frozenset({"sort", "argsort"})
+
+
+def _violation(func: _cmodel.FuncInfo, line: int, message: str) -> Violation:
+    return Violation(rule=RULE, path=func.path, line=line, message=message)
+
+
+class _Checker:
+    """Source-order walk of one function emitting iterorder violations."""
+
+    def __init__(self, model: _cmodel.RepoModel, func: _cmodel.FuncInfo) -> None:
+        self.model = model
+        self.func = func
+        self.env = DetEnv(model, func)
+        self.out: list[Violation] = []
+        imports = model.module_imports.get(func.module, {})
+        self.numpy_aliases = {
+            name for name, target in imports.items() if target == "numpy"
+        }
+
+    # -- helpers -------------------------------------------------------
+
+    def _numpy_module(self, expr: ast.expr) -> bool:
+        return isinstance(expr, ast.Name) and (
+            expr.id in self.numpy_aliases or expr.id == "np"
+        )
+
+    def _unordered(self, expr: ast.expr) -> str | None:
+        return self.env.is_unordered(expr)
+
+    def _flag_sink(self, expr: ast.expr, line: int, sink: str) -> None:
+        reason = self._unordered(expr)
+        if reason is not None:
+            self.out.append(
+                _violation(
+                    self.func,
+                    line,
+                    f"{sink} materialises the order of {reason} — pass it "
+                    "through a canonicalizer (sorted/canonicalize/json_safe) "
+                    "or waive with the order-insensitivity argument "
+                    "(see docs/development.md)",
+                )
+            )
+        elif isinstance(expr, ast.GeneratorExp):
+            self._flag_comprehension(expr, sink)
+
+    def _flag_comprehension(self, comp: ast.expr, sink: str) -> None:
+        for gen in getattr(comp, "generators", []):
+            reason = self._unordered(gen.iter)
+            if reason is not None:
+                self.out.append(
+                    _violation(
+                        self.func,
+                        gen.iter.lineno,
+                        f"{sink} iterates {reason} — canonicalize the "
+                        "iterable (sorted/...) or waive with rationale "
+                        "(see docs/development.md)",
+                    )
+                )
+
+    def _key_uses_hash(self, key: ast.expr) -> str | None:
+        if isinstance(key, ast.Name) and key.id in ("hash", "id"):
+            return key.id
+        if isinstance(key, ast.Lambda):
+            for node in ast.walk(key.body):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in ("hash", "id")
+                ):
+                    return node.func.id
+        return None
+
+    # -- traversal -----------------------------------------------------
+
+    def run(self) -> list[Violation]:
+        for stmt in self.func.node.body:
+            self._visit_stmt(stmt)
+        return self.out
+
+    def _visit_stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested functions are registered by the concurrency walk and
+            # visited as their own top-level entries would be; walk the
+            # body here with the enclosing env unavailable (fresh env).
+            sub = self.model.functions.get(
+                f"{self.func.key}.<locals>.{node.name}"
+            )
+            if sub is not None:
+                self.out.extend(_Checker(self.model, sub).run())
+            return
+        if isinstance(node, ast.ClassDef):
+            return
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            if node.value is not None:
+                self._check_view_escape(node)
+                self._visit_expr(node.value)
+            self.env.bind(node)
+            return
+        if isinstance(node, ast.AugAssign):
+            self._visit_expr(node.value)
+            return
+        if isinstance(node, ast.Return):
+            if node.value is not None:
+                self._check_view_return(node.value)
+                self._visit_expr(node.value)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child)
+            elif isinstance(child, ast.stmt):
+                self._visit_stmt(child)
+
+    def _check_view_escape(self, node: ast.Assign | ast.AnnAssign) -> None:
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in VIEW_METHODS
+            and self.env.dtype_of(value) == "dictview"
+        ):
+            self.out.append(
+                _violation(
+                    self.func,
+                    value.lineno,
+                    f"dict view .{value.func.attr}() bound to a name — an "
+                    "aliased view hides order-sensitivity from per-site "
+                    "analysis; test membership on the dict itself or "
+                    "canonicalize at the use site",
+                )
+            )
+
+    def _check_view_return(self, value: ast.expr) -> None:
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in VIEW_METHODS
+            and self.env.dtype_of(value) == "dictview"
+        ):
+            self.out.append(
+                _violation(
+                    self.func,
+                    value.lineno,
+                    f"dict view .{value.func.attr}() returned to the caller "
+                    "— return a canonicalized list (sorted) or the dict",
+                )
+            )
+
+    def _visit_expr(self, node: ast.expr) -> None:
+        for current in ast.walk(node):
+            if isinstance(current, ast.ListComp):
+                self._flag_comprehension(current, "a list comprehension")
+            elif isinstance(current, (ast.List, ast.Tuple)):
+                for element in current.elts:
+                    if isinstance(element, ast.Starred):
+                        self._flag_sink(
+                            element.value, element.lineno, "starred unpacking"
+                        )
+            elif isinstance(current, ast.Call):
+                self._visit_call(current)
+
+    def _visit_call(self, call: ast.Call) -> None:
+        head = call_head(call)
+        fn = call.func
+        # list(x) / tuple(x) / enumerate(x) over an unordered iterable.
+        if (
+            isinstance(fn, ast.Name)
+            and head in _SEQUENCE_SINKS
+            and call.args
+        ):
+            self._flag_sink(call.args[0], call.lineno, f"{head}()")
+        # sep.join(x)
+        if isinstance(fn, ast.Attribute) and head == "join" and call.args:
+            self._flag_sink(call.args[0], call.lineno, ".join()")
+        # seq.extend(x)
+        if isinstance(fn, ast.Attribute) and head == "extend" and call.args:
+            self._flag_sink(call.args[0], call.lineno, ".extend()")
+        # f(*x) with x unordered (skip set/frozenset/dict constructors).
+        if head not in CANONICALIZERS:
+            for arg in call.args:
+                if isinstance(arg, ast.Starred):
+                    self._flag_sink(arg.value, arg.lineno, "starred unpacking")
+        # sorted(x, key=...) over unordered input: stable ties keep hash
+        # order. sorted(x) without key is a total order — canonical.
+        if head in ("sorted",) or (
+            isinstance(fn, ast.Attribute) and head == "sort"
+        ):
+            key_kw = next((kw for kw in call.keywords if kw.arg == "key"), None)
+            if key_kw is not None:
+                hashy = self._key_uses_hash(key_kw.value)
+                if hashy is not None:
+                    self.out.append(
+                        _violation(
+                            self.func,
+                            call.lineno,
+                            f"{hashy}() used as a sort key — hash order "
+                            "varies per process/PYTHONHASHSEED; sort on the "
+                            "value itself",
+                        )
+                    )
+                elif head == "sorted" and call.args:
+                    reason = self._unordered(call.args[0])
+                    if reason is not None:
+                        self.out.append(
+                            _violation(
+                                self.func,
+                                call.lineno,
+                                f"sorted(key=...) over {reason} — stable "
+                                "ties fall back to hash order; sort the "
+                                "full value or break ties explicitly",
+                            )
+                        )
+        if head in ("min", "max"):
+            key_kw = next((kw for kw in call.keywords if kw.arg == "key"), None)
+            if key_kw is not None:
+                hashy = self._key_uses_hash(key_kw.value)
+                if hashy is not None:
+                    self.out.append(
+                        _violation(
+                            self.func,
+                            call.lineno,
+                            f"{hashy}() used as a {head}() key — hash order "
+                            "varies per process/PYTHONHASHSEED",
+                        )
+                    )
+        # np.sort / np.argsort / x.argsort() without kind="stable".
+        self._check_numpy_sort(call, head)
+        # s.pop() on a set: arbitrary-element selection.
+        if (
+            isinstance(fn, ast.Attribute)
+            and head == "pop"
+            and not call.args
+            and not call.keywords
+            and self.env.dtype_of(fn.value) == "set"
+        ):
+            self.out.append(
+                _violation(
+                    self.func,
+                    call.lineno,
+                    "set.pop() removes an arbitrary (hash-ordered) element "
+                    "— pick deterministically (min/max or sorted)",
+                )
+            )
+
+    def _check_numpy_sort(self, call: ast.Call, head: str | None) -> None:
+        fn = call.func
+        is_np_sort = (
+            isinstance(fn, ast.Attribute)
+            and head in _NUMPY_UNSTABLE_SORTS
+            and self._numpy_module(fn.value)
+        )
+        is_method_argsort = (
+            isinstance(fn, ast.Attribute)
+            and head == "argsort"
+            and not self._numpy_module(fn.value)
+        )
+        if not (is_np_sort or is_method_argsort):
+            return
+        kind = next((kw for kw in call.keywords if kw.arg == "kind"), None)
+        stable = (
+            kind is not None
+            and isinstance(kind.value, ast.Constant)
+            and kind.value.value == "stable"
+        )
+        if not stable:
+            name = dotted_name(fn) or f".{head}"
+            self.out.append(
+                _violation(
+                    self.func,
+                    call.lineno,
+                    f"{name}() without kind=\"stable\" — tie order is "
+                    "implementation-defined and flows into ordered output; "
+                    "pass kind=\"stable\" (np.lexsort is always stable)",
+                )
+            )
+
+
+def _violations(model: _cmodel.RepoModel) -> Iterator[Violation]:
+    seen: set[tuple[str, int, str]] = set()
+    for func in iter_analyzable_functions(model):
+        for violation in _Checker(model, func).run():
+            key = (violation.path, violation.line, violation.message)
+            if key not in seen:
+                seen.add(key)
+                yield violation
+
+
+def check_iterorder_files(files: Sequence[Path]) -> list[Violation]:
+    """Run the check over an explicit file list (fixture mode)."""
+    model = _cmodel.build_model(list(files))
+    return list(_violations(model))
+
+
+def check_iterorder(root: Path | None = None) -> Iterable[Violation]:
+    """Project rule: iteration-order discipline over ``src/repro``."""
+    return check_iterorder_files(list(iter_source_files(root)))

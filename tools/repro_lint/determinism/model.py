@@ -1,0 +1,336 @@
+"""Ordering/provenance typing shared by the determinism rules.
+
+The concurrency :class:`~tools.repro_lint.concurrency.model.RepoModel`
+resolves *which* function a call dispatches to, but its type lattice
+deliberately collapses every container onto ``("seq", elem)`` — good
+enough for lock discovery, blind to the property the determinism rules
+care about: **whether a value's iteration order is defined**. This
+module adds that second lattice on top of the same model:
+
+``"set"``
+    ``set``/``frozenset`` values: iteration order is a function of the
+    hash table's history (and, for str/bytes elements, of
+    ``PYTHONHASHSEED``). Materialising it into a sequence is only
+    deterministic after a canonicalizer.
+
+``"dictview"``
+    ``.keys()`` / ``.values()`` / ``.items()`` views: ordered by dict
+    insertion, which is deterministic only when every insertion path
+    is — an argument the analyzer cannot make locally, so ordered sinks
+    require either a canonicalizer or an explicit waiver.
+
+``("dict", value)`` / ``("seq", elem)``
+    Order-carrying containers; subscripting propagates the inner
+    determinism type.
+
+Types are read off raw AST annotations (the ``annotations`` rule keeps
+``src/repro`` fully annotated, same leverage as the concurrency model),
+syntactic constructors (set literals/comprehensions, ``set()``,
+view-producing method calls, set-algebra operators) and, through the
+shared :class:`~tools.repro_lint.concurrency.model._TypeEnv`, class
+attribute annotations and resolved call return annotations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_lint.concurrency import model as _cmodel
+
+#: Determinism type: "set" | "dictview" | ("dict", DType) | ("seq", DType) | None
+DType = object
+
+#: Annotation heads that denote hash-ordered (set-like) containers.
+SET_NAMES = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet", "KeysView"}
+)
+#: Annotation heads that denote mappings (whose views are flagged).
+DICT_NAMES = frozenset(
+    {
+        "dict",
+        "Dict",
+        "OrderedDict",
+        "defaultdict",
+        "Mapping",
+        "MutableMapping",
+        "Counter",
+    }
+)
+#: Annotation heads for order-carrying sequences.
+SEQ_NAMES = frozenset(
+    {"list", "List", "tuple", "Tuple", "Sequence", "deque", "Iterable", "Iterator"}
+)
+
+#: Methods on a set-typed receiver that return another set.
+SET_METHODS = frozenset(
+    {
+        "intersection",
+        "union",
+        "difference",
+        "symmetric_difference",
+        "copy",
+    }
+)
+
+#: Call heads whose result is order-canonical regardless of input:
+#: full-comparison sorts, the repository's lex helpers, order-insensitive
+#: aggregates and re-keyed containers. ``sorted`` with a ``key=`` is the
+#: one exception the ``iterorder`` rule re-checks (stable ties fall back
+#: to input order).
+CANONICALIZERS = frozenset(
+    {
+        "sorted",
+        "canonicalize",
+        "sorted_cliques",
+        "json_safe",
+        "min",
+        "max",
+        "sum",
+        "len",
+        "set",
+        "frozenset",
+        "lexsort",
+    }
+)
+
+#: Dict-view producing method names.
+VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+
+def ann_dtype(node: ast.expr | None) -> DType:
+    """Determinism type of a raw annotation expression (or ``None``)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+        return ann_dtype(parsed)
+    if isinstance(node, ast.Name):
+        return _head_dtype(node.id)
+    if isinstance(node, ast.Attribute):
+        return _head_dtype(node.attr)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = ann_dtype(node.left)
+        if left is not None:
+            return left
+        return ann_dtype(node.right)
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        head: str | None = None
+        if isinstance(base, ast.Name):
+            head = base.id
+        elif isinstance(base, ast.Attribute):
+            head = base.attr
+        if head == "Optional":
+            return ann_dtype(node.slice)
+        args: list[ast.expr]
+        if isinstance(node.slice, ast.Tuple):
+            args = list(node.slice.elts)
+        else:
+            args = [node.slice]
+        if head in SET_NAMES:
+            return "set"
+        if head in DICT_NAMES and len(args) >= 2:
+            return ("dict", ann_dtype(args[1]))
+        if head in SEQ_NAMES and args:
+            return ("seq", ann_dtype(args[0]))
+        return None
+    return None
+
+
+def _head_dtype(name: str) -> DType:
+    if name in SET_NAMES:
+        return "set"
+    if name in DICT_NAMES:
+        return ("dict", None)
+    if name in SEQ_NAMES:
+        return ("seq", None)
+    return None
+
+
+def _class_attr_dtypes(cls: _cmodel.ClassInfo) -> dict[str, DType]:
+    """Raw-annotation determinism types of a class's attributes (cached)."""
+    cache = getattr(cls, "_det_attr_dtypes", None)
+    if cache is not None:
+        return cache
+    out: dict[str, DType] = {}
+    for node in cls.node.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            ref = ann_dtype(node.annotation)
+            if ref is not None:
+                out.setdefault(node.target.id, ref)
+    init = cls.methods.get("__init__")
+    if init is not None:
+        for node in ast.walk(init.node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            annotation: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value, annotation = node.target, node.value, node.annotation
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            ref = ann_dtype(annotation) if annotation is not None else None
+            if ref is None and value is not None:
+                ref = syntactic_dtype(value)
+            if ref is not None:
+                out.setdefault(target.attr, ref)
+    cls._det_attr_dtypes = out  # type: ignore[attr-defined]
+    return out
+
+
+def syntactic_dtype(expr: ast.expr) -> DType:
+    """Determinism type readable off the expression's own shape."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(expr, (ast.Dict, ast.DictComp)):
+        return ("dict", None)
+    if isinstance(expr, (ast.List, ast.ListComp, ast.Tuple, ast.GeneratorExp)):
+        return ("seq", None)
+    if isinstance(expr, ast.Call):
+        fn = expr.func
+        if isinstance(fn, ast.Name):
+            if fn.id in ("set", "frozenset"):
+                return "set"
+            if fn.id in ("dict", "defaultdict", "OrderedDict", "Counter"):
+                return ("dict", None)
+            if fn.id in ("list", "tuple", "sorted"):
+                return ("seq", None)
+    return None
+
+
+class DetEnv:
+    """Per-function determinism-type environment over the shared model."""
+
+    def __init__(self, model: _cmodel.RepoModel, func: _cmodel.FuncInfo) -> None:
+        self.model = model
+        self.func = func
+        self.typeenv = _cmodel._TypeEnv(model, func)
+        self.dtypes: dict[str, DType] = {}
+        args = func.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            ref = ann_dtype(arg.annotation)
+            if ref is not None:
+                self.dtypes[arg.arg] = ref
+
+    def bind(self, node: ast.stmt) -> None:
+        """Record assignment targets' determinism types, in source order."""
+        if isinstance(node, ast.Assign):
+            ref = self.dtype_of(node.value)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if ref is not None:
+                        self.dtypes[target.id] = ref
+                    else:
+                        self.dtypes.pop(target.id, None)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            ref = ann_dtype(node.annotation)
+            if ref is None and node.value is not None:
+                ref = self.dtype_of(node.value)
+            if ref is not None:
+                self.dtypes[node.target.id] = ref
+
+    def dtype_of(self, expr: ast.expr) -> DType:
+        """Best-effort determinism type of an expression."""
+        direct = syntactic_dtype(expr)
+        if direct is not None:
+            return direct
+        if isinstance(expr, ast.Name):
+            return self.dtypes.get(expr.id)
+        if isinstance(expr, ast.IfExp):
+            return self.dtype_of(expr.body) or self.dtype_of(expr.orelse)
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+        ):
+            for side in (expr.left, expr.right):
+                if self.dtype_of(side) in ("set", "dictview"):
+                    return "set"
+            return None
+        if isinstance(expr, ast.Attribute):
+            cls = self.typeenv.class_of(self.typeenv.resolve_type(expr.value))
+            if cls is not None:
+                ref = _class_attr_dtypes(cls).get(expr.attr)
+                if ref is not None:
+                    return ref
+            return None
+        if isinstance(expr, ast.Subscript):
+            base = self.dtype_of(expr.value)
+            if isinstance(base, tuple) and base[0] in ("dict", "seq"):
+                return base[1]
+            return None
+        if isinstance(expr, ast.Call):
+            fn = expr.func
+            if isinstance(fn, ast.Attribute):
+                if fn.attr in VIEW_METHODS:
+                    receiver = self.dtype_of(fn.value)
+                    if receiver is None or (
+                        isinstance(receiver, tuple) and receiver[0] == "dict"
+                    ):
+                        return "dictview"
+                    return None
+                if fn.attr in SET_METHODS:
+                    if self.dtype_of(fn.value) in ("set", "dictview"):
+                        return "set"
+                    return None
+            for target in self.typeenv.resolve_call(expr):
+                info = self.model.functions.get(target)
+                if info is None:
+                    continue
+                ref = ann_dtype(info.node.returns)
+                if ref is not None:
+                    return ref
+            return None
+        return None
+
+    def is_unordered(self, expr: ast.expr) -> str | None:
+        """Why iterating ``expr`` has no defined order, or ``None``.
+
+        Canonicalizer calls are exempt by construction: ``sorted(x)``
+        and friends type as sequences, never as ``set``/``dictview``.
+        """
+        ref = self.dtype_of(expr)
+        if ref == "set":
+            return "a set/frozenset (hash-ordered iteration)"
+        if ref == "dictview":
+            return "a dict view (order rests on every insertion path)"
+        return None
+
+
+def iter_analyzable_functions(
+    model: _cmodel.RepoModel,
+) -> Iterator[_cmodel.FuncInfo]:
+    """Top-level functions and methods (nested defs walked in place)."""
+    for func in model.functions.values():
+        if func.parent is None:
+            yield func
+
+
+def call_head(call: ast.Call) -> str | None:
+    """The called name: ``f`` for ``f(...)``, ``m`` for ``x.m(...)``."""
+    fn = call.func
+    if isinstance(fn, ast.Name):
+        return fn.id
+    if isinstance(fn, ast.Attribute):
+        return fn.attr
+    return None
+
+
+def dotted_name(expr: ast.expr) -> str | None:
+    """``a.b.c`` rendered as a dotted string when purely attribute/name."""
+    parts: list[str] = []
+    node: ast.expr = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

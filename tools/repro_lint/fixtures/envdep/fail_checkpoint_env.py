@@ -1,0 +1,17 @@
+"""Environment-derived values leaking into checkpoint payloads."""
+# repro-lint-fixture-module: fixtures.envdep_checkpoint
+
+import os
+import time
+
+
+class Engine:
+    def __init__(self) -> None:
+        self.ticks = 0
+
+    def checkpoint(self) -> dict:
+        return {
+            "ticks": self.ticks,
+            "workers": os.cpu_count(),
+            "stamp": time.monotonic(),
+        }

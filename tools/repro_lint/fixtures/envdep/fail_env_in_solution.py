@@ -1,0 +1,16 @@
+"""Environment-derived values flowing into solution construction."""
+# repro-lint-fixture-module: fixtures.envdep_solution
+
+import os
+
+
+def _shard_width() -> int:
+    return os.cpu_count() or 1
+
+
+def build(groups: list[list[int]]) -> list[frozenset[int]]:
+    cliques: list[frozenset[int]] = []
+    width = _shard_width()
+    for group in groups:
+        cliques.append(frozenset(group[:width]))
+    return cliques

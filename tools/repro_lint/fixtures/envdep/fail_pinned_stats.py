@@ -1,0 +1,12 @@
+"""Environment-derived values written to pinned stats counters."""
+# repro-lint-fixture-module: fixtures.envdep_stats
+
+import os
+import time
+
+
+def report() -> dict:
+    stats: dict[str, int] = {}
+    stats["nodes_expanded"] = int(time.perf_counter())
+    stats["cache_hits"] = int(os.getenv("REPRO_HITS", "0"))
+    return stats

@@ -1,0 +1,32 @@
+"""Environment reads steering scheduling knobs, never results."""
+# repro-lint-fixture-module: fixtures.envdep_scheduling
+
+import os
+import time
+
+
+def pick_workers(requested: int | None = None) -> int:
+    if requested is not None:
+        return requested
+    return min(os.cpu_count() or 1, 8)
+
+
+def chunked(items: list[int], requested: int | None = None) -> list[list[int]]:
+    workers = pick_workers(requested)
+    size = max(1, len(items) // workers)
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def run_with_budget(budget: float) -> dict:
+    stats: dict[str, float] = {}
+    started = time.monotonic()
+    deadline = started + budget
+    while time.monotonic() < deadline:
+        break
+    # Wall-clock totals are the one stats key the suites do not pin.
+    stats["seconds_total"] = time.monotonic() - started
+    return stats
+
+
+def debug_enabled() -> bool:
+    return os.getenv("REPRO_DEBUG", "") == "1"

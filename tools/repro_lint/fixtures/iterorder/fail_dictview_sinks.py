@@ -1,0 +1,22 @@
+"""Dict views escaping or feeding ordered sinks."""
+# repro-lint-fixture-module: fixtures.iterorder_dictview_sinks
+
+
+def aliased_view(index: dict[int, int]) -> int:
+    keep = index.keys()
+    count = 0
+    for u in keep:
+        count += u
+    return count
+
+
+def view_to_list(owners: dict[int, frozenset[int]]) -> list[frozenset[int]]:
+    return list(owners.values())
+
+
+def view_enumerated(counts: dict[str, int]) -> list[tuple[int, str]]:
+    return [(i, key) for i, key in enumerate(counts.keys())]
+
+
+def view_extend(queue: list[int], waiting: dict[int, str]) -> None:
+    queue.extend(waiting.keys())

@@ -1,0 +1,22 @@
+"""Set/frozenset order materialised into sequences without canonicalizing."""
+# repro-lint-fixture-module: fixtures.iterorder_set_sinks
+
+
+def raw_listing(nodes: set[int]) -> list[int]:
+    return list(nodes)
+
+
+def raw_comprehension(nodes: frozenset[int]) -> list[int]:
+    return [u * 2 for u in nodes]
+
+
+def raw_join(parts: set[str]) -> str:
+    return ",".join(parts)
+
+
+def raw_unpack(nodes: set[int]) -> tuple[int, ...]:
+    return (*nodes, -1)
+
+
+def arbitrary_pop(pending: set[int]) -> int:
+    return pending.pop()

@@ -1,0 +1,25 @@
+"""Unstable numpy sorts and hash-dependent sort keys."""
+# repro-lint-fixture-module: fixtures.iterorder_unstable_sort
+
+import numpy as np
+
+
+def default_argsort(scores: np.ndarray) -> np.ndarray:
+    return np.argsort(scores)
+
+
+def quicksort_values(scores: np.ndarray) -> np.ndarray:
+    return np.sort(scores, kind="quicksort")
+
+
+def hash_keyed(cliques: list[frozenset[int]]) -> list[frozenset[int]]:
+    return sorted(cliques, key=hash)
+
+
+def id_keyed_min(tasks: list[object]) -> object:
+    return min(tasks, key=lambda t: id(t))
+
+
+def keyed_over_set(nodes: set[int]) -> list[int]:
+    # key= drops information: equal keys keep hash iteration order.
+    return sorted(nodes, key=lambda u: u % 4)

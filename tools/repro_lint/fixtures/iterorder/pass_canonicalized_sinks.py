@@ -1,0 +1,34 @@
+"""Unordered values reaching ordered sinks only through canonicalizers."""
+# repro-lint-fixture-module: fixtures.iterorder_canonicalized
+
+import numpy as np
+
+
+def listing(nodes: set[int]) -> list[int]:
+    return sorted(nodes)
+
+
+def label(parts: frozenset[str]) -> str:
+    return ",".join(sorted(parts))
+
+
+def ranks(scores: np.ndarray) -> np.ndarray:
+    return np.argsort(scores, kind="stable")
+
+
+def totals(counts: dict[str, int]) -> int:
+    # Statement for-loops and order-insensitive aggregates are not sinks.
+    total = 0
+    for value in counts.values():
+        total += value
+    return total + sum(counts.values()) + max(counts.values())
+
+
+def membership(index: dict[int, int], nodes: list[int]) -> list[int]:
+    # Membership tests on the dict itself, not an aliased view.
+    return [u for u in nodes if u in index]
+
+
+def rekeyed(counts: dict[str, int]) -> dict[str, int]:
+    # dict -> dict transforms preserve insertion order: not a sink.
+    return {key: value * 2 for key, value in counts.items()}

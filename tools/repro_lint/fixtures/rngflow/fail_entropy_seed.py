@@ -1,0 +1,17 @@
+"""Ambient entropy used as a seed: never reproducible."""
+# repro-lint-fixture-module: fixtures.rngflow_entropy
+
+import os
+import random
+import time
+
+import numpy as np
+
+
+def wall_clock_seed() -> np.random.Generator:
+    return np.random.default_rng(int(time.time()))
+
+
+def urandom_seed() -> random.Random:
+    noise = os.urandom(8)
+    return random.Random(noise)

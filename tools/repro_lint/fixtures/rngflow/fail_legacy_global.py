@@ -1,0 +1,18 @@
+"""Legacy global-state RNG APIs: hidden state breaks checkpoint/replay."""
+# repro-lint-fixture-module: fixtures.rngflow_legacy
+
+import random
+
+import numpy as np
+
+
+def numpy_global_shuffle(items: list[int]) -> None:
+    np.random.shuffle(items)
+
+
+def numpy_global_draw(n: int) -> np.ndarray:
+    return np.random.rand(n)
+
+
+def stdlib_global_choice(items: list[int]) -> int:
+    return random.choice(items)

@@ -1,0 +1,18 @@
+"""Unseeded RNG constructions: replay cannot reproduce them."""
+# repro-lint-fixture-module: fixtures.rngflow_unseeded
+
+import random
+
+import numpy as np
+
+
+def no_seed() -> np.random.Generator:
+    return np.random.default_rng()
+
+
+def explicit_none() -> np.random.Generator:
+    return np.random.default_rng(None)
+
+
+def stdlib_unseeded() -> random.Random:
+    return random.Random()

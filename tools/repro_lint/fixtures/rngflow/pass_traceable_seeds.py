@@ -1,0 +1,33 @@
+"""RNG constructions whose seeds trace to the caller or the SEEDS table."""
+# repro-lint-fixture-module: fixtures.rngflow_traceable
+
+import random
+
+import numpy as np
+
+SEEDS = {"workload": 1234}
+
+
+def from_parameter(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def from_default(seed: int | None = None) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def from_table(stream: str) -> np.random.Generator:
+    return np.random.default_rng(SEEDS[stream])
+
+
+def from_arithmetic(seed: int, shard: int) -> random.Random:
+    return random.Random(seed * 1000003 + shard)
+
+
+def from_helper(seed: int) -> np.random.Generator:
+    derived = int(seed) + 17
+    return np.random.default_rng(derived)
+
+
+def literal_seed() -> np.random.Generator:
+    return np.random.default_rng(42)

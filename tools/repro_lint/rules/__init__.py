@@ -14,6 +14,11 @@ from tools.repro_lint.concurrency import (
     check_lockorder,
     check_migration,
 )
+from tools.repro_lint.determinism import (
+    check_envdep,
+    check_iterorder,
+    check_rngflow,
+)
 from tools.repro_lint.rules.annotations import check_annotations
 from tools.repro_lint.rules.jsonsafety import check_jsonsafety
 from tools.repro_lint.rules.layering import check_layering
@@ -37,6 +42,9 @@ PROJECT_RULES = {
     "lockorder": check_lockorder,
     "holdcalling": check_holdcalling,
     "migration": check_migration,
+    "iterorder": check_iterorder,
+    "rngflow": check_rngflow,
+    "envdep": check_envdep,
 }
 
 ALL_RULES = tuple(FILE_RULES) + tuple(PROJECT_RULES)
